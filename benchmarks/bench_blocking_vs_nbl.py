@@ -1,0 +1,66 @@
+"""E14 — the original blocking buddy algorithm [1] vs the semi-blocking [2].
+
+§VI-A: "the benefit of a non-blocking approach is small, but noticeable".
+Quantified here with a subtlety the model exposes: at φ = 0 the stretched
+window (θ = (1+α)R) *loses* to plain blocking when failures are frequent
+(A = D+R+θmax ≫ D+2R).  The semi-blocking algorithm only dominates once
+its overhead is tuned — at φ = R it reproduces the blocking algorithm
+exactly, so tuned-NBL ≤ blocking everywhere, with the gain growing with
+the MTBF.  The risk price of the stretched window is reported alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_BLOCKING, DOUBLE_NBL, scenarios, success_probability
+from repro.analysis.tuning import optimal_phi
+from repro.core.waste import waste_at_optimum
+
+DAY = 86400.0
+
+
+def _sweep():
+    rows = []
+    for m in (120.0, 600.0, 3600.0, 25200.0, DAY):
+        params = scenarios.BASE.parameters(M=m)
+        w_blk = float(np.asarray(
+            waste_at_optimum(DOUBLE_BLOCKING, params, 0.0).total))
+        w_phi0 = float(np.asarray(
+            waste_at_optimum(DOUBLE_NBL, params, 0.0).total))
+        tuned = optimal_phi(DOUBLE_NBL, params)
+        rows.append((m, w_blk, w_phi0, tuned.phi, tuned.waste))
+    risk_params = scenarios.BASE.parameters(M=60.0)
+    p_blk = success_probability(DOUBLE_BLOCKING, risk_params, 0.0, 10 * DAY)
+    p_nbl = success_probability(DOUBLE_NBL, risk_params, 0.0, 10 * DAY)
+    return rows, (p_blk, p_nbl)
+
+
+def test_blocking_vs_nbl(benchmark, record):
+    rows, (p_blk, p_nbl) = benchmark(_sweep)
+    for m, w_blk, w_phi0, phi_star, w_tuned in rows:
+        # Tuned semi-blocking never loses to the blocking algorithm: at
+        # phi = R they coincide (same c = δ+R, same A = D+2R).
+        assert w_tuned <= w_blk + 1e-9, (m, w_blk, w_tuned)
+    # At low MTBF the tuner pins phi at R (mimic blocking)...
+    assert rows[0][3] == pytest.approx(4.0, abs=0.05)
+    # ...at high MTBF it hides the transfer and wins substantially.
+    assert rows[-1][3] < 0.5
+    gain_7h = (rows[3][1] - rows[3][4]) / rows[3][1]
+    assert 0.10 < gain_7h < 0.60  # "small, but noticeable"
+    # The stretched window's risk price (the gap [2] did not discuss).
+    assert p_blk > p_nbl
+
+    lines = ["M[s]     blocking[1]  NBL(phi=0)  NBL tuned (phi*)    gain",
+             *(f"{m:8.0f} {w_blk:11.5f} {w_phi0:11.5f} "
+               f"{w_tuned:9.5f} ({phi:4.2f})   "
+               f"{(w_blk - w_tuned) / w_blk:+6.1%}"
+               for m, w_blk, w_phi0, phi, w_tuned in rows),
+             f"risk price at M=60s, T=10d, phi=0: P(success) blocking "
+             f"{p_blk:.4f} vs NBL {p_nbl:.4f}",
+             "paper: non-blocking benefit 'small, but noticeable'; its "
+             "risk increase 'not addressed in [2]' - both reproduced, "
+             "plus: the benefit requires tuning phi, not just phi -> 0"]
+    record("Blocking [Zheng et al.] vs semi-blocking [Ni et al.] (Base)",
+           lines)

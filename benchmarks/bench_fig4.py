@@ -1,0 +1,45 @@
+"""E1 — Figure 4: waste surfaces on the Base scenario.
+
+Shape checks (paper §VI-A): waste ≈ 1 for M ≲ 1 min, ≈ 0 at one day;
+TRIPLE gains the most from small φ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def test_fig4_surfaces(benchmark, record):
+    data = benchmark(fig4.generate, num_phi=41, num_m=49)
+    by_key = {p.protocol: p for p in data.panels}
+
+    for key, surf in by_key.items():
+        low_m = surf.waste[surf.m_grid <= 30.0]
+        high_m = surf.waste[surf.m_grid >= 0.9 * 86400.0]
+        # φ = 0 saturates outright (A = D+R+θmax > M); the φ = R corner
+        # keeps limping along (A = D+2R = 8 s) but wastes most of the
+        # machine — the paper's "no progress happens" regime.
+        assert low_m[:, 0].min() == 1.0, f"{key}: phi=0 must saturate"
+        assert low_m.min() > 0.6, f"{key}: waste should be crippling at tiny MTBF"
+        assert high_m.max() < 0.02, f"{key}: waste should vanish at 1 day"
+
+    # TRIPLE benefits more from φ → 0 than the doubles (strongest at the
+    # large-MTBF end where fault-free waste dominates, cf. Fig. 5's 0.25).
+    row = np.argmin(np.abs(by_key["triple"].m_grid - 25200.0))
+    tri = by_key["triple"].waste[row]
+    nbl = by_key["double-nbl"].waste[row]
+    assert tri[0] < 0.35 * nbl[0]  # φ = 0
+    assert tri[-1] > nbl[-1]       # φ = R
+
+    lines = []
+    for key, surf in by_key.items():
+        r = np.argmin(np.abs(surf.m_grid - 3600.0))
+        lines.append(
+            f"{key:14s} waste at M=1h: phi/R=0 -> {surf.waste[r, 0]:.4f}, "
+            f"phi/R=0.5 -> {surf.waste[r, 20]:.4f}, "
+            f"phi/R=1 -> {surf.waste[r, -1]:.4f}"
+        )
+    record("Figure 4 (Base waste surfaces; paper: TRIPLE best at low phi, "
+           "all saturate below ~1min MTBF)", lines)

@@ -1,0 +1,31 @@
+"""E2 — Figure 5: waste ratios vs φ/R, Base, M = 7 h.
+
+Paper's reading: BOF/NBL ≥ 1 shrinking to 1 at φ/R = 1; TRIPLE/NBL ≈ 0.25
+at φ/R = 0, crossing 1 near 0.5–0.6, worst ≈ 1.15 at φ/R = 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5
+
+
+def test_fig5_ratios(benchmark, record):
+    data = benchmark(fig5.generate, num_phi=101)
+    x = data.phi_over_r
+    bof = data.series["DoubleBoF/DoubleNBL"]
+    tri = data.series["Triple/DoubleNBL"]
+
+    assert np.all(bof >= 1.0 - 1e-12)
+    assert bof[-1] == 1.0
+    assert abs(tri[0] - 0.2526) < 0.01
+    assert abs(tri[-1] - 1.1515) < 0.01
+    crossing = x[np.argmax(tri >= 1.0)]
+    assert 0.45 <= crossing <= 0.70
+
+    idxs = [0, 10, 25, 50, 75, 100]
+    lines = ["phi/R   BoF/NBL   Triple/NBL   (paper: 0.25 @0, cross ~0.5-0.6, 1.15 @1)"]
+    lines += [f"{x[i]:5.2f}   {bof[i]:7.4f}   {tri[i]:10.4f}" for i in idxs]
+    lines.append(f"TRIPLE/NBL crossover at phi/R = {crossing:.3f}")
+    record("Figure 5 (Base, M=7h)", lines)

@@ -1,0 +1,41 @@
+"""E3 — Figure 6: success-probability ratios, Base, θ = (α+1)R.
+
+Paper's reading: ratios ≤ 1; NBL/BOF drops for M ≤ 60 s and runs over
+10 days; TRIPLE's advantage is orders of magnitude at the same corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig6
+
+DAY = 86400.0
+
+
+def test_fig6_risk_ratios(benchmark, record):
+    data = benchmark(fig6.generate, num_m=31, num_t=30)
+    nbl_over_bof, bof_over_tri, nbl_over_tri = data.panels
+
+    assert np.nanmax(nbl_over_bof.ratio) <= 1.0 + 1e-9
+    assert np.nanmax(bof_over_tri.ratio) <= 1.0 + 1e-9
+
+    # Corner (small M, long T): the paper's separation regime.
+    corner = nbl_over_bof.ratio[0, -1]
+    assert corner < 0.6
+    # Away from the corner everything is ≈ 1.
+    tame = nbl_over_bof.ratio[-1, 0]
+    assert tame > 0.99
+
+    m0 = nbl_over_bof.m_grid[0]
+    t_last = nbl_over_bof.t_grid[-1]
+    lines = [
+        f"grid: M in [{nbl_over_bof.m_grid[0]:.0f}, {nbl_over_bof.m_grid[-1]:.0f}]s, "
+        f"T in [{nbl_over_bof.t_grid[0]/DAY:.1f}, {t_last/DAY:.1f}] days",
+        f"NBL/BOF  at (M={m0:.0f}s, T=30d): {corner:.4f}  (paper: <1, visible drop)",
+        f"BOF/TRIPLE at same corner:        {bof_over_tri.ratio[0, -1]:.4f}",
+        f"NBL/TRIPLE at same corner:        {nbl_over_tri.ratio[0, -1]:.4f} "
+        "(paper body: orders-of-magnitude gain for TRIPLE)",
+    ]
+    assert nbl_over_tri.ratio[0, -1] < corner  # TRIPLE stronger than BOF effect
+    record("Figure 6 (Base risk ratios)", lines)

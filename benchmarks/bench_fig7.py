@@ -1,0 +1,39 @@
+"""E4 — Figure 7: waste surfaces on the Exa scenario.
+
+Paper's reading (§VI-B): same behaviour as Base, and "waste will be
+important when failures hit the system more than once a day".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig7
+
+
+def test_fig7_surfaces(benchmark, record):
+    data = benchmark(fig7.generate, num_phi=41, num_m=49)
+    by_key = {p.protocol: p for p in data.panels}
+
+    for key, surf in by_key.items():
+        assert surf.waste[surf.m_grid <= 61.0].min() > 0.9, key
+        assert surf.waste[surf.m_grid >= 0.9 * 86400.0].max() < 0.2, key
+
+    # "More than once a day" claim: at M = 2h the waste is substantial.
+    nbl = by_key["double-nbl"]
+    row_2h = np.argmin(np.abs(nbl.m_grid - 7200.0))
+    assert nbl.waste[row_2h].min() > 0.10
+
+    lines = []
+    for key, surf in by_key.items():
+        r = np.argmin(np.abs(surf.m_grid - 7200.0))
+        lines.append(
+            f"{key:14s} waste at M=2h: phi/R=0 -> {surf.waste[r, 0]:.4f}, "
+            f"phi/R=1 -> {surf.waste[r, -1]:.4f}"
+        )
+        r24 = np.argmin(np.abs(surf.m_grid - 86400.0))
+        lines.append(
+            f"{key:14s} waste at M=1d: phi/R=0 -> {surf.waste[r24, 0]:.4f}"
+        )
+    record("Figure 7 (Exa waste surfaces; paper: waste important when "
+           "failures > 1/day)", lines)

@@ -1,0 +1,35 @@
+"""E5 — Figure 8: waste ratios vs φ/R, Exa, M = 7 h.
+
+Paper's reading: TRIPLE's gain grows to ≈ 25% of DOUBLE-NBL's waste at
+φ/R = 1/10 while staying more reliable; BOF ≈ NBL throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig8
+
+
+def test_fig8_ratios(benchmark, record):
+    data = benchmark(fig8.generate, num_phi=101)
+    x = data.phi_over_r
+    bof = data.series["DoubleBoF/DoubleNBL"]
+    tri = data.series["Triple/DoubleNBL"]
+
+    assert np.all(bof >= 1.0 - 1e-12)
+    assert np.nanmax(bof) < 1.05  # "similar waste" on Exa
+
+    idx_10 = int(np.argmin(np.abs(x - 0.1)))
+    gain_at_tenth = 1.0 - tri[idx_10]
+    assert 0.15 <= gain_at_tenth <= 0.30  # paper: "up to 25%"
+
+    crossing = x[np.argmax(tri >= 1.0)] if np.any(tri >= 1.0) else np.nan
+    lines = [
+        "phi/R   BoF/NBL   Triple/NBL",
+        *(f"{x[i]:5.2f}   {bof[i]:7.4f}   {tri[i]:10.4f}"
+          for i in (0, 10, 25, 50, 75, 100)),
+        f"TRIPLE gain at phi/R=0.1: {100 * gain_at_tenth:.1f}% (paper: ~25%)",
+        f"TRIPLE/NBL crossover at phi/R = {crossing:.3f}",
+    ]
+    record("Figure 8 (Exa, M=7h)", lines)

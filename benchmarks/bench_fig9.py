@@ -1,0 +1,44 @@
+"""E6 — Figure 9: success-probability ratios, Exa, θ = (α+1)R.
+
+Paper's reading: BOF's reliability edge over NBL is larger than on Base
+for long runs; TRIPLE stays ≈ 1 even at the worst corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig9
+
+WEEK = 7 * 86400.0
+
+
+def test_fig9_risk_ratios(benchmark, record):
+    data = benchmark(fig9.generate, num_m=31, num_t=30)
+    nbl_over_bof, bof_over_tri, nbl_over_tri = data.panels
+
+    # Worst sampled corner: M = 3600/31 ≈ 116 s, T = 60 weeks.
+    corner_nbl_bof = nbl_over_bof.ratio[0, -1]
+    corner_bof_tri = bof_over_tri.ratio[0, -1]
+    assert corner_nbl_bof < 0.3   # exascale: NBL loses most of its runs
+    assert corner_bof_tri < 0.7   # even BOF visibly trails TRIPLE here
+    assert np.nanmax(nbl_over_bof.ratio) <= 1.0 + 1e-9
+
+    # TRIPLE's own success stays ~1 at the corner (risk window (α+1)R).
+    from repro import TRIPLE, scenarios, success_probability
+
+    params = scenarios.EXA.parameters(M=float(nbl_over_bof.m_grid[0]))
+    p_tri = success_probability(TRIPLE, params, 0.0,
+                                float(nbl_over_bof.t_grid[-1]))
+    assert p_tri > 0.98
+
+    lines = [
+        f"grid: M in [{nbl_over_bof.m_grid[0]:.0f}, "
+        f"{nbl_over_bof.m_grid[-1]:.0f}]s, T up to "
+        f"{nbl_over_bof.t_grid[-1]/WEEK:.0f} weeks",
+        f"NBL/BOF  at worst corner: {corner_nbl_bof:.2e} (paper: strong drop)",
+        f"BOF/TRIPLE at worst corner: {corner_bof_tri:.4f}",
+        f"NBL/TRIPLE at worst corner: {nbl_over_tri.ratio[0, -1]:.2e}",
+        f"TRIPLE success at worst corner: {p_tri:.5f} (paper: ~1)",
+    ]
+    record("Figure 9 (Exa risk ratios)", lines)

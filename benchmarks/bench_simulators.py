@@ -1,0 +1,59 @@
+"""Throughput benchmarks of the three simulator tiers.
+
+Not a paper artefact — these keep the simulators honest as code evolves
+(the HPC-guide discipline: measure before optimising) and document what a
+laptop-scale reproduction costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DOUBLE_NBL, TRIPLE, scenarios
+from repro.sim.des import DesConfig, run_des
+from repro.sim.renewal import RenewalConfig, run_renewal
+from repro.sim.riskmc import RiskMcConfig, run_risk_mc
+
+
+def test_des_throughput(benchmark, record):
+    params = scenarios.BASE.parameters(M=600.0, n=128)
+    cfg = DesConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                    work_target=4 * 3600.0, seed=9)
+    result = benchmark(run_des, cfg)
+    assert result.status in ("completed", "fatal")
+    record("DES throughput", [
+        f"n=128 nodes, 4h of work, M=600s: status={result.status}, "
+        f"failures={result.failures}, commits={result.commits}",
+    ])
+
+
+def test_renewal_throughput(benchmark, record):
+    params = scenarios.BASE.parameters(M=600.0)
+    cfg = RenewalConfig(protocol=TRIPLE, params=params, phi=1.0,
+                        n_periods=100_000, seed=9)
+    result = benchmark(run_renewal, cfg)
+    assert np.isfinite(result.waste)
+    record("Renewal MC throughput", [
+        f"100k periods, {result.n_failures} failures sampled, "
+        f"waste={result.waste:.4f}",
+    ])
+
+
+def test_riskmc_throughput(benchmark, record):
+    params = scenarios.EXA.parameters(M=120.0)
+    cfg = RiskMcConfig(protocol=TRIPLE, params=params, T=30 * 86400.0,
+                       phi=0.0, replicas=100_000, seed=9)
+    result = benchmark(run_risk_mc, cfg)
+    assert 0.0 <= result.success_probability <= 1.0
+    record("Risk MC throughput (1e6-node Exa platform via group sampling)", [
+        f"100k group replicas: P(success)={result.success_probability:.5f}",
+    ])
+
+
+def test_model_grid_throughput(benchmark, record):
+    """The full Figure 4 grid (3 protocols x 49 x 41) in one call."""
+    from repro.experiments import fig4
+
+    data = benchmark(fig4.generate, num_phi=41, num_m=49)
+    cells = sum(p.waste.size for p in data.panels)
+    record("Vectorised model grid", [f"{cells} (M, phi) cells evaluated"])

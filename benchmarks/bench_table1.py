@@ -1,0 +1,15 @@
+"""E0 — Table I: scenario parameter table."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, record):
+    data = benchmark(table1.generate)
+    rows = {row["Scenario"]: row for row in data.rows}
+    assert rows["base"]["R"] == 4.0 and rows["base"]["n"] == 10368
+    assert rows["exa"]["delta"] == 30.0 and rows["exa"]["n"] == 10**6
+    record("Table I (paper: Base D=0 δ=2 R=4 α=10 n=324x32; "
+           "Exa D=60 δ=30 R=60 α=10 n=1e6)",
+           data.render().splitlines())

@@ -1,0 +1,41 @@
+"""E7 — model-vs-simulation validation sweep (renewal + risk MC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro.experiments.validation import validate_protocol
+
+
+def _run_all():
+    params = scenarios.BASE.parameters(M=600.0)
+    risk_params = scenarios.BASE.parameters(M=60.0)
+    checks = []
+    for spec in (DOUBLE_NBL, DOUBLE_BOF, TRIPLE):
+        checks += validate_protocol(
+            spec, params, phi=1.0,
+            renewal_replicas=6, renewal_periods=30_000, seed=505,
+        )
+        checks += [
+            c for c in validate_protocol(
+                spec, risk_params, phi=0.0,
+                renewal_replicas=2, renewal_periods=4_000,
+                risk_T=5 * 86400.0, risk_replicas=150_000, seed=506,
+            )
+            if "success" in c.name
+        ]
+    return checks
+
+
+def test_validation_suite(benchmark, record):
+    checks = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    assert all(c.passed for c in checks), [c for c in checks if not c.passed]
+    lines = [
+        f"{c.protocol:12s} {c.name:32s} model={c.model_value:10.4g} "
+        f"est={c.estimate:10.4g} ci=({c.ci_low:.4g}, {c.ci_high:.4g}) "
+        f"{'PASS' if c.passed else 'FAIL'}"
+        for c in checks
+    ]
+    record("Model-vs-simulation validation (Eqs. 7/8/14 via renewal MC, "
+           "Eqs. 11/16 via risk MC)", lines)

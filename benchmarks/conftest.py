@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artefact (table/figure) or an
+ablation, asserts its qualitative shape against the paper's claims, and
+prints the headline numbers so the benchmark log doubles as the
+reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a compact artefact summary into the benchmark log."""
+    print(f"\n### {title}")
+    for line in lines:
+        print(f"    {line}")
+
+
+@pytest.fixture
+def record(capsys):
+    """Run the emitter outside capture so summaries reach the console."""
+
+    def _record(title: str, lines: list[str]) -> None:
+        with capsys.disabled():
+            emit(title, lines)
+
+    return _record

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""From fork()/copy-on-write physics to the overhead parameter φ.
+
+§IV argues TRIPLE can run at "almost no failure-free overhead" because
+checkpoints are created with fork(): the child shares pages copy-on-write
+and uploads them while the parent keeps computing; only pages dirtied
+before upload are physically copied.  §VI-A cautions that φ therefore
+never quite reaches 0.
+
+This study instantiates that argument: a 512 MB checkpoint image, a range
+of application dirty rates, both upload orderings (§IV suggests sending
+most-likely-dirtied pages first), and the resulting effective φ/R — which
+then feeds straight back into the waste model to show where on Figure 5's
+x-axis a real application actually sits.
+
+Run:  python examples/cow_overhead_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import DOUBLE_NBL, TRIPLE
+from repro.core.cow import CowModel
+from repro.core.waste import waste_at_optimum
+
+MB = 10**6
+PAGE = 4096
+IMAGE = 512 * MB
+PAGES = IMAGE // PAGE
+
+
+def effective_phi_table() -> list[tuple[str, float, float]]:
+    params = repro.scenarios.BASE.parameters(M="7h")
+    theta = params.theta_max  # fully stretched window, 44 s
+    print(f"image: {IMAGE // MB} MB ({PAGES} pages), upload window theta = "
+          f"{theta:g}s, R = {params.R:g}s\n")
+    print(f"{'dirty rate':>12s} {'ordering':>10s} {'dup pages':>10s} "
+          f"{'phi/R':>8s}")
+    rows = []
+    # 500 pages/s ≈ 2 MB/s of dirtied memory (read-mostly solver);
+    # 32k pages/s ≈ 130 MB/s (write-heavy) — beyond ~60k pages/s every
+    # page gets touched within the window and duplication saturates at
+    # one copy per page regardless of ordering.
+    for pages_per_s in (500, 2_000, 8_000, 32_000):
+        for ordering in ("uniform", "hot-first"):
+            model = CowModel(pages=PAGES, page_bytes=PAGE,
+                             dirty_rate=pages_per_s, copy_time=2e-6,
+                             interference=0.002, ordering=ordering)
+            outcome = model.evaluate(theta)
+            ratio = model.phi_over_r(theta, params.R)
+            print(f"{pages_per_s:>10d}/s {ordering:>10s} "
+                  f"{outcome.duplicated_pages:10.0f} {ratio:8.4f}")
+            rows.append((ordering, pages_per_s, ratio))
+    return rows
+
+
+def waste_at_realistic_phi(rows) -> None:
+    params = repro.scenarios.BASE.parameters(M="7h")
+    print("\nwaste at the derived operating points (Base, M=7h):")
+    print(f"{'dirty rate':>12s} {'ordering':>10s} {'phi/R':>7s} "
+          f"{'TRIPLE':>9s} {'NBL':>9s} {'ratio':>7s}")
+    for ordering, rate, ratio in rows:
+        phi = ratio * params.R
+        w_tri = float(np.asarray(waste_at_optimum(TRIPLE, params, phi).total))
+        w_nbl = float(np.asarray(
+            waste_at_optimum(DOUBLE_NBL, params, phi).total))
+        print(f"{rate:>10d}/s {ordering:>10s} {ratio:7.3f} "
+              f"{w_tri:9.5f} {w_nbl:9.5f} {w_tri / w_nbl:7.3f}")
+    print("\n=> even a write-heavy application lands at phi/R << 0.5, the "
+          "regime where TRIPLE's waste is a fraction of DOUBLE-NBL's "
+          "(Fig. 5); at moderate dirty rates the hot-first upload ordering "
+          "of §IV roughly halves the duplicated pages, and duplication "
+          "saturates at one copy per page for streaming writers.")
+
+
+def main() -> None:
+    rows = effective_phi_table()
+    waste_at_realistic_phi(rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so legacy ``python setup.py develop`` works in offline environments
+where the ``wheel`` package (needed by PEP 660 editable installs) is absent.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — in-memory buddy checkpointing: models, protocols, simulation.
+
+A production-quality reproduction of
+
+    Jack Dongarra, Thomas Hérault, Yves Robert,
+    "Revisiting the double checkpointing algorithm", APDCM 2013.
+
+The library has three layers:
+
+``repro.core``
+    The paper's unified analytical model: the overlap model ``θ(φ)``,
+    waste/period/risk formulas for DOUBLE-BLOCKING, DOUBLE-NBL,
+    DOUBLE-BOF, TRIPLE and TRIPLE-BOF, plus Young/Daly comparators and the
+    fork/copy-on-write overhead model.
+``repro.sim``
+    A discrete-event simulator of a buddy-checkpointed platform (nodes,
+    failure injection, buddy transfers, protocol state machines) together
+    with fast vectorised Monte Carlo estimators used to validate the model.
+``repro.experiments``
+    Scenario definitions (Table I) and generators that regenerate every
+    table and figure of the paper's evaluation (§VI).
+
+Quickstart
+----------
+>>> import repro
+>>> base = repro.scenarios.BASE.parameters(M="7h")
+>>> repro.optimal_period(repro.TRIPLE, base, phi=0.4)      # doctest: +SKIP
+634.7...
+>>> repro.waste_at_optimum(repro.DOUBLE_NBL, base, phi=0.4).total  # doctest: +SKIP
+0.0147...
+"""
+
+from ._version import __version__
+from . import errors, io, units
+from .core import (
+    DOUBLE_BLOCKING,
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    TRIPLE_BOF,
+    PROTOCOLS,
+    OverlapModel,
+    Parameters,
+    ProtocolSpec,
+    get_protocol,
+    optimal_period,
+    feasible,
+    risk_window,
+    success_probability,
+    success_probability_base,
+    fatal_failure_probability,
+    waste,
+    waste_at_optimum,
+    waste_breakdown,
+)
+from .core.waste import execution_time
+from . import experiments
+from .experiments import scenarios
+
+__all__ = [
+    "__version__",
+    "errors",
+    "io",
+    "units",
+    "scenarios",
+    "experiments",
+    "OverlapModel",
+    "Parameters",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "DOUBLE_BLOCKING",
+    "DOUBLE_NBL",
+    "DOUBLE_BOF",
+    "TRIPLE",
+    "TRIPLE_BOF",
+    "get_protocol",
+    "waste",
+    "waste_at_optimum",
+    "waste_breakdown",
+    "execution_time",
+    "optimal_period",
+    "feasible",
+    "risk_window",
+    "success_probability",
+    "success_probability_base",
+    "fatal_failure_probability",
+]

@@ -1,0 +1,56 @@
+"""Analysis layer: sweeps, ratios, numeric optimisation and sensitivity.
+
+Thin, vectorised conveniences on top of :mod:`repro.core` that turn the
+model into the grids/series the paper's figures plot:
+
+``sweep``
+    Waste/period/risk surfaces over (φ, M) or (M, T) grids.
+``ratios``
+    Protocol-vs-protocol ratio surfaces (Figs. 5/6/8/9).
+``optimize``
+    Independent numerical optimisation of the period via scipy —
+    cross-checks the closed forms.
+``sensitivity``
+    Local sensitivities/elasticities of the waste to each parameter.
+``crossover``
+    Root-finding for protocol crossover points (e.g. the φ/R where TRIPLE
+    stops beating DOUBLE-NBL).
+"""
+
+from .sweep import waste_surface, waste_cut, risk_surface, WasteSurface, RiskSurface
+from .ratios import ratio_surface, waste_ratio_cut
+from .optimize import numeric_optimal_period, verify_closed_form
+from .sensitivity import waste_sensitivities, elasticity
+from .crossover import find_phi_crossover, find_mtbf_frontier
+from .pareto import (
+    OperatingPoint,
+    candidate_points,
+    pareto_front,
+    cheapest_safe,
+    safest_within,
+)
+from .tuning import PhiChoice, optimal_phi, optimal_phi_constrained
+
+__all__ = [
+    "OperatingPoint",
+    "candidate_points",
+    "pareto_front",
+    "cheapest_safe",
+    "safest_within",
+    "PhiChoice",
+    "optimal_phi",
+    "optimal_phi_constrained",
+    "waste_surface",
+    "waste_cut",
+    "risk_surface",
+    "WasteSurface",
+    "RiskSurface",
+    "ratio_surface",
+    "waste_ratio_cut",
+    "numeric_optimal_period",
+    "verify_closed_form",
+    "waste_sensitivities",
+    "elasticity",
+    "find_phi_crossover",
+    "find_mtbf_frontier",
+]

@@ -1,0 +1,87 @@
+"""Crossover finding: where one protocol stops beating another.
+
+Two crossovers the paper reads off its figures, computed here by root
+finding instead of eyeball:
+
+* :func:`find_phi_crossover` — the ``φ/R`` at which two protocols' optimal
+  wastes are equal at fixed MTBF (Fig. 5: TRIPLE/DOUBLE-NBL crosses 1
+  between φ/R ≈ 0.5 and 0.6 on Base).
+* :func:`find_mtbf_frontier` — for each ``φ``, the smallest MTBF at which
+  a protocol's waste stays below a target (the "waste will be important
+  when failures hit more than once a day" statement of §VI-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize as spo
+
+from ..core.parameters import Parameters
+from ..core.protocols import ProtocolSpec, get_protocol
+from ..core.waste import waste_at_optimum
+from ..errors import ParameterError
+
+__all__ = ["find_phi_crossover", "find_mtbf_frontier"]
+
+
+def find_phi_crossover(
+    spec_a: ProtocolSpec | str,
+    spec_b: ProtocolSpec | str,
+    params: Parameters,
+    *,
+    lo: float = 1e-6,
+    hi: float | None = None,
+) -> float | None:
+    """``φ`` where ``waste_a(φ) = waste_b(φ)`` at optimal periods.
+
+    Searches ``[lo, hi]`` (defaults to ``(0, R]``); returns ``None`` when
+    the difference does not change sign on the bracket (one protocol
+    dominates throughout).
+    """
+    spec_a = get_protocol(spec_a)
+    spec_b = get_protocol(spec_b)
+    hi = params.R if hi is None else hi
+    if not 0 <= lo < hi <= params.R:
+        raise ParameterError("need 0 <= lo < hi <= R")
+
+    def diff(phi: float) -> float:
+        wa = float(waste_at_optimum(spec_a, params, phi).total)
+        wb = float(waste_at_optimum(spec_b, params, phi).total)
+        return wa - wb
+
+    f_lo, f_hi = diff(lo), diff(hi)
+    if not np.isfinite(f_lo) or not np.isfinite(f_hi) or f_lo * f_hi > 0:
+        return None
+    root = spo.brentq(diff, lo, hi, xtol=1e-10 * params.R)
+    return float(root)
+
+
+def find_mtbf_frontier(
+    spec: ProtocolSpec | str,
+    params: Parameters,
+    phi: float,
+    *,
+    waste_target: float = 0.5,
+    m_lo: float = 1.0,
+    m_hi: float = 30 * 86400.0,
+) -> float:
+    """Smallest MTBF at which the optimal waste drops to ``waste_target``.
+
+    The waste-at-optimum is decreasing in ``M``, so this is a bisection on
+    a monotone function.  Returns ``inf`` if even ``m_hi`` cannot reach the
+    target, and ``m_lo`` if the target is already met there.
+    """
+    spec = get_protocol(spec)
+    if not 0 < waste_target < 1:
+        raise ParameterError("waste_target must lie in (0, 1)")
+    if not 0 < m_lo < m_hi:
+        raise ParameterError("need 0 < m_lo < m_hi")
+
+    def value(M: float) -> float:
+        return float(waste_at_optimum(spec, params, phi, M=M).total) - waste_target
+
+    if value(m_hi) > 0:
+        return float("inf")
+    if value(m_lo) <= 0:
+        return float(m_lo)
+    return float(spo.brentq(value, m_lo, m_hi, xtol=1e-6, rtol=1e-12))

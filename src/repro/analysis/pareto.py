@@ -1,0 +1,141 @@
+"""Bi-criteria (waste, risk) protocol selection — the paper's punchline
+as an operator-facing decision procedure.
+
+The paper argues protocols must be judged on performance *and* risk
+(§I, §VII: "a two-criteria assessment").  This module operationalises
+that: sweep every protocol over the overhead grid, collect
+``(waste-at-optimum, fatal-failure-probability)`` points, extract the
+Pareto-efficient set, and pick operating points under either constraint:
+
+* :func:`pareto_front` — the efficient (waste, fatal) points.
+* :func:`cheapest_safe` — least waste subject to a success-probability
+  floor.
+* :func:`safest_within` — highest success subject to a waste ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.parameters import Parameters
+from ..core.protocols import (
+    DOUBLE_BLOCKING,
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    TRIPLE_BOF,
+    ProtocolSpec,
+)
+from ..core.risk import fatal_failure_probability
+from ..core.waste import waste_at_optimum
+from ..errors import ParameterError
+
+__all__ = ["OperatingPoint", "candidate_points", "pareto_front",
+           "cheapest_safe", "safest_within"]
+
+DEFAULT_PROTOCOLS = (DOUBLE_BLOCKING, DOUBLE_NBL, DOUBLE_BOF, TRIPLE, TRIPLE_BOF)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (protocol, φ) configuration with both criteria evaluated."""
+
+    protocol: str
+    phi: float
+    period: float
+    waste: float
+    fatal_probability: float
+
+    @property
+    def success_probability(self) -> float:
+        return 1.0 - self.fatal_probability
+
+    def dominates(self, other: "OperatingPoint") -> bool:
+        """Weakly better on both criteria, strictly on one."""
+        no_worse = (
+            self.waste <= other.waste + 1e-15
+            and self.fatal_probability <= other.fatal_probability + 1e-15
+        )
+        better = (
+            self.waste < other.waste - 1e-15
+            or self.fatal_probability < other.fatal_probability - 1e-15
+        )
+        return no_worse and better
+
+
+def candidate_points(
+    params: Parameters,
+    T: float,
+    *,
+    protocols: tuple[ProtocolSpec, ...] = DEFAULT_PROTOCOLS,
+    num_phi: int = 33,
+) -> list[OperatingPoint]:
+    """Evaluate every (protocol, φ) candidate on both criteria.
+
+    Infeasible candidates (waste 1) are dropped — they are dominated by
+    construction wherever any feasible point exists.
+    """
+    if T <= 0:
+        raise ParameterError("T must be > 0")
+    if num_phi < 2:
+        raise ParameterError("need at least 2 phi points")
+    phis = np.linspace(0.0, params.R, num_phi)
+    points: list[OperatingPoint] = []
+    for spec in protocols:
+        bd = waste_at_optimum(spec, params, phis)
+        fatal = np.asarray(
+            fatal_failure_probability(spec, params, phis, T), dtype=float
+        )
+        for i, phi in enumerate(phis):
+            w = float(np.asarray(bd.total)[i])
+            p = float(np.asarray(bd.period)[i])
+            if w >= 1.0 or not np.isfinite(p):
+                continue
+            points.append(OperatingPoint(
+                protocol=spec.key, phi=float(phi), period=p,
+                waste=w, fatal_probability=float(fatal[i]),
+            ))
+    return points
+
+
+def pareto_front(points: list[OperatingPoint]) -> list[OperatingPoint]:
+    """Non-dominated subset, sorted by waste (ties broken by risk).
+
+    Criterion-identical duplicates (e.g. DOUBLE-BLOCKING, whose pinned
+    ``φ`` makes every candidate coincide) are collapsed to their first
+    representative.
+    """
+    front = [
+        p for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    seen: set[tuple[float, float]] = set()
+    unique: list[OperatingPoint] = []
+    for p in sorted(front, key=lambda p: (p.waste, p.fatal_probability)):
+        key = (round(p.waste, 15), round(p.fatal_probability, 15))
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def cheapest_safe(
+    points: list[OperatingPoint], *, min_success: float
+) -> OperatingPoint | None:
+    """Least-waste point with success probability ≥ ``min_success``."""
+    if not 0 < min_success <= 1:
+        raise ParameterError("min_success must lie in (0, 1]")
+    eligible = [p for p in points if p.success_probability >= min_success]
+    return min(eligible, key=lambda p: p.waste, default=None)
+
+
+def safest_within(
+    points: list[OperatingPoint], *, max_waste: float
+) -> OperatingPoint | None:
+    """Highest-success point with waste ≤ ``max_waste``."""
+    if not 0 < max_waste <= 1:
+        raise ParameterError("max_waste must lie in (0, 1]")
+    eligible = [p for p in points if p.waste <= max_waste]
+    return min(eligible, key=lambda p: p.fatal_probability, default=None)

@@ -1,0 +1,97 @@
+"""Protocol-vs-protocol ratio series and surfaces (Figs. 5, 6, 8, 9).
+
+The paper's comparative figures all plot *ratios*: waste ratios against
+DOUBLE-NBL at fixed MTBF (Figs. 5/8) and success-probability ratios over
+(M, T) grids (Figs. 6/9).  Ratios where the denominator saturates (waste 1
+/ success 0) are returned as ``nan`` rather than garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.protocols import ProtocolSpec, get_protocol
+from ..experiments.scenarios import Scenario, get_scenario
+from .sweep import risk_surface, waste_cut
+
+__all__ = ["RatioSurface", "waste_ratio_cut", "ratio_surface"]
+
+
+@dataclass(frozen=True)
+class RatioSurface:
+    """Ratio of two risk surfaces over the same (M, T) grid."""
+
+    numerator: str
+    denominator: str
+    scenario: str
+    m_grid: np.ndarray
+    t_grid: np.ndarray
+    ratio: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+
+def _safe_ratio(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(den > 0, num / den, np.nan)
+    return out
+
+
+def waste_ratio_cut(
+    numerator: ProtocolSpec | str,
+    denominator: ProtocolSpec | str,
+    scenario: Scenario | str,
+    *,
+    M: float | str | None = None,
+    num_phi: int = 101,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waste ratio vs ``φ/R`` at fixed MTBF (Fig. 5/8 series).
+
+    Returns ``(phi_over_r, ratio)``; the denominator protocol's waste must
+    stay below 1 for the ratio to be finite.
+    """
+    scenario = get_scenario(scenario)
+    x_num, w_num = waste_cut(numerator, scenario, M=M, num_phi=num_phi)
+    x_den, w_den = waste_cut(denominator, scenario, M=M, num_phi=num_phi)
+    assert np.allclose(x_num, x_den)
+    mask_saturated = (w_num >= 1.0) | (w_den >= 1.0)
+    ratio = _safe_ratio(w_num, w_den)
+    return x_num, np.where(mask_saturated, np.nan, ratio)
+
+
+def ratio_surface(
+    numerator: ProtocolSpec | str,
+    denominator: ProtocolSpec | str,
+    scenario: Scenario | str,
+    *,
+    theta_policy: str = "max",
+    num_m: int = 31,
+    num_t: int = 30,
+    method: str = "paper",
+) -> RatioSurface:
+    """Success-probability ratio over the (M, T) grid (Fig. 6/9 surfaces).
+
+    A value below 1 means the *numerator* protocol is more likely to fail;
+    the paper plots e.g. NBL/BOF (Fig. 6a) and BOF/TRIPLE (Fig. 6b).
+    """
+    num_spec = get_protocol(numerator)
+    den_spec = get_protocol(denominator)
+    scenario = get_scenario(scenario)
+    s_num = risk_surface(
+        num_spec, scenario, theta_policy=theta_policy,
+        num_m=num_m, num_t=num_t, method=method,
+    )
+    s_den = risk_surface(
+        den_spec, scenario, theta_policy=theta_policy,
+        num_m=num_m, num_t=num_t, method=method,
+    )
+    return RatioSurface(
+        numerator=num_spec.key,
+        denominator=den_spec.key,
+        scenario=scenario.key,
+        m_grid=s_num.m_grid,
+        t_grid=s_num.t_grid,
+        ratio=_safe_ratio(s_num.success, s_den.success),
+        meta={"theta_policy": theta_policy, "method": method},
+    )

@@ -1,0 +1,143 @@
+"""Parameter sweeps producing the paper's figure grids.
+
+All sweeps are single vectorised evaluations (no Python loops over grid
+points): the core model broadcasts over ``phi`` (columns) × ``M`` (rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.protocols import ProtocolSpec, get_protocol
+from ..core.risk import success_probability
+from ..core.waste import waste_at_optimum
+from ..errors import ParameterError
+from ..experiments.scenarios import Scenario, get_scenario
+
+__all__ = ["WasteSurface", "RiskSurface", "waste_surface", "waste_cut", "risk_surface"]
+
+
+@dataclass(frozen=True)
+class WasteSurface:
+    """Waste at the optimal period over a (M, φ) grid (Figs. 4/7 data)."""
+
+    protocol: str
+    scenario: str
+    m_grid: np.ndarray  #: shape (nm,), seconds
+    phi_grid: np.ndarray  #: shape (np,), work units in [0, R]
+    waste: np.ndarray  #: shape (nm, np)
+    period: np.ndarray  #: optimal period per cell (nan = infeasible)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def phi_over_r(self) -> np.ndarray:
+        r = self.meta.get("R")
+        return self.phi_grid / r if r else self.phi_grid
+
+
+@dataclass(frozen=True)
+class RiskSurface:
+    """Success probability over a (M, T) grid (Figs. 6/9 data)."""
+
+    protocol: str
+    scenario: str
+    m_grid: np.ndarray  #: shape (nm,), seconds
+    t_grid: np.ndarray  #: shape (nt,), seconds of platform life
+    success: np.ndarray  #: shape (nm, nt)
+    risk_window: np.ndarray  #: scalar risk length per M row (same phi)
+    meta: dict = field(default_factory=dict)
+
+
+def waste_surface(
+    spec: ProtocolSpec | str,
+    scenario: Scenario | str,
+    *,
+    num_phi: int = 41,
+    num_m: int = 49,
+) -> WasteSurface:
+    """Waste-at-optimum over the scenario's (M, φ) grid.
+
+    Rows sweep the MTBF (log-spaced, 15 s → 1 day), columns sweep
+    ``φ ∈ [0, R]`` — exactly the axes of Figures 4 and 7.
+    """
+    spec = get_protocol(spec)
+    scenario = get_scenario(scenario)
+    phis = scenario.phi_grid(num_phi)
+    ms = scenario.m_grid(num_m)
+    params = scenario.parameters(M=ms[0])  # M overridden per-row below
+    bd = waste_at_optimum(spec, params, phis[None, :], M=ms[:, None])
+    return WasteSurface(
+        protocol=spec.key,
+        scenario=scenario.key,
+        m_grid=ms,
+        phi_grid=phis,
+        waste=np.asarray(bd.total),
+        period=np.asarray(bd.period),
+        meta={"R": scenario.R, "alpha": scenario.alpha},
+    )
+
+
+def waste_cut(
+    spec: ProtocolSpec | str,
+    scenario: Scenario | str,
+    *,
+    M: float | str | None = None,
+    num_phi: int = 101,
+) -> tuple[np.ndarray, np.ndarray]:
+    """1-D waste curve vs φ at fixed MTBF (Figs. 5/8 ingredients).
+
+    Returns ``(phi_over_r, waste)``.  ``M`` defaults to the scenario's
+    ratio-cut MTBF (7 h in the paper).
+    """
+    spec = get_protocol(spec)
+    scenario = get_scenario(scenario)
+    params = scenario.parameters(M=scenario.m_ratio_cut if M is None else M)
+    phis = scenario.phi_grid(num_phi)
+    w = waste_at_optimum(spec, params, phis).total
+    return phis / scenario.R, np.asarray(w)
+
+
+def risk_surface(
+    spec: ProtocolSpec | str,
+    scenario: Scenario | str,
+    *,
+    theta_policy: str = "max",
+    num_m: int = 31,
+    num_t: int = 30,
+    method: str = "paper",
+) -> RiskSurface:
+    """Success probability over the scenario's (M, T) grid (Figs. 6/9).
+
+    ``theta_policy="max"`` reproduces the paper's worst-case choice
+    ``θ = (α+1)R`` (fully stretched window, i.e. ``φ = 0`` — the largest
+    possible risk period); ``"min"`` evaluates ``θ = R`` (``φ = R``).
+    """
+    spec = get_protocol(spec)
+    scenario = get_scenario(scenario)
+    if theta_policy == "max":
+        phi = 0.0
+    elif theta_policy == "min":
+        phi = scenario.R
+    else:
+        raise ParameterError("theta_policy must be 'max' or 'min'")
+    m_grid, t_grid = scenario.risk_grids(num_m, num_t)
+    success = np.empty((m_grid.size, t_grid.size))
+    risk_windows = np.empty(m_grid.size)
+    for i, m in enumerate(m_grid):  # M enters via params.lam -> per-row eval
+        params = scenario.parameters(M=float(m))
+        success[i, :] = np.asarray(
+            success_probability(spec, params, phi, t_grid, method=method)
+        )
+        risk_windows[i] = float(np.asarray(spec.risk_window(params, phi)))
+    return RiskSurface(
+        protocol=spec.key,
+        scenario=scenario.key,
+        m_grid=m_grid,
+        t_grid=t_grid,
+        success=success,
+        risk_window=risk_windows,
+        meta={"phi": phi, "theta_policy": theta_policy, "method": method,
+              "n": scenario.n},
+    )

@@ -1,0 +1,137 @@
+"""Joint (φ, P) tuning: how much overhead should a runtime aim for?
+
+The paper treats the overhead ``φ`` as an exogenous property of the
+application ("we plan to … propose refined values", §VIII), and all its
+figures sweep it.  But through the overlap model, ``φ`` is partly a
+*choice*: a runtime can send the buddy image faster (small ``θ``, large
+``φ``) or slower (large ``θ``, small ``φ``).  The trade-off in the waste
+model:
+
+* smaller ``φ`` shrinks the fault-free cost ``c`` (``δ+φ`` or ``2φ``) —
+  good;
+* but stretches ``θ = θmin + α(θmin−φ)``, which grows the per-failure
+  constant ``A = D + R + θ`` *and* the risk window — bad when failures
+  are frequent.
+
+So there is an interior optimum ``φ*`` whenever ``M`` is small enough
+that the failure term competes with the fault-free term.
+:func:`optimal_phi` finds it; :func:`optimal_phi_constrained` adds the
+bi-criteria twist: the least-waste ``φ`` whose success probability over a
+mission time still meets a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize as spo
+
+from ..core.parameters import Parameters
+from ..core.protocols import ProtocolSpec, get_protocol
+from ..core.risk import success_probability
+from ..core.waste import waste_at_optimum
+from ..errors import InfeasibleModelError, ParameterError
+
+__all__ = ["PhiChoice", "optimal_phi", "optimal_phi_constrained"]
+
+
+@dataclass(frozen=True)
+class PhiChoice:
+    """A tuned overhead with its consequences."""
+
+    protocol: str
+    phi: float
+    theta: float
+    period: float
+    waste: float
+    risk_window: float
+    #: Success probability over the mission time (nan if no T given).
+    success: float = float("nan")
+
+
+def _waste_of(spec: ProtocolSpec, params: Parameters, phi: float) -> float:
+    return float(np.asarray(waste_at_optimum(spec, params, phi).total))
+
+
+def optimal_phi(
+    spec: ProtocolSpec | str, params: Parameters, *, xatol: float = 1e-6
+) -> PhiChoice:
+    """Waste-minimising overhead ``φ* ∈ [0, R]`` (period re-optimised).
+
+    Uses bounded scalar minimisation; the waste is piecewise-smooth and
+    unimodal in ``φ`` on the feasible range (the ``c``/``A`` trade-off),
+    with possible boundary optima at 0 (large ``M``) or ``R`` (tiny
+    ``M``, where a short window keeps ``A`` below ``M``).
+    """
+    spec = get_protocol(spec)
+
+    def objective(phi: float) -> float:
+        return _waste_of(spec, params, float(np.clip(phi, 0.0, params.R)))
+
+    result = spo.minimize_scalar(
+        objective, bounds=(0.0, params.R), method="bounded",
+        options={"xatol": xatol * params.R},
+    )
+    # Compare against the boundaries explicitly: minimize_scalar can sit
+    # in a flat saturated region when most of [0, R] is infeasible.
+    candidates = [float(result.x), 0.0, params.R]
+    phi_star = min(candidates, key=objective)
+    w = objective(phi_star)
+    if w >= 1.0:
+        raise InfeasibleModelError(
+            f"{spec.key}: waste saturates for every phi at M={params.M:g}s"
+        )
+    from ..core.period import optimal_period
+
+    return PhiChoice(
+        protocol=spec.key,
+        phi=phi_star,
+        theta=float(np.asarray(spec.theta(params, phi_star))),
+        period=float(optimal_period(spec, params, phi_star)),
+        waste=w,
+        risk_window=float(np.asarray(spec.risk_window(params, phi_star))),
+    )
+
+
+def optimal_phi_constrained(
+    spec: ProtocolSpec | str,
+    params: Parameters,
+    T: float,
+    *,
+    min_success: float = 0.999,
+    num_grid: int = 257,
+) -> PhiChoice | None:
+    """Least-waste ``φ`` subject to ``P(success over T) ≥ min_success``.
+
+    Larger ``φ`` always shortens the risk window (θ shrinks), so the
+    feasible set is an upper interval of ``[0, R]``; we evaluate on a
+    dense grid (both criteria are cheap) and return ``None`` when even
+    ``φ = R`` misses the floor — then only a protocol change helps.
+    """
+    spec = get_protocol(spec)
+    if T <= 0:
+        raise ParameterError("T must be > 0")
+    if not 0 < min_success < 1:
+        raise ParameterError("min_success must lie in (0, 1)")
+    if num_grid < 2:
+        raise ParameterError("num_grid must be >= 2")
+    phis = np.linspace(0.0, params.R, num_grid)
+    wastes = np.asarray(waste_at_optimum(spec, params, phis).total)
+    success = np.asarray(success_probability(spec, params, phis, T))
+    ok = (success >= min_success) & (wastes < 1.0)
+    if not ok.any():
+        return None
+    idx = int(np.flatnonzero(ok)[np.argmin(wastes[ok])])
+    from ..core.period import optimal_period
+
+    phi_star = float(phis[idx])
+    return PhiChoice(
+        protocol=spec.key,
+        phi=phi_star,
+        theta=float(np.asarray(spec.theta(params, phi_star))),
+        period=float(optimal_period(spec, params, phi_star)),
+        waste=float(wastes[idx]),
+        risk_window=float(np.asarray(spec.risk_window(params, phi_star))),
+        success=float(success[idx]),
+    )

@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-checkpoint``.
+
+Commands
+--------
+``list``
+    Show the registered paper artefacts.
+``table1`` / ``fig4`` … ``fig9``
+    Regenerate an artefact; prints the ASCII rendering and (with
+    ``--csv DIR``) writes the CSV grid(s).
+``validate``
+    Run the model-vs-simulation validation suite.
+``optimum``
+    Print optimal period / waste / risk for one configuration
+    (``--protocol --scenario --M --phi``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.period import optimal_period
+from .core.protocols import PROTOCOLS, get_protocol
+from .core.risk import risk_window, success_probability
+from .core.waste import waste_at_optimum
+from .experiments import scenarios
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.validation import validate_all
+from .units import format_time, parse_time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-checkpoint",
+        description=("Reproduction toolkit for 'Revisiting the double "
+                     "checkpointing algorithm' (Dongarra, Herault, Robert, "
+                     "APDCM 2013)"),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    for key, exp in EXPERIMENTS.items():
+        p = sub.add_parser(key, help=f"regenerate {exp.paper_ref}: {exp.title}")
+        p.add_argument("--csv", type=pathlib.Path, default=None,
+                       help="directory to write CSV grid(s) into")
+
+    v = sub.add_parser("validate", help="model-vs-simulation validation")
+    v.add_argument("--scenario", choices=sorted(scenarios.SCENARIOS), default="base")
+    v.add_argument("--M", default="10min", help="platform MTBF (e.g. 600 or '10min')")
+    v.add_argument("--phi", type=float, default=1.0, help="overhead phi [s]")
+    v.add_argument("--risk-T", default="10d",
+                   help="horizon for the risk check (e.g. '10d')")
+    v.add_argument("--risk-M", default="1min",
+                   help="MTBF for the risk check")
+    v.add_argument("--des", type=int, default=0,
+                   help="number of DES replicas (0 = skip, slow)")
+    v.add_argument("--seed", type=int, default=20130520)
+
+    o = sub.add_parser("optimum", help="optimal period/waste/risk for a config")
+    o.add_argument("--protocol", choices=sorted(PROTOCOLS), default="double-nbl")
+    o.add_argument("--scenario", choices=sorted(scenarios.SCENARIOS), default="base")
+    o.add_argument("--M", default="7h")
+    o.add_argument("--phi", type=float, default=None,
+                   help="overhead phi [s]; default R/2")
+    o.add_argument("--T", default=None,
+                   help="execution length for the success probability")
+
+    t = sub.add_parser("tune", help="jointly tune phi and the period")
+    t.add_argument("--protocol", choices=sorted(PROTOCOLS), default="triple")
+    t.add_argument("--scenario", choices=sorted(scenarios.SCENARIOS), default="base")
+    t.add_argument("--M", default="10min")
+    t.add_argument("--T", default=None,
+                   help="mission time for the risk constraint (e.g. '30d')")
+    t.add_argument("--min-success", type=float, default=0.999,
+                   help="success-probability floor (with --T)")
+    return parser
+
+
+def _cmd_experiment(key: str, args: argparse.Namespace) -> int:
+    data = run_experiment(key)
+    print(data.render())
+    if getattr(args, "csv", None) is not None:
+        outdir: pathlib.Path = args.csv
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload = data.to_csv()
+        if isinstance(payload, str):
+            (outdir / f"{key}.csv").write_text(payload)
+            print(f"wrote {outdir / (key + '.csv')}")
+        else:
+            for name, text in payload.items():
+                path = outdir / f"{key}_{name}.csv"
+                path.write_text(text)
+                print(f"wrote {path}")
+        if hasattr(data, "to_gnuplot"):
+            for name, script in data.to_gnuplot().items():
+                path = outdir / f"{key}_{name}.gp"
+                path.write_text(script)
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scen = scenarios.get_scenario(args.scenario)
+    params = scen.parameters(M=args.M)
+    risk_params = scen.parameters(M=args.risk_M)
+    report = validate_all(
+        params,
+        args.phi,
+        risk_params=risk_params,
+        risk_T=parse_time(args.risk_T),
+        des_replicas=args.des,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_optimum(args: argparse.Namespace) -> int:
+    scen = scenarios.get_scenario(args.scenario)
+    params = scen.parameters(M=args.M)
+    spec = get_protocol(args.protocol)
+    phi = params.R / 2 if args.phi is None else args.phi
+    period = optimal_period(spec, params, phi)
+    bd = waste_at_optimum(spec, params, phi)
+    risk = risk_window(spec, params, phi)
+    print(f"protocol     : {spec.name}")
+    print(f"scenario     : {scen.key} ({params.describe()})")
+    print(f"phi          : {phi:g}s (phi/R = {phi / params.R:.3f})")
+    print(f"theta(phi)   : {float(np.asarray(spec.theta(params, phi))):g}s")
+    if np.isfinite(period):
+        print(f"optimal P    : {period:.3f}s ({format_time(float(period))})")
+        print(f"waste        : {float(np.asarray(bd.total)):.6f} "
+              f"(fault-free {float(np.asarray(bd.fault_free)):.6f}, "
+              f"failures {float(np.asarray(bd.failure)):.6f})")
+    else:
+        print("optimal P    : infeasible (waste saturates at 1)")
+    print(f"risk window  : {risk:g}s")
+    if args.T is not None:
+        T = parse_time(args.T)
+        p = success_probability(spec, params, phi, T)
+        print(f"P(success)   : {p:.6f} over T={format_time(T)}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .analysis.tuning import optimal_phi, optimal_phi_constrained
+
+    scen = scenarios.get_scenario(args.scenario)
+    params = scen.parameters(M=args.M)
+    spec = get_protocol(args.protocol)
+    if args.T is None:
+        choice = optimal_phi(spec, params)
+    else:
+        choice = optimal_phi_constrained(
+            spec, params, parse_time(args.T), min_success=args.min_success
+        )
+        if choice is None:
+            print(f"no phi meets P(success) >= {args.min_success} over "
+                  f"T={args.T} with {spec.name}; try a triple protocol or "
+                  "a shorter mission")
+            return 1
+    print(f"protocol     : {spec.name}")
+    print(f"scenario     : {scen.key} ({params.describe()})")
+    print(f"tuned phi    : {choice.phi:.4f}s (phi/R = {choice.phi / params.R:.3f})")
+    print(f"theta        : {choice.theta:.3f}s")
+    print(f"period       : {choice.period:.3f}s")
+    print(f"waste        : {choice.waste:.6f}")
+    print(f"risk window  : {choice.risk_window:.1f}s")
+    if args.T is not None:
+        print(f"P(success)   : {choice.success:.6f} over {args.T}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for key, exp in EXPERIMENTS.items():
+            print(f"{key:8s} {exp.paper_ref:10s} {exp.title}")
+        return 0
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "optimum":
+        return _cmd_optimum(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    return _cmd_experiment(args.command, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

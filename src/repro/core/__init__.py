@@ -1,0 +1,84 @@
+"""Analytical layer: the paper's unified performance/risk model.
+
+Sub-modules
+-----------
+``overlap``
+    The non-blocking communication overhead model ``θ(φ)`` (paper §II).
+``parameters``
+    Validated parameter bundles (``D``, ``δ``, ``R``, ``α``, ``M``, ``n``).
+``firstorder``
+    Generic first-order waste machinery shared by every protocol.
+``protocols``
+    Protocol specifications (DOUBLE-BLOCKING/NBL/BOF, TRIPLE-NBL/BOF).
+``waste``
+    Waste evaluation at arbitrary or optimal periods (Eqs. 4–5).
+``period``
+    Closed-form optimal periods with feasibility handling (Eqs. 9/10/15).
+``risk``
+    Risk windows and application success probabilities (Eqs. 11/12/16).
+``comparators``
+    Young/Daly centralised checkpointing and the no-checkpoint baseline.
+``memory``
+    Per-node memory accounting for each protocol (§IV).
+``cow``
+    fork()/copy-on-write checkpoint-creation model (§IV).
+"""
+
+from .overlap import OverlapModel
+from .parameters import Parameters
+from .protocols import (
+    DOUBLE_BLOCKING,
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    TRIPLE_BOF,
+    PROTOCOLS,
+    ProtocolSpec,
+    get_protocol,
+)
+from .waste import waste, waste_at_optimum, waste_breakdown
+from .period import optimal_period, feasible
+from .risk import (
+    risk_window,
+    success_probability,
+    success_probability_base,
+    fatal_failure_probability,
+)
+from .exact import (
+    waste_renewal,
+    waste_gap,
+    optimal_period_renewal,
+    waste_renewal_at_optimum,
+)
+from .kbuddy import KBuddyModel, recommend_k
+from .twolevel import TwoLevelModel, TwoLevelPoint
+
+__all__ = [
+    "OverlapModel",
+    "Parameters",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "DOUBLE_BLOCKING",
+    "DOUBLE_NBL",
+    "DOUBLE_BOF",
+    "TRIPLE",
+    "TRIPLE_BOF",
+    "get_protocol",
+    "waste",
+    "waste_at_optimum",
+    "waste_breakdown",
+    "optimal_period",
+    "feasible",
+    "risk_window",
+    "success_probability",
+    "success_probability_base",
+    "fatal_failure_probability",
+    "waste_renewal",
+    "waste_gap",
+    "optimal_period_renewal",
+    "waste_renewal_at_optimum",
+    "KBuddyModel",
+    "recommend_k",
+    "TwoLevelModel",
+    "TwoLevelPoint",
+]

@@ -1,0 +1,157 @@
+"""Generic first-order waste machinery (paper §III-A/B, §V-A/B).
+
+Every protocol in the paper fits one template.  Writing the fault-free
+checkpointing cost per period as ``c`` (so ``WASTEff = c/P``) and the
+expected time lost per failure as ``F(P) = A + P/2`` (a constant plus the
+half-period of lost work), the waste is
+
+.. math::
+
+    \\mathrm{WASTE}(P) = 1 - \\Big(1 - \\frac{A + P/2}{M}\\Big)
+                             \\Big(1 - \\frac{c}{P}\\Big)
+
+Differentiating (including the cross term) gives the unique interior
+minimiser
+
+.. math::
+
+    P^\\* = \\sqrt{2\\,c\\,(M - A)}
+
+which specialises to the paper's Eqs. (9), (10) and (15):
+
+=================  ==============  ============================
+protocol           ``c``           ``A``
+=================  ==============  ============================
+DOUBLE-NBL         ``δ + φ``       ``D + R + θ``
+DOUBLE-BOF         ``δ + φ``       ``D + 2R + θ − φ``
+TRIPLE             ``2φ``          ``D + R + θ``
+Young (baseline)   ``δ``           ``0``
+Daly (baseline)    ``δ``           ``D + R``
+=================  ==============  ============================
+
+*Feasibility.*  The interior optimum only exists when ``M > A``; otherwise
+each failure costs more than the mean time between failures and the waste
+saturates at 1.  Furthermore the period cannot shrink below the protocol's
+fixed phases (``P ≥ P_min``); since the waste is unimodal in ``P``, the
+constrained optimum is ``max(P*, P_min)``.  When ``c = 0`` (TRIPLE with a
+fully-hidden transfer) the fault-free waste vanishes and the optimum is the
+smallest feasible period.
+
+All functions broadcast numpy-style over ``c``, ``A``, ``p_min``, ``M`` and
+``P``.  Infeasible points yield waste ``1.0`` and period ``nan`` rather than
+raising, so sweeps over figure grids stay a single vectorised call; use
+:func:`feasible_mask` to distinguish saturation from model breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "expected_lost_time",
+    "waste_fault_free",
+    "waste_failures",
+    "combine_waste",
+    "waste_at_period",
+    "optimal_period_unclamped",
+    "optimal_period_clamped",
+    "waste_at_optimum",
+    "feasible_mask",
+]
+
+
+def _as_float_arrays(*values):
+    return [np.asarray(v, dtype=float) for v in values]
+
+
+def expected_lost_time(A, P):
+    """Expected time lost per failure, ``F(P) = A + P/2``.
+
+    ``A`` gathers downtime, recovery and the protocol-specific resend terms;
+    ``P/2`` is the expected re-executed work, because failures strike
+    uniformly within a period (§III-A).
+    """
+    A, P = _as_float_arrays(A, P)
+    return A + P / 2.0
+
+
+def waste_fault_free(c, P):
+    """Fault-free waste ``WASTEff = c / P`` (Eq. 4, first factor)."""
+    c, P = _as_float_arrays(c, P)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(P > 0, c / P, np.inf)
+    return out
+
+
+def waste_failures(A, P, M):
+    """Failure-induced waste ``WASTEfail = F(P) / M`` (Eq. 4, second factor)."""
+    A, P, M = _as_float_arrays(A, P, M)
+    return expected_lost_time(A, P) / M
+
+
+def combine_waste(waste_ff, waste_fail):
+    """Combine the two waste sources multiplicatively (Eq. 5), clipped to [0, 1].
+
+    ``WASTE = WASTEfail + WASTEff − WASTEfail·WASTEff``.
+    """
+    wff, wf = _as_float_arrays(waste_ff, waste_fail)
+    total = wf + wff - wf * wff
+    # Either factor >= 1 means no progress at all.
+    total = np.where((wff >= 1.0) | (wf >= 1.0), 1.0, total)
+    return np.clip(total, 0.0, 1.0)
+
+
+def waste_at_period(c, A, p_min, P, M):
+    """Total waste at an arbitrary period ``P``.
+
+    Periods below ``p_min`` cannot accommodate the protocol's fixed phases;
+    they evaluate to waste ``1.0`` (the configuration makes no progress).
+    """
+    c, A, p_min, P, M = _as_float_arrays(c, A, p_min, P, M)
+    total = combine_waste(waste_fault_free(c, P), waste_failures(A, P, M))
+    return np.where(P < p_min - 1e-12, 1.0, total)
+
+
+def optimal_period_unclamped(c, A, M):
+    """Interior optimiser ``P* = sqrt(2 c (M − A))``; ``nan`` when ``M <= A``."""
+    c, A, M = _as_float_arrays(c, A, M)
+    slack = M - A
+    with np.errstate(invalid="ignore"):
+        out = np.where(slack > 0, np.sqrt(2.0 * c * np.maximum(slack, 0.0)), np.nan)
+    return out
+
+
+def optimal_period_clamped(c, A, p_min, M):
+    """Constrained optimum ``max(P*, P_min)``; ``nan`` when infeasible.
+
+    The waste is unimodal in ``P`` on ``[P_min, ∞)``, so clamping the
+    unconstrained optimum to the boundary is exact, not a heuristic.
+    """
+    c, A, p_min, M = _as_float_arrays(c, A, p_min, M)
+    unclamped = optimal_period_unclamped(c, A, M)
+    clamped = np.maximum(unclamped, p_min)
+    return np.where(np.isnan(unclamped), np.nan, clamped)
+
+
+def waste_at_optimum(c, A, p_min, M):
+    """Waste at the constrained optimal period; ``1.0`` when infeasible."""
+    c, A, p_min, M = _as_float_arrays(c, A, p_min, M)
+    p_opt = optimal_period_clamped(c, A, p_min, M)
+    safe_p = np.where(np.isnan(p_opt), np.maximum(p_min, 1.0), p_opt)
+    w = waste_at_period(c, A, p_min, safe_p, M)
+    return np.where(np.isnan(p_opt), 1.0, w)
+
+
+def feasible_mask(c, A, p_min, M):
+    """True where the first-order model admits waste < 1.
+
+    Requires an interior slack (``M > A``) *and* a boundary period whose
+    waste is below saturation.
+    """
+    c, A, p_min, M = _as_float_arrays(c, A, p_min, M)
+    if np.any(p_min <= 0):
+        raise ParameterError("p_min must be > 0")
+    w = waste_at_optimum(c, A, p_min, M)
+    return (M > A) & (w < 1.0)

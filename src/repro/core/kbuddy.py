@@ -1,0 +1,179 @@
+"""Generalised k-buddy checkpointing (extension of the paper's §IV–§V).
+
+The paper's DOUBLE (k=2, with a local checkpoint) and TRIPLE (k=3,
+fork/COW, rotating buddies, no local copy) are the first two members of a
+family: organise nodes in rotating groups of ``k``; each period consists
+of ``k−1`` exchange windows of length ``θ`` (the checkpoint propagates to
+one further buddy per window, every node always holding ``k−1`` remote
+images — the same two-image budget only holds for k ≤ 3) followed by a
+compute phase.  By the same derivations as §V:
+
+* fault-free cost            ``c  = (k−1)·φ``
+* period minimum             ``P_min = (k−1)·θ``
+* expected loss constant     ``A  = D + R + θ``  (the snapshot is safe
+  once the *first* exchange window lands — exactly TRIPLE's argument)
+* risk window (non-blocking) ``Risk = D + R + (k−1)·θ``
+* optimal period             ``P* = sqrt(2(k−1)φ(M − A))``  (template)
+* group fatal probability    ``k!·λᵏ·T·Risk^(k−1)``  (chain counting)
+* application success        ``(1 − k!·λᵏ·T·Risk^(k−1))^(n/k)``
+
+``k = 2`` in this family is *not* the paper's DOUBLE (which spends ``δ``
+on a local checkpoint); it is a "double without local copy" enabled by
+the same fork/COW trick — included because it shows why the paper jumps
+to k = 3: one remote image alone leaves a pair fatally exposed the moment
+either node fails (risk ∝ λ², like DOUBLE) while saving only ``δ``.
+
+This module quantifies the diminishing returns for k ≥ 4: each extra
+buddy multiplies the fatal probability by another ``λ·Risk`` (huge gain)
+but adds ``φ`` of overhead and ``θ`` of risk-window length per period
+(linear cost), and memory grows as ``k−1`` images.  :func:`recommend_k`
+returns the smallest k meeting a target success probability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ParameterError
+from . import firstorder
+from .parameters import Parameters
+
+__all__ = [
+    "KBuddyModel",
+    "recommend_k",
+]
+
+
+class KBuddyModel:
+    """Analytical model of the rotating k-buddy protocol (non-blocking).
+
+    Parameters
+    ----------
+    k:
+        Group size (≥ 2).  ``k = 3`` reproduces the paper's TRIPLE
+        exactly (same ``c``, ``A``, ``P_min``, risk window and success
+        probability).
+    """
+
+    def __init__(self, k: int):
+        if not isinstance(k, int) or isinstance(k, bool) or k < 2:
+            raise ParameterError(f"k must be an integer >= 2, got {k!r}")
+        self.k = k
+
+    # -- first-order coefficients --------------------------------------
+    def cost_coefficient(self, params: Parameters, phi):
+        phi_arr = self._phi(params, phi)
+        return (self.k - 1) * phi_arr
+
+    def lost_time_constant(self, params: Parameters, phi):
+        return params.D + params.R + np.asarray(
+            params.theta(self._phi(params, phi)), dtype=float
+        )
+
+    def min_period(self, params: Parameters, phi):
+        theta = np.asarray(params.theta(self._phi(params, phi)), dtype=float)
+        return (self.k - 1) * theta
+
+    def _phi(self, params: Parameters, phi):
+        phi_arr = np.asarray(phi, dtype=float)
+        if np.any(phi_arr < -1e-12) or np.any(phi_arr > params.R * (1 + 1e-12)):
+            raise ParameterError(f"phi must lie in [0, R={params.R}]")
+        return np.clip(phi_arr, 0.0, params.R)
+
+    # -- waste ----------------------------------------------------------
+    def optimal_period(self, params: Parameters, phi, *, M=None):
+        c = self.cost_coefficient(params, phi)
+        A = self.lost_time_constant(params, phi)
+        p_min = self.min_period(params, phi)
+        out = firstorder.optimal_period_clamped(
+            c, A, p_min, params.M if M is None else M
+        )
+        return float(out) if out.ndim == 0 else out
+
+    def waste_at_optimum(self, params: Parameters, phi, *, M=None):
+        c = self.cost_coefficient(params, phi)
+        A = self.lost_time_constant(params, phi)
+        p_min = self.min_period(params, phi)
+        out = firstorder.waste_at_optimum(
+            c, A, p_min, params.M if M is None else M
+        )
+        return float(out) if out.ndim == 0 else out
+
+    # -- risk -----------------------------------------------------------
+    def risk_window(self, params: Parameters, phi):
+        theta = np.asarray(params.theta(self._phi(params, phi)), dtype=float)
+        out = params.D + params.R + (self.k - 1) * theta
+        return float(out) if out.ndim == 0 else out
+
+    def group_fatal_probability(self, params: Parameters, phi, T):
+        risk = np.asarray(self.risk_window(params, phi), dtype=float)
+        T_arr = np.asarray(T, dtype=float)
+        if np.any(T_arr < 0):
+            raise ParameterError("T must be >= 0")
+        p = (
+            math.factorial(self.k)
+            * params.lam**self.k
+            * T_arr
+            * risk ** (self.k - 1)
+        )
+        return np.clip(p, 0.0, 1.0)
+
+    def success_probability(self, params: Parameters, phi, T):
+        if params.n % self.k != 0:
+            raise ParameterError(f"n={params.n} not divisible by k={self.k}")
+        p_fatal = self.group_fatal_probability(params, phi, T)
+        with np.errstate(divide="ignore"):
+            log_term = np.where(p_fatal < 1.0, np.log1p(-p_fatal), -np.inf)
+        out = np.exp(params.n / self.k * log_term)
+        return float(out) if np.ndim(out) == 0 else out
+
+    # -- memory ---------------------------------------------------------
+    def images_held(self) -> int:
+        """Remote images resident per node (``k − 1``)."""
+        return self.k - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KBuddyModel(k={self.k})"
+
+
+def recommend_k(
+    params: Parameters,
+    phi: float,
+    T: float,
+    *,
+    target_success: float = 0.999,
+    max_k: int = 8,
+) -> tuple[int, dict[int, dict[str, float]]]:
+    """Smallest k whose success probability meets the target.
+
+    Returns ``(k, table)`` where ``table[k]`` holds the waste, success
+    probability, risk window and memory images for every k tried (so
+    callers can display the trade-off).  Raises if even ``max_k`` misses
+    the target — at that point the platform needs a different strategy
+    (the paper's §VIII hierarchical direction).
+    """
+    if not 0 < target_success < 1:
+        raise ParameterError("target_success must lie in (0, 1)")
+    table: dict[int, dict[str, float]] = {}
+    best: int | None = None
+    for k in range(2, max_k + 1):
+        if params.n % k != 0:
+            continue
+        model = KBuddyModel(k)
+        success = model.success_probability(params, phi, T)
+        table[k] = {
+            "waste": model.waste_at_optimum(params, phi),
+            "success": success,
+            "risk_window": model.risk_window(params, phi),
+            "images": float(model.images_held()),
+        }
+        if best is None and success >= target_success:
+            best = k
+    if best is None:
+        raise ParameterError(
+            f"no k <= {max_k} reaches success {target_success} "
+            f"(platform too unreliable for flat k-buddy replication)"
+        )
+    return best, table

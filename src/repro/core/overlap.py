@@ -1,0 +1,125 @@
+"""The communication/computation overlap model of the paper (§II).
+
+The non-blocking double checkpointing algorithm stretches the buddy
+checkpoint exchange over a window of length ``θ`` so that computation can
+proceed concurrently, at the price of an *overhead* of ``φ`` work units.
+The paper extends the model of Ni et al. by tying ``φ`` to ``θ``:
+
+* ``θ = θmin``: the transfer runs at full network speed and is fully
+  blocking, so the overhead is total: ``φ = θmin``.
+* ``θ = θmax = (1 + α)·θmin``: the transfer is slow enough to hide entirely
+  behind computation: ``φ = 0``.
+* Linear interpolation in between::
+
+      θ(φ) = θmin + α·(θmin − φ),          φ ∈ [0, θmin]
+
+The parameter ``α`` measures how fast the overhead decreases as the
+communication window grows; the paper uses the conservative ``α = 10``.
+
+All methods broadcast over numpy arrays, so a whole φ-sweep is a single
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["OverlapModel"]
+
+
+@dataclass(frozen=True)
+class OverlapModel:
+    """Linear overlap model ``θ(φ) = θmin + α(θmin − φ)``.
+
+    Parameters
+    ----------
+    theta_min:
+        Minimum (fully blocking) transfer duration; the paper identifies it
+        with the recovery time ``R``.
+    alpha:
+        Overlap speedup factor (``θmax = (1+α)·θmin``).  ``alpha = 0``
+        degenerates to the always-blocking model in which ``φ = θmin``
+        regardless of ``θ``.
+    """
+
+    theta_min: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.theta_min) or self.theta_min <= 0:
+            raise ParameterError(f"theta_min must be > 0, got {self.theta_min!r}")
+        if not np.isfinite(self.alpha) or self.alpha < 0:
+            raise ParameterError(f"alpha must be >= 0, got {self.alpha!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def theta_max(self) -> float:
+        """Window length at which the transfer is fully overlapped."""
+        return (1.0 + self.alpha) * self.theta_min
+
+    # ------------------------------------------------------------------
+    def theta_of_phi(self, phi):
+        """Transfer window ``θ`` needed to keep the overhead at ``φ``.
+
+        Accepts scalars or arrays; every element must lie in
+        ``[0, theta_min]``.
+        """
+        phi_arr = np.asarray(phi, dtype=float)
+        if np.any(phi_arr < -1e-12) or np.any(phi_arr > self.theta_min * (1 + 1e-12)):
+            raise ParameterError(
+                f"phi must lie in [0, theta_min={self.theta_min}], got {phi!r}"
+            )
+        phi_arr = np.clip(phi_arr, 0.0, self.theta_min)
+        theta = self.theta_min + self.alpha * (self.theta_min - phi_arr)
+        return float(theta) if np.isscalar(phi) or phi_arr.ndim == 0 else theta
+
+    def phi_of_theta(self, theta):
+        """Overhead ``φ`` incurred when the window is stretched to ``θ``.
+
+        Inverse of :meth:`theta_of_phi` on ``[θmin, θmax]``; windows larger
+        than ``θmax`` keep ``φ = 0`` (the transfer is already fully hidden).
+        With ``alpha = 0`` any feasible window costs the full ``φ = θmin``.
+        """
+        theta_arr = np.asarray(theta, dtype=float)
+        if np.any(theta_arr < self.theta_min * (1 - 1e-12)):
+            raise ParameterError(
+                f"theta must be >= theta_min={self.theta_min}, got {theta!r}"
+            )
+        if self.alpha == 0:
+            phi = np.full_like(theta_arr, self.theta_min)
+        else:
+            phi = self.theta_min - (theta_arr - self.theta_min) / self.alpha
+            phi = np.clip(phi, 0.0, self.theta_min)
+        return float(phi) if np.isscalar(theta) or theta_arr.ndim == 0 else phi
+
+    # ------------------------------------------------------------------
+    def slowdown(self, phi):
+        """Fraction of compute throughput lost during the window.
+
+        During a window of length ``θ(φ)`` only ``θ − φ`` work units are
+        executed, i.e. the application runs at speed ``1 − φ/θ``.  This is
+        the quantity a runtime would observe; the simulator uses it to
+        advance application progress during exchange phases.
+        """
+        theta = np.asarray(self.theta_of_phi(phi), dtype=float)
+        phi_arr = np.clip(np.asarray(phi, dtype=float), 0.0, self.theta_min)
+        out = np.divide(phi_arr, theta, out=np.zeros_like(theta), where=theta > 0)
+        return float(out) if np.isscalar(phi) or out.ndim == 0 else out
+
+    def work_during_window(self, phi):
+        """Work units executed during one exchange window: ``θ(φ) − φ``."""
+        theta = np.asarray(self.theta_of_phi(phi), dtype=float)
+        phi_arr = np.clip(np.asarray(phi, dtype=float), 0.0, self.theta_min)
+        out = theta - phi_arr
+        return float(out) if np.isscalar(phi) or out.ndim == 0 else out
+
+    # ------------------------------------------------------------------
+    def phi_grid(self, num: int = 101) -> np.ndarray:
+        """Evenly spaced overheads covering ``[0, θmin]`` (figure x-axes)."""
+        if num < 2:
+            raise ParameterError("need at least 2 grid points")
+        return np.linspace(0.0, self.theta_min, num)

@@ -1,0 +1,69 @@
+"""Optimal checkpointing periods (paper Eqs. 9, 10, 15).
+
+The closed forms derive from the first-order waste template (see
+:mod:`repro.core.firstorder`)::
+
+    P*_nbl = sqrt(2 (δ+φ) (M − D − R − θ))          (Eq. 9)
+    P*_bof = sqrt(2 (δ+φ) (M − D − 2R − θ + φ))     (Eq. 10)
+    P*_tri = 2 sqrt(φ (M − D − R − θ))              (Eq. 15)
+
+These are Young/Daly-like formulas, but ``δ`` here is the *per-node local*
+checkpoint time rather than the global stable-storage dump, which is why
+buddy protocols sustain much larger periods (§III-B).
+
+Feasibility handling (not discussed in the paper, required for the figure
+grids): when ``M ≤ A`` the model saturates (waste 1, period ``nan``); the
+interior optimum is clamped to the minimum feasible period ``P_min``
+(``δ+θ`` for doubles, ``2θ`` for triples), which is exact because the waste
+is unimodal in ``P``.
+"""
+
+from __future__ import annotations
+
+from . import firstorder
+from .parameters import Parameters
+from .protocols import ProtocolSpec, get_protocol
+
+__all__ = ["optimal_period", "optimal_period_unclamped", "feasible"]
+
+
+def optimal_period(spec: ProtocolSpec | str, params: Parameters, phi, *, M=None):
+    """Waste-minimising period, clamped to the protocol's minimum.
+
+    Returns ``nan`` where the model is infeasible (``M ≤ A``); scalars in,
+    scalar out.
+    """
+    spec = get_protocol(spec)
+    c = spec.cost_coefficient(params, phi)
+    A = spec.lost_time_constant(params, phi)
+    p_min = spec.min_period(params, phi)
+    M_arr = params.M if M is None else M
+    out = firstorder.optimal_period_clamped(c, A, p_min, M_arr)
+    return float(out) if out.ndim == 0 else out
+
+
+def optimal_period_unclamped(
+    spec: ProtocolSpec | str, params: Parameters, phi, *, M=None
+):
+    """The raw closed-form ``sqrt(2c(M−A))`` exactly as printed in the paper.
+
+    May fall below the protocol's minimum period for small ``c``; prefer
+    :func:`optimal_period` for anything fed back into waste evaluation.
+    """
+    spec = get_protocol(spec)
+    c = spec.cost_coefficient(params, phi)
+    A = spec.lost_time_constant(params, phi)
+    M_arr = params.M if M is None else M
+    out = firstorder.optimal_period_unclamped(c, A, M_arr)
+    return float(out) if out.ndim == 0 else out
+
+
+def feasible(spec: ProtocolSpec | str, params: Parameters, phi, *, M=None):
+    """Boolean mask: where does the protocol make progress (waste < 1)?"""
+    spec = get_protocol(spec)
+    c = spec.cost_coefficient(params, phi)
+    A = spec.lost_time_constant(params, phi)
+    p_min = spec.min_period(params, phi)
+    M_arr = params.M if M is None else M
+    out = firstorder.feasible_mask(c, A, p_min, M_arr)
+    return bool(out) if out.ndim == 0 else out

@@ -1,0 +1,186 @@
+"""Two-level checkpointing: buddy protocol + rare global checkpoints.
+
+The paper's §VIII closes with the prospect of "combining distributed
+in-memory strategies such as those discussed in this paper with …
+hierarchical checkpointing protocols".  This module builds that
+combination analytically:
+
+* **Level 1** — any buddy protocol of this library, at its own optimal
+  period.  Handles ordinary failures; *fatal* group failures (both/all
+  buddies lost within a risk window) destroy the in-memory state.
+* **Level 2** — a classical blocking global checkpoint of cost ``C`` to
+  stable storage every ``P_g`` seconds.  A level-1 fatal failure is no
+  longer the end of the run: the application restarts from the last
+  global checkpoint.
+
+The elegance: level 2 is *exactly* the first-order template again, with
+the "failures" being level-1 fatal events.  Their platform rate is the
+hazard behind Eqs. (11)/(16)::
+
+    λ_fatal = (n/g) · g! · λ^g · Risk^(g−1)
+
+so the fatal MTBF is ``M_fatal = 1/λ_fatal`` and
+
+    P_g* = sqrt(2·C·(M_fatal − A_g)),    A_g = D_g + R_g
+
+by the very derivation of Eq. (9).  Each fatal event costs
+``A_g + P_g/2`` (downtime + global recovery + half a global period of
+re-execution), and the two levels' wastes compose multiplicatively.
+
+Because TRIPLE's ``λ_fatal`` is two orders below DOUBLE-NBL's, the model
+quantifies a §VIII question directly: is DOUBLE + global safety net
+better than TRIPLE + safety net?  (Answer on the paper's scenarios: the
+TRIPLE stack needs global checkpoints orders of magnitude less often and
+keeps a lower total waste — see ``bench_twolevel.py``.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InfeasibleModelError, ParameterError
+from . import firstorder
+from .parameters import Parameters
+from .protocols import ProtocolSpec, get_protocol
+from .waste import waste_at_optimum
+
+__all__ = ["TwoLevelModel", "TwoLevelPoint"]
+
+
+@dataclass(frozen=True)
+class TwoLevelPoint:
+    """One evaluated two-level configuration."""
+
+    protocol: str
+    phi: float
+    buddy_period: float
+    buddy_waste: float
+    fatal_mtbf: float
+    global_period: float
+    global_waste: float
+    total_waste: float
+
+    @property
+    def useful_fraction(self) -> float:
+        return 1.0 - self.total_waste
+
+
+class TwoLevelModel:
+    """Buddy protocol + global stable-storage safety net.
+
+    Parameters
+    ----------
+    spec:
+        Level-1 buddy protocol (spec or key).
+    params:
+        Platform parameters (level 1 uses them directly).
+    global_cost:
+        Global checkpoint duration ``C`` [s] — the whole application image
+        to stable storage, typically orders above ``δ``.
+    global_downtime, global_recovery:
+        ``D_g``/``R_g`` of a restart from stable storage (defaults:
+        ``params.D`` and ``C`` — reading the image back costs what writing
+        it did).
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec | str,
+        params: Parameters,
+        *,
+        global_cost: float,
+        global_downtime: float | None = None,
+        global_recovery: float | None = None,
+    ):
+        self.spec = get_protocol(spec)
+        self.params = params
+        if global_cost <= 0:
+            raise ParameterError("global_cost must be > 0")
+        self.C = float(global_cost)
+        self.D_g = params.D if global_downtime is None else float(global_downtime)
+        self.R_g = self.C if global_recovery is None else float(global_recovery)
+        if self.D_g < 0 or self.R_g < 0:
+            raise ParameterError("global downtime/recovery must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Level-1 fatal hazard
+    # ------------------------------------------------------------------
+    def fatal_rate(self, phi) -> float:
+        """Platform rate of unrecoverable level-1 failures [1/s].
+
+        ``(n/g) · g! · λ^g · Risk^(g−1)`` — the hazard whose integral over
+        ``T`` is the paper's group-fatal probability (Eqs. 11/16).
+        """
+        g = self.spec.group_size
+        lam = self.params.lam
+        risk = float(np.asarray(self.spec.risk_window(self.params, phi)))
+        return (self.params.n / g) * math.factorial(g) * lam**g * risk ** (g - 1)
+
+    def fatal_mtbf(self, phi) -> float:
+        """Mean time between level-1 fatal events (∞ if rate is 0)."""
+        rate = self.fatal_rate(phi)
+        return math.inf if rate == 0 else 1.0 / rate
+
+    # ------------------------------------------------------------------
+    # Level-2 (global) checkpointing
+    # ------------------------------------------------------------------
+    def optimal_global_period(self, phi) -> float:
+        """``P_g* = sqrt(2·C·(M_fatal − D_g − R_g))`` (template, Eq. 9 form).
+
+        Raises when fatal events are *more* frequent than a global
+        recovery — then no stable-storage period can keep up and the
+        platform needs a stronger level 1 first.
+        """
+        m_fatal = self.fatal_mtbf(phi)
+        if math.isinf(m_fatal):
+            return math.inf
+        A = self.D_g + self.R_g
+        out = float(np.asarray(firstorder.optimal_period_clamped(
+            self.C, A, self.C, m_fatal
+        )))
+        if not np.isfinite(out):
+            raise InfeasibleModelError(
+                f"{self.spec.key}: fatal MTBF {m_fatal:.3g}s below the "
+                f"global recovery cost {A:.3g}s — level 2 cannot keep up"
+            )
+        return out
+
+    def global_waste(self, phi) -> float:
+        """Level-2 waste at its optimal period (0 if fatals never happen)."""
+        m_fatal = self.fatal_mtbf(phi)
+        if math.isinf(m_fatal):
+            return 0.0
+        A = self.D_g + self.R_g
+        return float(np.asarray(firstorder.waste_at_optimum(
+            self.C, A, self.C, m_fatal
+        )))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, phi) -> TwoLevelPoint:
+        """Full two-level operating point at overhead ``phi``.
+
+        Total waste composes multiplicatively: level-2 overhead and
+        re-execution consume the fraction of time that level 1 leaves.
+        """
+        bd = waste_at_optimum(self.spec, self.params, phi)
+        w1 = float(np.asarray(bd.total))
+        p1 = float(np.asarray(bd.period))
+        if not np.isfinite(p1):
+            raise InfeasibleModelError(
+                f"{self.spec.key}: level 1 infeasible at M={self.params.M:g}s"
+            )
+        w2 = self.global_waste(phi)
+        total = 1.0 - (1.0 - w1) * (1.0 - w2)
+        return TwoLevelPoint(
+            protocol=self.spec.key,
+            phi=float(np.asarray(self.spec.effective_phi(self.params, phi))),
+            buddy_period=p1,
+            buddy_waste=w1,
+            fatal_mtbf=self.fatal_mtbf(phi),
+            global_period=self.optimal_global_period(phi),
+            global_waste=w2,
+            total_waste=min(1.0, total),
+        )

@@ -1,0 +1,136 @@
+"""Waste evaluation (paper Eqs. 1–5 and their §V analogues).
+
+The *waste* is the fraction of platform time not spent on useful
+application work.  Two sources combine multiplicatively (Eq. 5)::
+
+    WASTE = WASTEfail + WASTEff − WASTEfail · WASTEff
+
+where ``WASTEff = c/P`` is the fault-free checkpointing cost and
+``WASTEfail = F(P)/M`` the failure-induced loss.  The execution time then
+follows from ``(1 − WASTE)·T = T_base`` (Eq. 3).
+
+Every function broadcasts over ``phi``, ``P`` and over array-valued
+``M`` supplied via ``params_override_M`` -- sufficient for every figure in
+the paper to be a single vectorised call.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from . import firstorder
+from .parameters import Parameters
+from .protocols import ProtocolSpec, get_protocol
+
+__all__ = [
+    "WasteBreakdown",
+    "waste",
+    "waste_breakdown",
+    "waste_at_optimum",
+    "execution_time",
+]
+
+
+class WasteBreakdown(NamedTuple):
+    """Waste split into its two sources plus the combined total."""
+
+    fault_free: np.ndarray | float
+    failure: np.ndarray | float
+    total: np.ndarray | float
+    #: The period at which the waste was evaluated (useful when the caller
+    #: asked for the optimum).
+    period: np.ndarray | float
+
+
+def _coeffs(spec: ProtocolSpec, params: Parameters, phi, M=None):
+    c = np.asarray(spec.cost_coefficient(params, phi), dtype=float)
+    A = np.asarray(spec.lost_time_constant(params, phi), dtype=float)
+    p_min = np.asarray(spec.min_period(params, phi), dtype=float)
+    M_arr = np.asarray(params.M if M is None else M, dtype=float)
+    if np.any(M_arr <= 0):
+        raise ParameterError("M must be > 0")
+    return c, A, p_min, M_arr
+
+
+def waste(spec: ProtocolSpec | str, params: Parameters, phi, P, *, M=None):
+    """Total waste of ``spec`` at overhead ``phi`` and period ``P``.
+
+    Parameters
+    ----------
+    spec:
+        Protocol spec or registry key.
+    params:
+        Platform parameters; ``params.M`` is used unless ``M`` is given.
+    phi, P:
+        Overhead (work units) and period length [s]; scalars or arrays.
+    M:
+        Optional MTBF override (scalar or array) enabling M-sweeps without
+        rebuilding ``Parameters``.
+
+    Returns
+    -------
+    Waste in ``[0, 1]``; infeasible points saturate at ``1.0``.
+    """
+    spec = get_protocol(spec)
+    c, A, p_min, M_arr = _coeffs(spec, params, phi, M)
+    out = firstorder.waste_at_period(c, A, p_min, np.asarray(P, dtype=float), M_arr)
+    return float(out) if out.ndim == 0 else out
+
+
+def waste_breakdown(
+    spec: ProtocolSpec | str, params: Parameters, phi, P, *, M=None
+) -> WasteBreakdown:
+    """Waste split into fault-free and failure components at period ``P``."""
+    spec = get_protocol(spec)
+    c, A, p_min, M_arr = _coeffs(spec, params, phi, M)
+    P_arr = np.asarray(P, dtype=float)
+    wff = firstorder.waste_fault_free(c, P_arr)
+    wfail = firstorder.waste_failures(A, P_arr, M_arr)
+    total = firstorder.waste_at_period(c, A, p_min, P_arr, M_arr)
+    return WasteBreakdown(wff, wfail, total, P_arr)
+
+
+def waste_at_optimum(
+    spec: ProtocolSpec | str, params: Parameters, phi, *, M=None
+) -> WasteBreakdown:
+    """Waste at the model-optimal period (the quantity plotted in Figs. 4–8).
+
+    Infeasible points (``M`` below the per-failure constant ``A``) yield
+    waste ``1.0`` and period ``nan``.
+    """
+    spec = get_protocol(spec)
+    c, A, p_min, M_arr = _coeffs(spec, params, phi, M)
+    p_opt = firstorder.optimal_period_clamped(c, A, p_min, M_arr)
+    safe_p = np.where(np.isnan(p_opt), p_min, p_opt)
+    wff = np.where(
+        np.isnan(p_opt), 1.0, firstorder.waste_fault_free(c, safe_p)
+    )
+    wfail = np.where(
+        np.isnan(p_opt), 1.0, firstorder.waste_failures(A, safe_p, M_arr)
+    )
+    total = firstorder.waste_at_optimum(c, A, p_min, M_arr)
+    return WasteBreakdown(wff, wfail, total, p_opt)
+
+
+def execution_time(
+    spec: ProtocolSpec | str, params: Parameters, phi, t_base, *, P=None, M=None
+):
+    """Expected execution time ``T = T_base / (1 − WASTE)`` (Eq. 3).
+
+    Uses the optimal period when ``P`` is omitted.  Saturated points
+    (waste = 1) return ``inf``: the application never completes.
+    """
+    if P is None:
+        total = waste_at_optimum(spec, params, phi, M=M).total
+    else:
+        total = waste(spec, params, phi, P, M=M)
+    total = np.asarray(total, dtype=float)
+    t_base = np.asarray(t_base, dtype=float)
+    if np.any(t_base < 0):
+        raise ParameterError("t_base must be >= 0")
+    with np.errstate(divide="ignore"):
+        out = np.where(total >= 1.0, np.inf, t_base / (1.0 - np.minimum(total, 1.0)))
+    return float(out) if out.ndim == 0 else out

@@ -1,0 +1,63 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs::
+
+    try:
+        period.optimal_period(spec, params)
+    except repro.errors.InfeasibleModelError:
+        ...  # MTBF too small for this protocol
+
+The hierarchy distinguishes *user input* problems (:class:`ParameterError`,
+:class:`UnitParseError`) from *model domain* problems
+(:class:`InfeasibleModelError`) and *simulation* problems
+(:class:`SimulationError`, :class:`FatalFailureError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or simulation parameter is invalid (negative time, ...)."""
+
+
+class UnitParseError(ReproError, ValueError):
+    """A human-readable quantity such as ``"7h"`` could not be parsed."""
+
+
+class InfeasibleModelError(ReproError, ValueError):
+    """The first-order model has no feasible operating point.
+
+    Raised, for example, when the platform MTBF ``M`` is smaller than the
+    constant part of the expected per-failure lost time, in which case the
+    waste saturates at 1 and no checkpointing period can help.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Internal inconsistency detected while running a simulation."""
+
+
+class FatalFailureError(SimulationError):
+    """An application suffered an unrecoverable (fatal) failure.
+
+    Simulations normally *record* fatal failures in their results instead of
+    raising; this exception is used by APIs explicitly asked to run to
+    completion (``on_fatal="raise"``).
+    """
+
+    def __init__(self, time: float, group: tuple[int, ...], message: str = ""):
+        self.time = float(time)
+        self.group = tuple(group)
+        super().__init__(
+            message
+            or f"fatal failure at t={self.time:.3f}s in group {self.group}"
+        )
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment definition is inconsistent or its inputs are missing."""

@@ -1,0 +1,34 @@
+"""Experiment layer: scenarios (Table I) and table/figure generators (§VI).
+
+Each paper artefact has a generator module (``table1``, ``fig4`` … ``fig9``)
+returning plain data structures (numpy grids + labels) that render as
+ASCII/CSV and that the benchmark harnesses time.  The
+:mod:`~repro.experiments.registry` maps experiment ids (``"fig5"``) to
+generators for the CLI; :mod:`~repro.experiments.validation` holds the
+model-vs-simulation checks (experiment E7 of DESIGN.md).
+"""
+
+from . import scenarios
+from .scenarios import Scenario, BASE, EXA, SCENARIOS, get_scenario
+
+__all__ = [
+    "scenarios",
+    "Scenario",
+    "BASE",
+    "EXA",
+    "SCENARIOS",
+    "get_scenario",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light; the figure generators pull in
+    # the analysis layer which most model users never touch.
+    if name in ("intro", "table1", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "registry", "validation", "report"):
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,247 @@
+"""Shared builders behind the per-figure experiment modules.
+
+The paper's six evaluation figures come in three families; each family has
+one builder here, and the thin ``fig4``–``fig9`` modules bind a scenario
+and figure id to a family:
+
+* waste surfaces  — Figs. 4 (Base) and 7 (Exa):   :func:`waste_surfaces`
+* waste ratio cuts — Figs. 5 (Base) and 8 (Exa):  :func:`waste_ratio_figure`
+* risk ratio surfaces — Figs. 6 (Base) and 9 (Exa): :func:`risk_ratio_figure`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.ratios import RatioSurface, ratio_surface, waste_ratio_cut
+from ..analysis.sweep import WasteSurface, waste_surface
+from ..core.protocols import DOUBLE_BOF, DOUBLE_NBL, TRIPLE
+from ..experiments.scenarios import Scenario, get_scenario
+from ..units import format_time
+from . import report
+
+__all__ = [
+    "SURFACE_PROTOCOLS",
+    "WasteSurfaceFigure",
+    "WasteRatioFigure",
+    "RiskRatioFigure",
+    "waste_surfaces",
+    "waste_ratio_figure",
+    "risk_ratio_figure",
+]
+
+#: Panel order used by Figs. 4 and 7: (a) BOF, (b) NBL, (c) TRIPLE.
+SURFACE_PROTOCOLS = (DOUBLE_BOF, DOUBLE_NBL, TRIPLE)
+
+
+@dataclass(frozen=True)
+class WasteSurfaceFigure:
+    """Figs. 4/7: one waste surface per protocol panel."""
+
+    figure_id: str
+    scenario: str
+    panels: tuple[WasteSurface, ...]
+
+    def render(self, max_rows: int = 16, max_cols: int = 64) -> str:
+        chunks = [f"=== {self.figure_id}: waste vs (M, phi/R), "
+                  f"scenario {self.scenario} ===\n"]
+        for surf in self.panels:
+            rows = _thin_indices(surf.m_grid.size, max_rows)
+            cols = _thin_indices(surf.phi_grid.size, max_cols)
+            chunks.append(
+                report.ascii_heatmap(
+                    surf.waste[np.ix_(rows, cols)],
+                    row_labels=[format_time(float(surf.m_grid[i])) for i in rows],
+                    col_labels=[f"{surf.phi_over_r[j]:.2f}" for j in cols],
+                    title=f"-- {surf.protocol} (waste at optimal period) --",
+                    vmin=0.0,
+                    vmax=1.0,
+                )
+            )
+        return "\n".join(chunks)
+
+    def to_csv(self) -> dict[str, str]:
+        return {
+            surf.protocol: report.grid_csv(
+                surf.waste, surf.m_grid, surf.phi_over_r,
+                row_name="M_seconds", col_name="phi_over_R", value_name="waste",
+            )
+            for surf in self.panels
+        }
+
+    def to_gnuplot(self) -> dict[str, str]:
+        """One gnuplot splot script per panel (paper-style surfaces)."""
+        return {
+            surf.protocol: report.gnuplot_surface_script(
+                surf.waste, surf.m_grid, surf.phi_over_r,
+                title=f"{self.figure_id} {surf.protocol} ({self.scenario})",
+                xlabel="M (s)", ylabel="phi/R", zlabel="Waste",
+                data_file=f"{self.figure_id}_{surf.protocol}.csv",
+                output_file=f"{self.figure_id}_{surf.protocol}.png",
+                log_x=True,
+            )
+            for surf in self.panels
+        }
+
+
+@dataclass(frozen=True)
+class WasteRatioFigure:
+    """Figs. 5/8: waste ratios vs φ/R at the scenario's fixed MTBF."""
+
+    figure_id: str
+    scenario: str
+    M: float
+    phi_over_r: np.ndarray
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["phi/R"] + list(self.series)
+        rows = []
+        for i, x in enumerate(self.phi_over_r):
+            rows.append([float(x)] + [float(s[i]) for s in self.series.values()])
+        title = (f"=== {self.figure_id}: waste ratios, scenario {self.scenario}, "
+                 f"M={format_time(self.M)} ===")
+        return report.ascii_table(headers, rows, title=title)
+
+    def to_csv(self) -> str:
+        cols = {"phi_over_R": self.phi_over_r}
+        cols.update(self.series)
+        return report.series_csv(cols)
+
+
+@dataclass(frozen=True)
+class RiskRatioFigure:
+    """Figs. 6/9: success-probability ratio surfaces over (M, T)."""
+
+    figure_id: str
+    scenario: str
+    panels: tuple[RatioSurface, ...]
+    #: Panel captions as printed in the paper.
+    captions: tuple[str, ...]
+
+    def render(self, max_rows: int = 16, max_cols: int = 40) -> str:
+        chunks = [f"=== {self.figure_id}: success-probability ratios, "
+                  f"scenario {self.scenario} (theta=(alpha+1)R) ===\n"]
+        for surf, caption in zip(self.panels, self.captions):
+            rows = _thin_indices(surf.m_grid.size, max_rows)
+            cols = _thin_indices(surf.t_grid.size, max_cols)
+            chunks.append(
+                report.ascii_heatmap(
+                    surf.ratio[np.ix_(rows, cols)],
+                    row_labels=[format_time(float(surf.m_grid[i])) for i in rows],
+                    col_labels=[format_time(float(surf.t_grid[j])) for j in cols],
+                    title=f"-- {caption} --",
+                    vmin=0.0,
+                    vmax=1.0,
+                )
+            )
+        return "\n".join(chunks)
+
+    def to_csv(self) -> dict[str, str]:
+        return {
+            f"{surf.numerator}_over_{surf.denominator}": report.grid_csv(
+                surf.ratio, surf.m_grid, surf.t_grid,
+                row_name="M_seconds", col_name="T_seconds", value_name="ratio",
+            )
+            for surf in self.panels
+        }
+
+    def to_gnuplot(self) -> dict[str, str]:
+        """One gnuplot splot script per panel (paper-style surfaces)."""
+        out = {}
+        for surf in self.panels:
+            name = f"{surf.numerator}_over_{surf.denominator}"
+            out[name] = report.gnuplot_surface_script(
+                surf.ratio, surf.m_grid, surf.t_grid,
+                title=f"{self.figure_id} {name} ({self.scenario})",
+                xlabel="M (s)", ylabel="Platform life (s)",
+                zlabel="Success probability ratio",
+                data_file=f"{self.figure_id}_{name}.csv",
+                output_file=f"{self.figure_id}_{name}.png",
+            )
+        return out
+
+
+def _thin_indices(size: int, limit: int) -> np.ndarray:
+    if size <= limit:
+        return np.arange(size)
+    return np.unique(np.linspace(0, size - 1, limit).round().astype(int))
+
+
+# ----------------------------------------------------------------------
+def waste_surfaces(
+    figure_id: str,
+    scenario: Scenario | str,
+    *,
+    num_phi: int = 41,
+    num_m: int = 49,
+) -> WasteSurfaceFigure:
+    """Build the three panels of Fig. 4 (Base) or Fig. 7 (Exa)."""
+    scenario = get_scenario(scenario)
+    panels = tuple(
+        waste_surface(spec, scenario, num_phi=num_phi, num_m=num_m)
+        for spec in SURFACE_PROTOCOLS
+    )
+    return WasteSurfaceFigure(figure_id=figure_id, scenario=scenario.key,
+                              panels=panels)
+
+
+def waste_ratio_figure(
+    figure_id: str,
+    scenario: Scenario | str,
+    *,
+    M: float | str | None = None,
+    num_phi: int = 101,
+) -> WasteRatioFigure:
+    """Build Fig. 5 (Base) or Fig. 8 (Exa): BOF/NBL and TRIPLE/NBL vs φ/R."""
+    scenario = get_scenario(scenario)
+    m_value = scenario.m_ratio_cut if M is None else M
+    x, bof_over_nbl = waste_ratio_cut(DOUBLE_BOF, DOUBLE_NBL, scenario,
+                                      M=m_value, num_phi=num_phi)
+    _, tri_over_nbl = waste_ratio_cut(TRIPLE, DOUBLE_NBL, scenario,
+                                      M=m_value, num_phi=num_phi)
+    params = scenario.parameters(M=m_value)
+    return WasteRatioFigure(
+        figure_id=figure_id,
+        scenario=scenario.key,
+        M=params.M,
+        phi_over_r=x,
+        series={
+            "DoubleBoF/DoubleNBL": np.asarray(bof_over_nbl),
+            "Triple/DoubleNBL": np.asarray(tri_over_nbl),
+        },
+    )
+
+
+def risk_ratio_figure(
+    figure_id: str,
+    scenario: Scenario | str,
+    *,
+    num_m: int = 31,
+    num_t: int = 30,
+    method: str = "paper",
+) -> RiskRatioFigure:
+    """Build Fig. 6 (Base) or Fig. 9 (Exa).
+
+    Panels: (a) NBL/BOF as captioned; (b) BOF/TRIPLE as captioned, plus
+    the NBL/TRIPLE panel the body text of §VI-A describes — the paper's
+    caption and text disagree, so we emit both (see DESIGN.md, E3).
+    """
+    scenario = get_scenario(scenario)
+    kw = dict(theta_policy="max", num_m=num_m, num_t=num_t, method=method)
+    panels = (
+        ratio_surface(DOUBLE_NBL, DOUBLE_BOF, scenario, **kw),
+        ratio_surface(DOUBLE_BOF, TRIPLE, scenario, **kw),
+        ratio_surface(DOUBLE_NBL, TRIPLE, scenario, **kw),
+    )
+    captions = (
+        "(a) DoubleNBL / DoubleBoF success probability",
+        "(b) DoubleBoF / Triple success probability (caption)",
+        "(b') DoubleNBL / Triple success probability (body text)",
+    )
+    return RiskRatioFigure(
+        figure_id=figure_id, scenario=scenario.key, panels=panels,
+        captions=captions,
+    )

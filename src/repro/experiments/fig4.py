@@ -1,0 +1,17 @@
+"""Experiment E1 — Figure 4: waste surfaces, Base scenario.
+
+Three panels — (a) DOUBLE-BOF, (b) DOUBLE-NBL, (c) TRIPLE — showing the
+waste at the model-optimal period as a function of ``φ/R ∈ [0, 1]`` and
+``M ∈ [15 s, 1 day]`` (log scale).  Expected shape: waste ≈ 1 for
+``M ≲ 1 min``, ≈ 0 at one day; TRIPLE benefits most from small ``φ``.
+"""
+
+from __future__ import annotations
+
+from ._figcommon import WasteSurfaceFigure, waste_surfaces
+
+__all__ = ["generate"]
+
+
+def generate(num_phi: int = 41, num_m: int = 49) -> WasteSurfaceFigure:
+    return waste_surfaces("fig4", "base", num_phi=num_phi, num_m=num_m)

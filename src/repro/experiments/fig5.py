@@ -1,0 +1,16 @@
+"""Experiment E2 — Figure 5: waste ratios, Base scenario, M = 7 h.
+
+Series: DOUBLE-BOF/DOUBLE-NBL and TRIPLE/DOUBLE-NBL versus ``φ/R``.
+Expected shape: BOF/NBL ≥ 1 converging to 1 at ``φ/R = 1``; TRIPLE/NBL
+≈ 0.25 at ``φ/R = 0``, crossing 1 near 0.5–0.6, worst case ≈ 1.15.
+"""
+
+from __future__ import annotations
+
+from ._figcommon import WasteRatioFigure, waste_ratio_figure
+
+__all__ = ["generate"]
+
+
+def generate(num_phi: int = 101, M=None) -> WasteRatioFigure:
+    return waste_ratio_figure("fig5", "base", M=M, num_phi=num_phi)

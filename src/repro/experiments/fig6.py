@@ -1,0 +1,21 @@
+"""Experiment E3 — Figure 6: success-probability ratios, Base scenario.
+
+Surfaces over ``M ∈ (0, 30] min`` × platform life ``T ∈ [1, 30]`` days at
+the worst-case window ``θ = (α+1)R``:
+
+* (a) DOUBLE-NBL / DOUBLE-BOF — drops below 1 for small M and long T.
+* (b) DOUBLE-BOF / TRIPLE (as captioned in the paper) plus the
+  DOUBLE-NBL / TRIPLE panel that §VI-A's body text actually discusses;
+  the paper's caption and text disagree, so both are emitted.
+"""
+
+from __future__ import annotations
+
+from ._figcommon import RiskRatioFigure, risk_ratio_figure
+
+__all__ = ["generate"]
+
+
+def generate(num_m: int = 31, num_t: int = 30, method: str = "paper") -> RiskRatioFigure:
+    return risk_ratio_figure("fig6", "base", num_m=num_m, num_t=num_t,
+                             method=method)

@@ -1,0 +1,16 @@
+"""Experiment E4 — Figure 7: waste surfaces, Exa scenario.
+
+Same axes as Figure 4 with the exascale parameters (Table I).  Expected
+shape: same qualitative behaviour as Base, with "waste is important when
+failures hit more than once a day" (§VI-B).
+"""
+
+from __future__ import annotations
+
+from ._figcommon import WasteSurfaceFigure, waste_surfaces
+
+__all__ = ["generate"]
+
+
+def generate(num_phi: int = 41, num_m: int = 49) -> WasteSurfaceFigure:
+    return waste_surfaces("fig7", "exa", num_phi=num_phi, num_m=num_m)

@@ -1,0 +1,15 @@
+"""Experiment E5 — Figure 8: waste ratios, Exa scenario, M = 7 h.
+
+Expected shape: TRIPLE's gain over DOUBLE-NBL grows to ≈ 25% at
+``φ/R = 1/10``; BOF/NBL stays slightly above 1 until ``φ/R = 1``.
+"""
+
+from __future__ import annotations
+
+from ._figcommon import WasteRatioFigure, waste_ratio_figure
+
+__all__ = ["generate"]
+
+
+def generate(num_phi: int = 101, M=None) -> WasteRatioFigure:
+    return waste_ratio_figure("fig8", "exa", M=M, num_phi=num_phi)

@@ -1,0 +1,18 @@
+"""Experiment E6 — Figure 9: success-probability ratios, Exa scenario.
+
+Surfaces over ``M ∈ (0, 60] min`` × platform life ``T ∈ (0, 60]`` weeks.
+Expected shape: same panels as Figure 6 with stronger separation — on an
+exascale machine DOUBLE-NBL's long risk window costs orders of magnitude
+of success probability, while TRIPLE stays ≈ 1.
+"""
+
+from __future__ import annotations
+
+from ._figcommon import RiskRatioFigure, risk_ratio_figure
+
+__all__ = ["generate"]
+
+
+def generate(num_m: int = 31, num_t: int = 30, method: str = "paper") -> RiskRatioFigure:
+    return risk_ratio_figure("fig9", "exa", num_m=num_m, num_t=num_t,
+                             method=method)

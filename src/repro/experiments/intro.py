@@ -1,0 +1,89 @@
+"""The paper's §I motivation, reproduced as numbers.
+
+Two computations anchor the introduction:
+
+1. With a 50-year node MTBF, a node survives the next hour with
+   probability ≈ 0.999998 — but on a 10⁶-node machine the probability
+   that *some* node fails within the hour exceeds 0.86.
+2. Therefore the platform MTBF is minutes, and long-running applications
+   must checkpoint.
+
+This module reproduces both and extends them into the "no checkpointing
+is hopeless" baseline (Eq. 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.parameters import Parameters
+from ..core.risk import success_probability_base
+from ..units import HOUR, YEAR, format_time
+from . import report
+
+__all__ = ["IntroFacts", "generate"]
+
+
+@dataclass(frozen=True)
+class IntroFacts:
+    node_mtbf_years: float
+    n_nodes: int
+    p_node_survives_hour: float
+    p_platform_failure_within_hour: float
+    platform_mtbf_seconds: float
+    p_one_day_run_no_checkpoint: float
+
+    def render(self) -> str:
+        rows = [
+            ["node MTBF", f"{self.node_mtbf_years:g} years"],
+            ["P(node up for 1 more hour)", f"{self.p_node_survives_hour:.6f}"],
+            ["nodes", f"{self.n_nodes}"],
+            ["P(some node fails within 1 hour)",
+             f"{self.p_platform_failure_within_hour:.4f} (paper: > 0.86)"],
+            ["platform MTBF", format_time(round(self.platform_mtbf_seconds))],
+            ["P(1-day run survives, no checkpointing)",
+             f"{self.p_one_day_run_no_checkpoint:.2e}"],
+        ]
+        return report.ascii_table(
+            ["quantity", "value"], rows,
+            title="=== §I motivation: exascale reliability arithmetic ===",
+        )
+
+    def to_csv(self) -> str:
+        import numpy as np
+
+        return report.series_csv({
+            "node_mtbf_years": np.array([self.node_mtbf_years]),
+            "n_nodes": np.array([float(self.n_nodes)]),
+            "p_node_survives_hour": np.array([self.p_node_survives_hour]),
+            "p_platform_failure_within_hour": np.array(
+                [self.p_platform_failure_within_hour]),
+            "platform_mtbf_seconds": np.array([self.platform_mtbf_seconds]),
+            "p_one_day_run_no_checkpoint": np.array(
+                [self.p_one_day_run_no_checkpoint]),
+        })
+
+
+def generate(
+    node_mtbf_years: float = 50.0, n_nodes: int = 10**6
+) -> IntroFacts:
+    """Reproduce the §I arithmetic for any (node MTBF, node count)."""
+    node_mtbf = node_mtbf_years * YEAR
+    # The paper's conservative rounding: P(up for the next hour) with an
+    # exponential law at a 50-year MTBF is exp(-1h/50y) ≈ 0.999998.
+    p_hour = math.exp(-HOUR / node_mtbf)
+    p_platform_fail = 1.0 - p_hour**n_nodes
+    platform_mtbf = node_mtbf / n_nodes
+    params = Parameters(
+        D=0.0, delta=1.0, R=1.0, alpha=0.0, M=platform_mtbf, n=n_nodes
+    )
+    p_day = success_probability_base(params, 86400.0, method="exponential")
+    return IntroFacts(
+        node_mtbf_years=node_mtbf_years,
+        n_nodes=n_nodes,
+        p_node_survives_hour=p_hour,
+        p_platform_failure_within_hour=p_platform_fail,
+        platform_mtbf_seconds=platform_mtbf,
+        p_one_day_run_no_checkpoint=p_day,
+    )

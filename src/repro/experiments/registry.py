@@ -1,0 +1,62 @@
+"""Experiment registry: id → generator, for the CLI and the bench harness.
+
+Each entry renders to text via ``.render()`` and exports CSV via
+``.to_csv()`` (a string or a dict of per-panel strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ExperimentError
+from . import fig4, fig5, fig6, fig7, fig8, fig9, intro, table1
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artefact."""
+
+    key: str
+    title: str
+    paper_ref: str
+    generate: Callable[..., Any]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.key: exp
+    for exp in (
+        Experiment("intro", "Exascale reliability arithmetic", "Section I",
+                   lambda **kw: intro.generate(**kw)),
+        Experiment("table1", "Scenario parameters", "Table I",
+                   lambda **kw: table1.generate()),
+        Experiment("fig4", "Waste surfaces, Base", "Figure 4",
+                   lambda **kw: fig4.generate(**kw)),
+        Experiment("fig5", "Waste ratios, Base, M=7h", "Figure 5",
+                   lambda **kw: fig5.generate(**kw)),
+        Experiment("fig6", "Success-probability ratios, Base", "Figure 6",
+                   lambda **kw: fig6.generate(**kw)),
+        Experiment("fig7", "Waste surfaces, Exa", "Figure 7",
+                   lambda **kw: fig7.generate(**kw)),
+        Experiment("fig8", "Waste ratios, Exa, M=7h", "Figure 8",
+                   lambda **kw: fig8.generate(**kw)),
+        Experiment("fig9", "Success-probability ratios, Exa", "Figure 9",
+                   lambda **kw: fig9.generate(**kw)),
+    )
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(key: str, **kwargs) -> Any:
+    """Generate the artefact's data object."""
+    return get_experiment(key).generate(**kwargs)

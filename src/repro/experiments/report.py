@@ -1,0 +1,201 @@
+"""Report rendering: ASCII tables, ASCII heat maps and CSV export.
+
+The paper's evaluation figures are gnuplot 3-D surfaces; in a library
+context the same information is delivered as (a) machine-readable grids
+(CSV) and (b) terminal-friendly ASCII renderings used by the CLI and the
+benchmark harnesses, so "regenerate Figure 7b" prints something a human
+can compare against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import format_time
+
+__all__ = [
+    "ascii_table",
+    "ascii_heatmap",
+    "series_csv",
+    "grid_csv",
+    "gnuplot_surface_script",
+    "format_m_axis",
+]
+
+#: Shade ramp for heat maps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table (monospace-aligned)."""
+    rows = [list(map(_fmt_cell, row)) for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ParameterError("row length does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "+".join("-" * (w + 2) for w in widths)
+    out.write(sep + "\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep + "\n")
+    for row in rows:
+        out.write(" | ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    out.write(sep + "\n")
+    return out.getvalue()
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    *,
+    title: str = "",
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Shade a 2-D grid with a 10-level character ramp.
+
+    Rows are printed top-down in the given order; NaNs render as ``?``.
+    A legend maps the ramp back to values.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ParameterError("grid must be 2-D")
+    if grid.shape[0] != len(row_labels) or grid.shape[1] != len(col_labels):
+        raise ParameterError("labels do not match grid shape")
+    finite = grid[np.isfinite(grid)]
+    lo = vmin if vmin is not None else (finite.min() if finite.size else 0.0)
+    hi = vmax if vmax is not None else (finite.max() if finite.size else 1.0)
+    span = hi - lo if hi > lo else 1.0
+    label_w = max((len(s) for s in row_labels), default=0)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for i, label in enumerate(row_labels):
+        chars = []
+        for v in grid[i]:
+            if not np.isfinite(v):
+                chars.append("?")
+            else:
+                idx = int(np.clip((v - lo) / span * (len(_SHADES) - 1), 0,
+                                  len(_SHADES) - 1))
+                chars.append(_SHADES[idx])
+        out.write(f"{label.rjust(label_w)} |{''.join(chars)}|\n")
+    out.write(f"{' ' * label_w}  cols: {col_labels[0]} .. {col_labels[-1]}\n")
+    out.write(
+        f"{' ' * label_w}  scale: '{_SHADES[0]}'={lo:.3g} .. '{_SHADES[-1]}'={hi:.3g}"
+        "  ('?' = undefined)\n"
+    )
+    return out.getvalue()
+
+
+def series_csv(columns: dict[str, np.ndarray]) -> str:
+    """CSV of aligned 1-D series (column name -> values)."""
+    if not columns:
+        raise ParameterError("need at least one column")
+    arrays = {k: np.asarray(v).ravel() for k, v in columns.items()}
+    lengths = {a.size for a in arrays.values()}
+    if len(lengths) != 1:
+        raise ParameterError(f"columns have mismatched lengths: {lengths}")
+    out = io.StringIO()
+    out.write(",".join(arrays.keys()) + "\n")
+    for i in range(lengths.pop()):
+        out.write(",".join(_fmt_cell(float(a[i])) for a in arrays.values()) + "\n")
+    return out.getvalue()
+
+
+def grid_csv(
+    grid: np.ndarray,
+    row_values: np.ndarray,
+    col_values: np.ndarray,
+    *,
+    row_name: str = "row",
+    col_name: str = "col",
+    value_name: str = "value",
+) -> str:
+    """Long-format CSV (row, col, value) of a 2-D grid."""
+    grid = np.asarray(grid, dtype=float)
+    if grid.shape != (len(row_values), len(col_values)):
+        raise ParameterError("grid shape does not match axis values")
+    out = io.StringIO()
+    out.write(f"{row_name},{col_name},{value_name}\n")
+    for i, r in enumerate(row_values):
+        for j, c in enumerate(col_values):
+            out.write(f"{_fmt_cell(float(r))},{_fmt_cell(float(c))},"
+                      f"{_fmt_cell(float(grid[i, j]))}\n")
+    return out.getvalue()
+
+
+def gnuplot_surface_script(
+    grid: np.ndarray,
+    row_values: np.ndarray,
+    col_values: np.ndarray,
+    *,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    zlabel: str,
+    data_file: str,
+    output_file: str = "surface.png",
+    log_x: bool = False,
+) -> str:
+    """A gnuplot script rendering a grid as the paper's 3-D surfaces.
+
+    The paper's Figures 4/6/7/9 are gnuplot ``splot`` surfaces; emitting
+    the same script next to the CSV lets anyone regenerate a
+    visually comparable plot with stock gnuplot.  ``data_file`` must hold
+    the long-format CSV from :func:`grid_csv`.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.shape != (len(row_values), len(col_values)):
+        raise ParameterError("grid shape does not match axis values")
+    lines = [
+        "# gnuplot script generated by repro (matches the paper's splot style)",
+        f"set terminal pngcairo size 900,700",
+        f"set output '{output_file}'",
+        f"set title '{title}'",
+        f"set xlabel '{xlabel}'",
+        f"set ylabel '{ylabel}'",
+        f"set zlabel '{zlabel}' rotate",
+        "set datafile separator ','",
+        "set dgrid3d "
+        f"{len(row_values)},{len(col_values)}",
+        "set hidden3d",
+        "set zrange [0:1]",
+    ]
+    if log_x:
+        lines.append("set logscale x")
+    lines += [
+        f"splot '{data_file}' every ::1 using 1:2:3 with lines notitle",
+        "unset output",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def format_m_axis(m_values: np.ndarray) -> list[str]:
+    """Human labels for an MTBF axis (``60 -> '1min'``)."""
+    return [format_time(float(m)) for m in np.asarray(m_values).ravel()]

@@ -1,0 +1,165 @@
+"""The paper's evaluation scenarios (Table I) plus derivation helpers.
+
+========  ====  =====  ===========  ====  =====  ========
+Scenario  D     δ      φ            R     α      n
+========  ====  =====  ===========  ====  =====  ========
+Base      0     2 s    0 ≤ φ ≤ 4    4 s   10     324×32
+Exa       60 s  30 s   0 ≤ φ ≤ 60   60 s  10     10⁶
+========  ====  =====  ===========  ====  =====  ========
+
+*Base* reuses the values of Ni et al. [2]: checkpointing 512 MB to a local
+SSD takes ≈2 s, uploading it to the buddy at network speed ≈4 s, and node
+allocation time is ignored (D = 0).  *Exa* models the IESP exascale
+projection: 10⁶ nodes, 64 GB/core memory, 1 TB/s/node network and
+500 Gb/s/node local storage — giving δ = 30 s, R = 60 s, D = 60 s.
+
+A :class:`Scenario` fixes everything except the MTBF ``M`` (which the
+figures sweep) and the overhead ``φ`` (a protocol tuning choice), so
+``scenario.parameters(M=...)`` is the entry point everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.parameters import Parameters
+from ..errors import ParameterError
+from ..units import DAY, HOUR, MINUTE, parse_time
+
+__all__ = ["Scenario", "BASE", "EXA", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully specified platform configuration (one Table I row)."""
+
+    key: str
+    description: str
+    D: float
+    delta: float
+    R: float
+    alpha: float
+    n: int
+    #: Default M-grid for waste surfaces (Figs. 4/7): log-spaced seconds.
+    m_grid_bounds: tuple[float, float] = (15.0, DAY)
+    #: The fixed MTBF used by the waste-ratio cuts (Figs. 5/8).
+    m_ratio_cut: float = 7 * HOUR
+    #: (max M [s], max platform life [s]) for risk surfaces (Figs. 6/9).
+    risk_grid_bounds: tuple[float, float] = (30 * MINUTE, 30 * DAY)
+    #: Extra context recorded in reports.
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def parameters(self, M: float | str, n: int | None = None) -> Parameters:
+        """Instantiate model :class:`~repro.core.parameters.Parameters`.
+
+        ``M`` accepts seconds or a human string (``"7h"``).
+        """
+        return Parameters(
+            D=self.D,
+            delta=self.delta,
+            R=self.R,
+            alpha=self.alpha,
+            M=parse_time(M),
+            n=self.n if n is None else n,
+        )
+
+    # ------------------------------------------------------------------
+    # Figure grids
+    # ------------------------------------------------------------------
+    def phi_grid(self, num: int = 41) -> np.ndarray:
+        """Overhead grid ``φ ∈ [0, R]`` (x-axis of the waste figures)."""
+        if num < 2:
+            raise ParameterError("need at least 2 grid points")
+        return np.linspace(0.0, self.R, num)
+
+    def phi_over_r_grid(self, num: int = 41) -> np.ndarray:
+        """Normalised ``φ/R ∈ [0, 1]`` grid used by figure axes."""
+        return self.phi_grid(num) / self.R
+
+    def m_grid(self, num: int = 49) -> np.ndarray:
+        """Log-spaced MTBF grid (seconds) for the waste surfaces."""
+        lo, hi = self.m_grid_bounds
+        return np.logspace(np.log10(lo), np.log10(hi), num)
+
+    def risk_grids(
+        self, num_m: int = 31, num_t: int = 30
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(M grid, platform-life grid) in seconds for the risk surfaces.
+
+        The M axis starts strictly above zero (the paper's axes display 0
+        but λ diverges there).
+        """
+        m_max, t_max = self.risk_grid_bounds
+        m_grid = np.linspace(m_max / num_m, m_max, num_m)
+        t_grid = np.linspace(t_max / num_t, t_max, num_t)
+        return m_grid, t_grid
+
+    def table_row(self) -> dict[str, Any]:
+        """The scenario as a Table I row (for the table1 experiment)."""
+        return {
+            "Scenario": self.key,
+            "D": self.D,
+            "delta": self.delta,
+            "phi": f"0 <= phi <= {self.R:g}",
+            "R": self.R,
+            "alpha": self.alpha,
+            "n": self.n,
+        }
+
+
+#: The Base scenario of §VI-A (values from Ni et al. [2]).
+BASE = Scenario(
+    key="base",
+    description=(
+        "Cluster scenario of Ni et al. [2]: 512MB checkpoints, SSD local "
+        "writes (2s), buddy upload 4s, no allocation downtime"
+    ),
+    D=0.0,
+    delta=2.0,
+    R=4.0,
+    alpha=10.0,
+    n=324 * 32,
+    m_grid_bounds=(15.0, DAY),
+    m_ratio_cut=7 * HOUR,
+    risk_grid_bounds=(30 * MINUTE, 30 * DAY),
+    notes={
+        "checkpoint_size": "512MB",
+        "source": "Ni, Meneses, Kale, Cluster'12",
+    },
+)
+
+#: The Exa scenario of §VI-B (IESP exascale projection [3,4]).
+EXA = Scenario(
+    key="exa",
+    description=(
+        "IESP 'slim' exascale projection: 1e6 nodes, 1000 cores/node, "
+        "64GB/core, 1TB/s/node network, 500Gb/s/node local storage"
+    ),
+    D=60.0,
+    delta=30.0,
+    R=60.0,
+    alpha=10.0,
+    n=10**6,
+    m_grid_bounds=(15.0, DAY),
+    m_ratio_cut=7 * HOUR,
+    risk_grid_bounds=(60 * MINUTE, 60 * 7 * DAY),
+    notes={"source": "IESP roadmap [3,4]"},
+)
+
+#: Registry of the paper's scenarios by key.
+SCENARIOS: dict[str, Scenario] = {s.key: s for s in (BASE, EXA)}
+
+
+def get_scenario(key: str | Scenario) -> Scenario:
+    """Look up a scenario by key (idempotent on instances)."""
+    if isinstance(key, Scenario):
+        return key
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scenario {key!r}; known: {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,45 @@
+"""Experiment E0 — Table I: scenario parameters.
+
+Regenerates the parameter table of §VI, including the derivation notes
+(checkpoint size / device bandwidths) that justify each value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import report
+from .scenarios import SCENARIOS, Scenario
+
+__all__ = ["Table1", "generate"]
+
+_COLUMNS = ("Scenario", "D", "delta", "phi", "R", "alpha", "n")
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: tuple[dict, ...]
+
+    def render(self) -> str:
+        body = [[row[c] for c in _COLUMNS] for row in self.rows]
+        return report.ascii_table(
+            _COLUMNS,
+            body,
+            title=("=== Table I: parameters for the different scenarios "
+                   "(times in seconds) ==="),
+        )
+
+    def to_csv(self) -> str:
+        import numpy as np
+
+        cols: dict[str, list] = {c: [] for c in _COLUMNS if c not in ("Scenario", "phi")}
+        for row in self.rows:
+            for c in cols:
+                cols[c].append(float(row[c]))
+        return report.series_csv({k: np.asarray(v) for k, v in cols.items()})
+
+
+def generate(scenarios: dict[str, Scenario] | None = None) -> Table1:
+    """Build Table I from the scenario registry."""
+    scen = scenarios or SCENARIOS
+    return Table1(rows=tuple(s.table_row() for s in scen.values()))

@@ -1,0 +1,160 @@
+"""Result persistence: JSON round-trips for simulation outputs.
+
+Long parameter sweeps (hundreds of DES runs) need durable, versioned
+results so analyses can be re-run without re-simulating.  This module
+serialises the library's result types to a stable JSON envelope::
+
+    {"format": "repro-results", "version": 1,
+     "kind": "DesResult", "payload": {...}}
+
+Guarantees:
+
+* round-trips are lossless for every field, including ``nan``/``inf``
+  (encoded as strings, since JSON has no literals for them);
+* files written by older library versions either load or fail loudly —
+  never silently mis-parse;
+* batches are streamed as JSON Lines (one envelope per line), so a
+  campaign can append results as runs finish.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Iterable, Iterator
+
+from .errors import ParameterError
+from .sim.results import DesResult, MonteCarloSummary
+
+__all__ = [
+    "dump_result",
+    "load_result",
+    "save_results",
+    "load_results",
+    "to_envelope",
+    "from_envelope",
+]
+
+_FORMAT = "repro-results"
+_VERSION = 1
+_KINDS = {"DesResult": DesResult, "MonteCarloSummary": MonteCarloSummary}
+
+
+def _encode_float(value: float) -> Any:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value: Any) -> Any:
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return value
+
+
+def _encode_payload(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {k: _encode_payload(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode_payload(v) for v in obj]
+    return _encode_float(obj)
+
+
+def _decode_payload(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {k: _decode_payload(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode_payload(v) for v in obj]
+    return _decode_float(obj)
+
+
+def to_envelope(result: DesResult | MonteCarloSummary) -> dict:
+    """Wrap a result in the versioned JSON envelope (as a plain dict)."""
+    kind = type(result).__name__
+    if kind not in _KINDS:
+        raise ParameterError(f"cannot serialise {kind}")
+    payload = dict(result.__dict__)
+    # Tuples must survive: mark which fields need re-tupling on load.
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "kind": kind,
+        "payload": _encode_payload(payload),
+    }
+
+
+def from_envelope(envelope: dict) -> DesResult | MonteCarloSummary:
+    """Reconstruct a result object; validates format and version."""
+    if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
+        raise ParameterError("not a repro-results envelope")
+    if envelope.get("version") != _VERSION:
+        raise ParameterError(
+            f"unsupported results version {envelope.get('version')!r} "
+            f"(this library reads version {_VERSION})"
+        )
+    kind = envelope.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ParameterError(f"unknown result kind {kind!r}")
+    payload = _decode_payload(envelope.get("payload", {}))
+    if kind == "DesResult":
+        payload["fatal_group"] = tuple(payload.get("fatal_group", ()))
+    if kind == "MonteCarloSummary":
+        payload["success_ci"] = tuple(payload.get("success_ci", (0.0, 1.0)))
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ParameterError(f"corrupt {kind} payload: {exc}") from exc
+
+
+def dump_result(result: DesResult | MonteCarloSummary) -> str:
+    """One result as a compact JSON string."""
+    return json.dumps(to_envelope(result), sort_keys=True)
+
+
+def load_result(text: str) -> DesResult | MonteCarloSummary:
+    """Inverse of :func:`dump_result`."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"invalid JSON: {exc}") from exc
+    return from_envelope(envelope)
+
+
+def save_results(
+    results: Iterable[DesResult | MonteCarloSummary],
+    path: str | pathlib.Path,
+    *,
+    append: bool = False,
+) -> int:
+    """Write results as JSON Lines; returns the number written."""
+    path = pathlib.Path(path)
+    mode = "a" if append else "w"
+    count = 0
+    with path.open(mode, encoding="utf-8") as fh:
+        for result in results:
+            fh.write(dump_result(result) + "\n")
+            count += 1
+    return count
+
+
+def load_results(path: str | pathlib.Path) -> Iterator[DesResult | MonteCarloSummary]:
+    """Stream results back from a JSON Lines file."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield load_result(line)
+            except ParameterError as exc:
+                raise ParameterError(f"{path}:{lineno}: {exc}") from exc

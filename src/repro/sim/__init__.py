@@ -1,0 +1,57 @@
+"""Simulation substrate: event-level and Monte Carlo checkpointing simulators.
+
+Three tiers, by increasing speed and decreasing granularity:
+
+``repro.sim.des``
+    Full discrete-event simulation: per-node failure processes, buddy
+    groups, phase-by-phase protocol state machines, risk windows and fatal
+    failures.  The reference implementation of the protocols' semantics.
+``repro.sim.renewal``
+    Fast period-level Monte Carlo of the waste renewal process; validates
+    the expected-lost-time formulas (Eqs. 6–8, 13–14) in seconds.
+``repro.sim.riskmc``
+    Vectorised Monte Carlo of pair/triple fatal failures; validates the
+    success-probability formulas (Eqs. 11, 16).
+
+Supporting modules: ``engine`` (event queue), ``rng`` (reproducible
+streams), ``distributions`` (failure laws), ``failures`` (injection),
+``cluster``/``topology`` (nodes and buddy groups), ``network``/``storage``
+(parameter derivation from hardware characteristics), ``application``
+(workload model), ``results`` (result containers and statistics).
+"""
+
+from .distributions import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    FailureDistribution,
+    Gamma,
+    LogNormal,
+    Weibull,
+)
+from .rng import RngFactory
+from .results import DesResult, MonteCarloSummary
+from .des import DesConfig, run_des, run_des_batch
+from .renewal import RenewalConfig, run_renewal, run_renewal_batch
+from .riskmc import RiskMcConfig, run_risk_mc
+
+__all__ = [
+    "FailureDistribution",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Empirical",
+    "RngFactory",
+    "DesResult",
+    "MonteCarloSummary",
+    "DesConfig",
+    "run_des",
+    "run_des_batch",
+    "RenewalConfig",
+    "run_renewal",
+    "run_renewal_batch",
+    "RiskMcConfig",
+    "run_risk_mc",
+]

@@ -1,0 +1,98 @@
+"""Application/workload model for the simulators.
+
+The paper's application abstraction: progress at unit speed when
+unimpeded, slowed by factor ``1 − φ/θ`` during overlapped exchanges, and
+stopped during blocking phases.  :class:`Application` tracks committed
+(snapshotted) versus volatile progress so rollbacks are explicit and
+auditable.
+
+``work`` is measured in seconds-of-compute (work units ≡ time units at
+unit speed, as in §II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError, SimulationError
+
+__all__ = ["Application"]
+
+
+@dataclass
+class Application:
+    """Work tracking with snapshot/rollback semantics.
+
+    Parameters
+    ----------
+    work_target:
+        Total work units to complete (``T_base`` of Eq. 1).
+    """
+
+    work_target: float
+    #: Work completed since t=0, including uncommitted progress.
+    work_done: float = 0.0
+    #: Work level captured by the last *committed* (recoverable) snapshot.
+    committed_work: float = 0.0
+    #: History of (time, work) snapshot commits, for diagnostics.
+    commits: list[tuple[float, float]] = field(default_factory=list)
+    rollbacks: int = 0
+    #: Total work units destroyed by rollbacks (re-execution volume).
+    work_lost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work_target <= 0:
+            raise ParameterError("work_target must be > 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.work_done >= self.work_target - 1e-9
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.work_target - self.work_done)
+
+    def advance(self, work_units: float) -> None:
+        """Execute ``work_units`` of application progress."""
+        if work_units < 0:
+            raise SimulationError(f"cannot advance by {work_units}")
+        self.work_done += work_units
+
+    def time_to_complete(self, speed: float) -> float:
+        """Wall time to finish the remaining work at ``speed`` (∞ if 0)."""
+        if speed <= 0:
+            return float("inf")
+        return self.remaining / speed
+
+    # ------------------------------------------------------------------
+    def commit_snapshot(self, now: float, work_level: float | None = None) -> None:
+        """A coordinated checkpoint set became globally recoverable.
+
+        ``work_level`` is the progress the snapshot *captured* (the work
+        done when the checkpoint was taken — the start of the period),
+        which may be below the current ``work_done`` because the platform
+        kept computing while the images propagated.  Defaults to the
+        current progress (blocking checkpoint semantics).
+        """
+        level = self.work_done if work_level is None else float(work_level)
+        if level > self.work_done + 1e-9:
+            raise SimulationError("cannot commit work that was never executed")
+        if level < self.committed_work - 1e-9:
+            raise SimulationError("commit would move the snapshot backwards")
+        self.committed_work = min(level, self.work_done)
+        self.commits.append((now, self.committed_work))
+
+    def rollback(self) -> float:
+        """Roll volatile progress back to the last committed snapshot.
+
+        Returns the amount of work lost (to be re-executed).
+        """
+        lost = self.work_done - self.committed_work
+        if lost < -1e-9:  # pragma: no cover - defensive
+            raise SimulationError("work_done below committed snapshot")
+        lost = max(0.0, lost)
+        self.work_done = self.committed_work
+        self.rollbacks += 1
+        self.work_lost += lost
+        return lost

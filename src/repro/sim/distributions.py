@@ -1,0 +1,206 @@
+"""Failure inter-arrival distributions.
+
+The paper's model assumes only *uniform strike position within a period*
+(true for any law) and uses the MTBF ``M`` as the single failure statistic;
+its risk analysis assumes exponential arrivals.  The literature it cites
+([8]–[11]) studies Weibull and other laws, so the simulators accept any
+:class:`FailureDistribution`:
+
+* :class:`Exponential` — memoryless, the analytical reference case.
+* :class:`Weibull` — decreasing (k<1, infant mortality) or increasing
+  (k>1, wear-out) hazard; standard in HPC failure studies.
+* :class:`LogNormal` / :class:`Gamma` — alternative empirical fits.
+* :class:`Deterministic` — fixed spacing, handy in unit tests.
+* :class:`Empirical` — resamples recorded inter-arrival times (trace
+  bootstrap).
+
+Every distribution is parameterised by its **mean** (the node MTBF) so
+protocol comparisons hold the first moment fixed while varying the shape.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "FailureDistribution",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Empirical",
+]
+
+
+class FailureDistribution(ABC):
+    """Distribution of one node's failure inter-arrival times (seconds)."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """First moment — the node MTBF this law realises."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] = ()) :
+        """Draw inter-arrival times; shape follows ``size``."""
+
+    def rescale(self, new_mean: float) -> "FailureDistribution":
+        """Same shape, different MTBF (used to convert node↔platform scales)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support rescaling"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean():g})"
+
+
+def _check_mean(mean: float) -> float:
+    if not isinstance(mean, (int, float)) or isinstance(mean, bool):
+        raise ParameterError(f"mean must be a number, got {mean!r}")
+    if not math.isfinite(mean) or mean <= 0:
+        raise ParameterError(f"mean must be > 0, got {mean!r}")
+    return float(mean)
+
+
+class Exponential(FailureDistribution):
+    """Memoryless law; ``rate = 1/mean``."""
+
+    def __init__(self, mean: float):
+        self._mean = _check_mean(mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self._mean
+
+    def sample(self, rng, size=()):
+        return rng.exponential(self._mean, size=size)
+
+    def rescale(self, new_mean: float) -> "Exponential":
+        return Exponential(new_mean)
+
+
+class Weibull(FailureDistribution):
+    """Weibull law with shape ``k`` and the requested mean.
+
+    ``k < 1`` gives a decreasing hazard (infant mortality — failures
+    cluster, the risk-relevant regime); ``k = 1`` degenerates to
+    :class:`Exponential`; ``k > 1`` a wear-out hazard.
+    """
+
+    def __init__(self, mean: float, shape: float):
+        self._mean = _check_mean(mean)
+        if not math.isfinite(shape) or shape <= 0:
+            raise ParameterError(f"shape must be > 0, got {shape!r}")
+        self.shape = float(shape)
+        #: scale λ such that mean = λ·Γ(1 + 1/k)
+        self.scale = self._mean / math.gamma(1.0 + 1.0 / self.shape)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        return self.scale * rng.weibull(self.shape, size=size)
+
+    def rescale(self, new_mean: float) -> "Weibull":
+        return Weibull(new_mean, self.shape)
+
+
+class LogNormal(FailureDistribution):
+    """Log-normal law with the requested mean and log-space std ``sigma``."""
+
+    def __init__(self, mean: float, sigma: float):
+        self._mean = _check_mean(mean)
+        if not math.isfinite(sigma) or sigma <= 0:
+            raise ParameterError(f"sigma must be > 0, got {sigma!r}")
+        self.sigma = float(sigma)
+        #: mu chosen so that E = exp(mu + sigma²/2) equals the target mean.
+        self.mu = math.log(self._mean) - self.sigma**2 / 2.0
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        return rng.lognormal(self.mu, self.sigma, size=size)
+
+    def rescale(self, new_mean: float) -> "LogNormal":
+        return LogNormal(new_mean, self.sigma)
+
+
+class Gamma(FailureDistribution):
+    """Gamma law with shape ``k`` and the requested mean (scale = mean/k)."""
+
+    def __init__(self, mean: float, shape: float):
+        self._mean = _check_mean(mean)
+        if not math.isfinite(shape) or shape <= 0:
+            raise ParameterError(f"shape must be > 0, got {shape!r}")
+        self.shape = float(shape)
+        self.scale = self._mean / self.shape
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        return rng.gamma(self.shape, self.scale, size=size)
+
+    def rescale(self, new_mean: float) -> "Gamma":
+        return Gamma(new_mean, self.shape)
+
+
+class Deterministic(FailureDistribution):
+    """Failures exactly ``mean`` apart — for deterministic unit tests."""
+
+    def __init__(self, mean: float):
+        self._mean = _check_mean(mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        return np.full(size, self._mean) if size != () else self._mean
+
+    def rescale(self, new_mean: float) -> "Deterministic":
+        return Deterministic(new_mean)
+
+
+class Empirical(FailureDistribution):
+    """Bootstrap resampling of recorded inter-arrival times.
+
+    Useful to replay the *distributional shape* of a real failure trace
+    (which we cannot ship) while scaling its MTBF: pass the recorded
+    inter-arrivals, then :meth:`rescale` to the target mean.
+    """
+
+    def __init__(self, interarrivals):
+        data = np.asarray(interarrivals, dtype=float).ravel()
+        if data.size == 0:
+            raise ParameterError("need at least one inter-arrival time")
+        if np.any(~np.isfinite(data)) or np.any(data <= 0):
+            raise ParameterError("inter-arrival times must be finite and > 0")
+        self._data = data
+        self._mean = float(data.mean())
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        out = rng.choice(self._data, size=size, replace=True)
+        return float(out) if size == () else out
+
+    def rescale(self, new_mean: float) -> "Empirical":
+        new_mean = _check_mean(new_mean)
+        return Empirical(self._data * (new_mean / self._mean))
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying inter-arrival sample (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,29 @@
+"""Event-level protocol implementations.
+
+``base``
+    The :class:`~repro.sim.protocols.base.SimProtocol` interface and the
+    generic coordinated-platform state machine
+    (:class:`~repro.sim.protocols.base.PlatformSim`).
+``buddy``
+    Adapter running any :class:`~repro.core.protocols.ProtocolSpec`
+    (double/triple, blocking/NBL/BOF) on the platform machine.
+``coordinated``
+    Classical centralised checkpointing to stable storage (Young/Daly
+    baseline — no risk window, failures are never fatal).
+``none``
+    No checkpointing: every failure restarts the application.
+"""
+
+from .base import PhasePlan, PlatformSim, SimProtocol
+from .buddy import BuddySimProtocol
+from .coordinated import CoordinatedSimProtocol
+from .none import NoCheckpointSimProtocol
+
+__all__ = [
+    "PhasePlan",
+    "PlatformSim",
+    "SimProtocol",
+    "BuddySimProtocol",
+    "CoordinatedSimProtocol",
+    "NoCheckpointSimProtocol",
+]

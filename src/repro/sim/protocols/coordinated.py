@@ -1,0 +1,73 @@
+"""Centralised coordinated checkpointing baseline (Young/Daly, §III-B/§VII).
+
+Every period the whole application image is dumped to reliable stable
+storage, blocking, for ``C`` seconds.  Stable storage survives failures,
+so there is **no risk window**: a failure costs downtime ``D`` + recovery
+``R`` + re-execution of everything since the last completed dump, but is
+never fatal.  This is the comparator that motivates buddy checkpointing:
+``C`` (global, shared storage bandwidth) is orders of magnitude larger
+than the buddy protocols' per-node ``δ``.
+"""
+
+from __future__ import annotations
+
+from ...errors import ParameterError
+from .base import PhasePlan, SimProtocol
+
+__all__ = ["CoordinatedSimProtocol"]
+
+
+class CoordinatedSimProtocol(SimProtocol):
+    """Blocking centralised checkpointing at period ``P``.
+
+    Parameters
+    ----------
+    checkpoint_time:
+        Global dump duration ``C``.
+    downtime, recovery:
+        ``D`` and ``R_g`` of the centralised model.
+    period:
+        Checkpointing period ``P >= C``.
+    """
+
+    group_size = 0  # no buddy groups, failures never fatal
+    key = "coordinated"
+
+    def __init__(
+        self,
+        checkpoint_time: float,
+        downtime: float,
+        recovery: float,
+        period: float,
+    ):
+        if checkpoint_time <= 0:
+            raise ParameterError("checkpoint_time must be > 0")
+        if downtime < 0 or recovery < 0:
+            raise ParameterError("downtime and recovery must be >= 0")
+        if period < checkpoint_time:
+            raise ParameterError("period must be >= checkpoint_time")
+        self.C = float(checkpoint_time)
+        self.D = float(downtime)
+        self.R = float(recovery)
+        self.period = float(period)
+
+    def phase_plan(self) -> tuple[PhasePlan, ...]:
+        return (
+            PhasePlan("global-checkpoint", self.C, 0.0),
+            PhasePlan("compute", self.period - self.C, 1.0),
+        )
+
+    def commit_phase(self) -> int | None:
+        return 0
+
+    def recovery_stall(self) -> float:
+        return self.D + self.R
+
+    def risk_duration(self) -> float | None:
+        return None
+
+    def re_exec_time(self, phase: int, offset: float, lost_work: float) -> float:
+        # Work is redone at full speed; wall time burnt inside a failed
+        # (uncommitted) checkpoint phase must be re-spent as well.
+        burnt = offset if phase == 0 else 0.0
+        return lost_work + burnt

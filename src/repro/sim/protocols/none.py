@@ -1,0 +1,44 @@
+"""No-checkpointing baseline (Eq. 12's ``P_base`` regime).
+
+The application simply runs; any failure restarts it from scratch after
+the downtime ``D``.  Used to reproduce the paper's introduction argument
+(a 1M-node platform almost surely loses a long run) and as the trivial
+lower bound on fault-free overhead / upper bound on failure damage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ParameterError
+from .base import PhasePlan, SimProtocol
+
+__all__ = ["NoCheckpointSimProtocol"]
+
+
+class NoCheckpointSimProtocol(SimProtocol):
+    """Run at full speed, restart on every failure."""
+
+    group_size = 0
+    key = "no-checkpoint"
+
+    def __init__(self, downtime: float = 0.0):
+        if downtime < 0:
+            raise ParameterError("downtime must be >= 0")
+        self.D = float(downtime)
+
+    def phase_plan(self) -> tuple[PhasePlan, ...]:
+        # One endless compute phase; the completion event is the only exit.
+        return (PhasePlan("compute", math.inf, 1.0),)
+
+    def commit_phase(self) -> int | None:
+        return None
+
+    def recovery_stall(self) -> float:
+        return self.D
+
+    def risk_duration(self) -> float | None:
+        return None
+
+    def re_exec_time(self, phase: int, offset: float, lost_work: float) -> float:
+        return lost_work

@@ -1,0 +1,144 @@
+"""Result containers and statistics for the simulators.
+
+:class:`DesResult` captures one event-simulation run;
+:class:`MonteCarloSummary` aggregates replicas with confidence intervals
+(Student-t for means, Wilson for proportions) so model-vs-simulation
+comparisons can assert statistically, not by eyeball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from ..errors import ParameterError
+
+__all__ = ["DesResult", "MonteCarloSummary", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class DesResult:
+    """Outcome of one discrete-event simulation run."""
+
+    #: "completed", "fatal" or "timeout".
+    status: str
+    #: Wall-clock simulated time at termination [s].
+    makespan: float
+    #: Target amount of work (T_base) [s of compute].
+    work_target: float
+    #: Work completed at termination.
+    work_done: float
+    #: Number of (non-fatal + fatal) failures injected.
+    failures: int
+    #: Number of rollbacks performed.
+    rollbacks: int
+    #: Work units destroyed by rollbacks.
+    work_lost: float
+    #: Snapshot commits performed.
+    commits: int
+    #: Total time any group spent inside a risk window.
+    risk_time: float
+    #: Time of the fatal failure (nan unless status == "fatal").
+    fatal_time: float = float("nan")
+    #: Group that suffered the fatal failure (empty unless fatal).
+    fatal_group: tuple[int, ...] = ()
+    #: Free-form extras (protocol key, period, seed...).
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def waste(self) -> float:
+        """Measured waste ``1 − T_base/T`` (nan when the run didn't finish)."""
+        if self.status != "completed" or self.makespan <= 0:
+            return float("nan")
+        return 1.0 - self.work_target / self.makespan
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "completed"
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ParameterError("trials must be > 0")
+    if not 0 <= successes <= trials:
+        raise ParameterError("successes must lie in [0, trials]")
+    z = float(sps.norm.ppf(0.5 + confidence / 2.0))
+    phat = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (phat + z**2 / (2 * trials)) / denom
+    half = z * np.sqrt(phat * (1 - phat) / trials + z**2 / (4 * trials**2)) / denom
+    # Degenerate counts have exact one-sided bounds; avoid fp residue.
+    lo = 0.0 if successes == 0 else max(0.0, centre - half)
+    hi = 1.0 if successes == trials else min(1.0, centre + half)
+    return (float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Aggregate of many replicas of one configuration."""
+
+    n_replicas: int
+    #: Mean of the per-replica estimate (waste, lost time, ...).
+    mean: float
+    #: Sample standard deviation.
+    std: float
+    #: Student-t confidence interval on the mean.
+    ci_low: float
+    ci_high: float
+    confidence: float
+    #: Fraction of replicas that completed without fatal failure.
+    success_rate: float
+    #: Wilson interval on the success rate.
+    success_ci: tuple[float, float]
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[float],
+        *,
+        successes: int | None = None,
+        confidence: float = 0.95,
+        meta: dict | None = None,
+    ) -> "MonteCarloSummary":
+        """Summarise per-replica values; NaNs (unfinished runs) are dropped
+        from the mean but still count as failures for the success rate."""
+        if not 0 < confidence < 1:
+            raise ParameterError("confidence must lie in (0, 1)")
+        arr = np.asarray(list(samples), dtype=float)
+        n_total = arr.size
+        if n_total == 0:
+            raise ParameterError("need at least one sample")
+        finite = arr[np.isfinite(arr)]
+        n_ok = finite.size
+        n_success = n_ok if successes is None else successes
+        mean = float(finite.mean()) if n_ok else float("nan")
+        std = float(finite.std(ddof=1)) if n_ok > 1 else 0.0
+        if n_ok > 1 and std > 0:
+            half = float(
+                sps.t.ppf(0.5 + confidence / 2.0, df=n_ok - 1) * std / np.sqrt(n_ok)
+            )
+        else:
+            half = 0.0
+        rate = n_success / n_total
+        return cls(
+            n_replicas=n_total,
+            mean=mean,
+            std=std,
+            ci_low=mean - half,
+            ci_high=mean + half,
+            confidence=confidence,
+            success_rate=rate,
+            success_ci=wilson_interval(n_success, n_total, confidence),
+            meta=meta or {},
+        )
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside the CI? (model-vs-simulation assertions)"""
+        return self.ci_low <= value <= self.ci_high

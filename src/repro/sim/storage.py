@@ -1,0 +1,55 @@
+"""Local storage model: derive the local checkpoint time ``δ``.
+
+Table I's Base scenario states "checkpointing a memory of 512 MB at the
+speed of SSDs is about 2 s"; Exa assumes 500 Gb/s/node of local storage
+bus.  This module captures that derivation so scenario variants can be
+computed from device characteristics.
+
+A :class:`StorageDevice` has a sequential write bandwidth, an optional
+per-operation setup latency, and a ``write_amplification`` factor
+(filesystem/journaling overhead ≥ 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = ["StorageDevice", "local_checkpoint_time", "SSD_2013", "NVME_EXA"]
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """A local checkpoint target (SSD, NVMe, ramdisk...)."""
+
+    name: str
+    write_bandwidth: float  #: bytes/s sustained sequential write
+    latency: float = 0.0  #: seconds of per-checkpoint setup
+    write_amplification: float = 1.0  #: effective bytes written per byte
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth <= 0:
+            raise ParameterError("write_bandwidth must be > 0")
+        if self.latency < 0:
+            raise ParameterError("latency must be >= 0")
+        if self.write_amplification < 1.0:
+            raise ParameterError("write_amplification must be >= 1")
+
+    def write_time(self, nbytes: float) -> float:
+        """Blocking time to persist ``nbytes`` locally."""
+        if nbytes < 0:
+            raise ParameterError("nbytes must be >= 0")
+        return self.latency + nbytes * self.write_amplification / self.write_bandwidth
+
+
+def local_checkpoint_time(checkpoint_bytes: float, device: StorageDevice) -> float:
+    """The paper's ``δ``: one image persisted to the local device."""
+    return device.write_time(checkpoint_bytes)
+
+
+#: 2013-era SATA SSD: 512 MB in ≈2 s (Base scenario's δ).
+SSD_2013 = StorageDevice(name="sata-ssd-2013", write_bandwidth=256e6)
+
+#: Exa projection: 500 Gb/s of local storage bus (Table I discussion).
+NVME_EXA = StorageDevice(name="exa-local-storage", write_bandwidth=500e9 / 8)

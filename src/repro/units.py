@@ -1,0 +1,264 @@
+"""Human-friendly unit handling for times, data sizes and rates.
+
+The paper mixes seconds ("R = 4s"), minutes/hours/days (figure axes), data
+sizes ("512MB checkpoints") and bandwidths ("1TB/s/node").  Internally the
+library uses **seconds** for every duration and **bytes** for every size;
+this module converts between the internal representation and the readable
+strings used by scenarios, the CLI and reports.
+
+Examples
+--------
+>>> parse_time("7h")
+25200.0
+>>> parse_time("1.5 min")
+90.0
+>>> format_time(25200)
+'7h'
+>>> parse_size("512MB")
+512000000
+>>> transfer_time(parse_size("512MB"), parse_rate("1GB/s"))
+0.512
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Final
+
+from .errors import UnitParseError
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "YEAR",
+    "TIME_UNITS",
+    "SIZE_UNITS",
+    "parse_time",
+    "format_time",
+    "parse_size",
+    "format_size",
+    "parse_rate",
+    "format_rate",
+    "transfer_time",
+    "per_node_mtbf",
+    "platform_mtbf",
+]
+
+SECOND: Final[float] = 1.0
+MINUTE: Final[float] = 60.0
+HOUR: Final[float] = 3600.0
+DAY: Final[float] = 86400.0
+WEEK: Final[float] = 7 * DAY
+#: Julian year, the convention used for "a node MTBF of 50 years".
+YEAR: Final[float] = 365.25 * DAY
+
+#: Accepted spellings for each time unit, mapped to seconds.
+TIME_UNITS: Final[dict[str, float]] = {
+    "s": SECOND,
+    "sec": SECOND,
+    "secs": SECOND,
+    "second": SECOND,
+    "seconds": SECOND,
+    "m": MINUTE,
+    "min": MINUTE,
+    "mins": MINUTE,
+    "minute": MINUTE,
+    "minutes": MINUTE,
+    "h": HOUR,
+    "hr": HOUR,
+    "hrs": HOUR,
+    "hour": HOUR,
+    "hours": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "days": DAY,
+    "w": WEEK,
+    "week": WEEK,
+    "weeks": WEEK,
+    "y": YEAR,
+    "yr": YEAR,
+    "year": YEAR,
+    "years": YEAR,
+}
+
+#: Decimal (SI) size units, mapped to bytes.  The paper's "512MB" and
+#: "1TB/s" figures are storage/network vendor units, i.e. decimal.
+SIZE_UNITS: Final[dict[str, int]] = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+    "tb": 10**12,
+    "pb": 10**15,
+    "kib": 2**10,
+    "mib": 2**20,
+    "gib": 2**30,
+    "tib": 2**40,
+    "pib": 2**50,
+}
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*(?P<value>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)\s*
+         (?P<unit>[a-zA-Z/]*)\s*$""",
+    re.VERBOSE,
+)
+
+
+def _split(text: str | float | int, kind: str) -> tuple[float, str]:
+    """Split ``"12.5 min"`` into ``(12.5, "min")``; bare numbers get ``""``."""
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text), ""
+    if not isinstance(text, str):
+        raise UnitParseError(f"cannot parse {kind} from {text!r}")
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitParseError(f"cannot parse {kind} from {text!r}")
+    return float(match.group("value")), match.group("unit").strip()
+
+
+def parse_time(text: str | float | int) -> float:
+    """Parse a duration into seconds.
+
+    Bare numbers (``int``/``float`` or unit-less strings) are already
+    seconds.  Raises :class:`~repro.errors.UnitParseError` on unknown units
+    and :class:`~repro.errors.UnitParseError` on negative durations.
+    """
+    value, unit = _split(text, "time")
+    if unit == "":
+        seconds = value
+    else:
+        try:
+            seconds = value * TIME_UNITS[unit.lower()]
+        except KeyError:
+            raise UnitParseError(f"unknown time unit {unit!r} in {text!r}") from None
+    if not math.isfinite(seconds) or seconds < 0:
+        raise UnitParseError(f"duration must be finite and >= 0, got {text!r}")
+    return seconds
+
+
+_FORMAT_STEPS: Final[list[tuple[float, str]]] = [
+    (YEAR, "y"),
+    (WEEK, "w"),
+    (DAY, "d"),
+    (HOUR, "h"),
+    (MINUTE, "min"),
+    (SECOND, "s"),
+]
+
+
+def format_time(seconds: float, precision: int = 6) -> str:
+    """Render a duration with the largest unit that divides it cleanly.
+
+    >>> format_time(90)
+    '1.5min'
+    >>> format_time(86400)
+    '1d'
+    """
+    if seconds < 0 or not math.isfinite(seconds):
+        raise UnitParseError(f"cannot format duration {seconds!r}")
+    if seconds == 0:
+        return "0s"
+    for factor, name in _FORMAT_STEPS:
+        if seconds >= factor:
+            value = round(seconds / factor, precision)
+            # Prefer '90s' over '1.5min'? No: prefer the largest unit with a
+            # short decimal expansion, else fall through to seconds.
+            if value == int(value) or factor == SECOND or value >= 1:
+                return f"{value:g}{name}"
+    return f"{seconds:g}s"
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a data size into bytes (``"512MB"`` -> ``512_000_000``)."""
+    value, unit = _split(text, "size")
+    if unit == "":
+        size = value
+    else:
+        try:
+            size = value * SIZE_UNITS[unit.lower()]
+        except KeyError:
+            raise UnitParseError(f"unknown size unit {unit!r} in {text!r}") from None
+    if size < 0 or not math.isfinite(size):
+        raise UnitParseError(f"size must be finite and >= 0, got {text!r}")
+    return int(round(size))
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count using decimal units (``512000000`` -> ``'512MB'``)."""
+    if nbytes < 0:
+        raise UnitParseError(f"cannot format size {nbytes!r}")
+    for unit in ("PB", "TB", "GB", "MB", "kB"):
+        factor = SIZE_UNITS[unit.lower()]
+        if nbytes >= factor:
+            return f"{nbytes / factor:g}{unit}"
+    return f"{nbytes}B"
+
+
+def parse_rate(text: str | float) -> float:
+    """Parse a bandwidth such as ``"1TB/s"`` or ``"500Gb/s"`` into bytes/s.
+
+    Lower-case ``b`` after the multiplier prefix means *bits* (divided by 8),
+    matching network-vendor conventions; upper-case ``B`` means bytes.
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        if text < 0 or not math.isfinite(float(text)):
+            raise UnitParseError(f"rate must be finite and >= 0, got {text!r}")
+        return float(text)
+    if not isinstance(text, str) or "/" not in text:
+        raise UnitParseError(f"cannot parse rate from {text!r} (expected e.g. '1GB/s')")
+    size_part, _, time_part = text.partition("/")
+    time_part = time_part.strip() or "s"
+    # Bits vs bytes: inspect the original capitalisation before lowering.
+    stripped = size_part.strip()
+    match = _QUANTITY_RE.match(stripped)
+    if match is None:
+        raise UnitParseError(f"cannot parse rate from {text!r}")
+    unit = match.group("unit")
+    bits = unit.endswith("b") and not unit.endswith("B") and unit != ""
+    nbytes = parse_size(stripped if not bits else stripped[:-1] + "B")
+    if bits:
+        nbytes = nbytes / 8
+    denom = TIME_UNITS.get(time_part.lower())
+    if denom is None:
+        raise UnitParseError(f"unknown rate denominator {time_part!r} in {text!r}")
+    return float(nbytes) / denom
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in bytes/s (``1e9`` -> ``'1GB/s'``)."""
+    return f"{format_size(int(round(bytes_per_second)))}/s"
+
+
+def transfer_time(nbytes: float, rate_bytes_per_s: float) -> float:
+    """Time to move ``nbytes`` at ``rate_bytes_per_s`` (no latency term)."""
+    if rate_bytes_per_s <= 0:
+        raise UnitParseError("transfer rate must be > 0")
+    if nbytes < 0:
+        raise UnitParseError("transfer size must be >= 0")
+    return float(nbytes) / float(rate_bytes_per_s)
+
+
+def per_node_mtbf(platform_mtbf_s: float, n_nodes: int) -> float:
+    """Individual-node MTBF from the platform MTBF: ``M_ind = n * M``.
+
+    With independent node failures at rate ``λ`` each, the platform sees
+    failures at rate ``n·λ``, hence ``M = M_ind / n`` (paper §VII).
+    """
+    if n_nodes <= 0:
+        raise UnitParseError("node count must be >= 1")
+    if platform_mtbf_s <= 0:
+        raise UnitParseError("MTBF must be > 0")
+    return platform_mtbf_s * n_nodes
+
+
+def platform_mtbf(node_mtbf_s: float, n_nodes: int) -> float:
+    """Platform MTBF from the individual-node MTBF: ``M = M_ind / n``."""
+    if n_nodes <= 0:
+        raise UnitParseError("node count must be >= 1")
+    if node_mtbf_s <= 0:
+        raise UnitParseError("MTBF must be > 0")
+    return node_mtbf_s / n_nodes

@@ -1,0 +1,51 @@
+"""Shared fixtures: paper scenarios at reference MTBFs, protocol sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DOUBLE_BLOCKING,
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    TRIPLE_BOF,
+    Parameters,
+    scenarios,
+)
+
+#: All five buddy protocol specs.
+ALL_PROTOCOLS = (DOUBLE_BLOCKING, DOUBLE_NBL, DOUBLE_BOF, TRIPLE, TRIPLE_BOF)
+
+#: The three protocols the paper's figures evaluate.
+FIGURE_PROTOCOLS = (DOUBLE_BOF, DOUBLE_NBL, TRIPLE)
+
+
+@pytest.fixture
+def base_7h() -> Parameters:
+    """Base scenario at the Fig. 5 reference MTBF (7 hours)."""
+    return scenarios.BASE.parameters(M="7h")
+
+
+@pytest.fixture
+def exa_7h() -> Parameters:
+    """Exa scenario at the Fig. 8 reference MTBF (7 hours)."""
+    return scenarios.EXA.parameters(M="7h")
+
+
+@pytest.fixture
+def base_1min() -> Parameters:
+    """Base scenario in the high-failure regime used by the risk figures."""
+    return scenarios.BASE.parameters(M="1min")
+
+
+@pytest.fixture(params=ALL_PROTOCOLS, ids=lambda s: s.key)
+def any_protocol(request):
+    """Parametrised over every buddy protocol spec."""
+    return request.param
+
+
+@pytest.fixture(params=FIGURE_PROTOCOLS, ids=lambda s: s.key)
+def figure_protocol(request):
+    """Parametrised over the three protocols evaluated in §VI."""
+    return request.param

@@ -1,0 +1,184 @@
+"""Analysis layer: sweeps, ratios, numeric optimisation, sensitivity, crossover."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro.analysis.crossover import find_mtbf_frontier, find_phi_crossover
+from repro.analysis.optimize import numeric_optimal_period, verify_closed_form
+from repro.analysis.ratios import ratio_surface, waste_ratio_cut
+from repro.analysis.sensitivity import elasticity, waste_sensitivities
+from repro.analysis.sweep import risk_surface, waste_cut, waste_surface
+from repro.errors import InfeasibleModelError, ParameterError
+
+
+class TestWasteSurface:
+    def test_shape_and_axes(self):
+        surf = waste_surface(DOUBLE_NBL, "base", num_phi=11, num_m=13)
+        assert surf.waste.shape == (13, 11)
+        assert surf.m_grid.shape == (13,)
+        assert surf.phi_grid[-1] == pytest.approx(4.0)
+        assert surf.phi_over_r[-1] == pytest.approx(1.0)
+
+    def test_waste_monotone_in_m(self, figure_protocol):
+        surf = waste_surface(figure_protocol, "base", num_phi=5, num_m=17)
+        diffs = np.diff(surf.waste, axis=0)
+        assert np.all(diffs <= 1e-12)
+
+    def test_corners(self):
+        surf = waste_surface(DOUBLE_NBL, "base", num_phi=5, num_m=9)
+        assert surf.waste[0].max() >= 0.9   # M = 15 s: near-total waste
+        assert surf.waste[-1].max() < 0.02  # M = 1 day: negligible waste
+
+    def test_period_nan_iff_waste_one(self):
+        surf = waste_surface(DOUBLE_NBL, "exa", num_phi=5, num_m=9)
+        nan_mask = np.isnan(surf.period)
+        assert np.all(surf.waste[nan_mask] == 1.0)
+
+
+class TestWasteCut:
+    def test_default_m_is_7h(self):
+        x, w = waste_cut(DOUBLE_NBL, "base", num_phi=11)
+        assert x[0] == 0.0 and x[-1] == 1.0
+        assert w[0] == pytest.approx(0.014452, abs=1e-5)
+
+    def test_explicit_m(self):
+        _, w_short = waste_cut(DOUBLE_NBL, "base", M="10min", num_phi=5)
+        _, w_long = waste_cut(DOUBLE_NBL, "base", M="1d", num_phi=5)
+        assert np.all(w_short > w_long)
+
+
+class TestRatioCut:
+    def test_fig5_invariants(self):
+        x, bof = waste_ratio_cut(DOUBLE_BOF, DOUBLE_NBL, "base", num_phi=21)
+        _, tri = waste_ratio_cut(TRIPLE, DOUBLE_NBL, "base", num_phi=21)
+        assert np.all(bof >= 1.0 - 1e-12)        # BOF never better
+        assert bof[-1] == pytest.approx(1.0)     # equal at φ/R = 1
+        assert tri[0] == pytest.approx(0.2526, abs=0.001)
+        assert tri[-1] == pytest.approx(1.1515, abs=0.001)
+
+    def test_fig8_invariants(self):
+        x, tri = waste_ratio_cut(TRIPLE, DOUBLE_NBL, "exa", num_phi=101)
+        # §VI-B: gain up to ≈25% around φ/R = 1/10.
+        idx = np.argmin(np.abs(x - 0.1))
+        assert tri[idx] == pytest.approx(0.77, abs=0.03)
+        assert np.nanmin(tri) > 0.70
+
+    def test_saturated_cells_are_nan(self):
+        # At M = 15 s the φ = 0 corner saturates (A = 48 > M) → NaN ratio;
+        # the φ = R corner stays feasible (A = 8 < M).
+        x, ratio = waste_ratio_cut(TRIPLE, DOUBLE_NBL, "base", M=15.0, num_phi=5)
+        assert np.isnan(ratio[0])
+        assert np.isfinite(ratio[-1])
+
+
+class TestRiskSurface:
+    def test_shape_and_range(self):
+        surf = risk_surface(DOUBLE_NBL, "base", num_m=7, num_t=6)
+        assert surf.success.shape == (7, 6)
+        assert np.all((surf.success >= 0) & (surf.success <= 1))
+
+    def test_theta_policy(self):
+        s_max = risk_surface(DOUBLE_NBL, "base", theta_policy="max",
+                             num_m=3, num_t=3)
+        s_min = risk_surface(DOUBLE_NBL, "base", theta_policy="min",
+                             num_m=3, num_t=3)
+        assert np.all(s_min.success >= s_max.success)  # shorter window, safer
+        with pytest.raises(ParameterError):
+            risk_surface(DOUBLE_NBL, "base", theta_policy="medium")
+
+    def test_ratio_surface_fig6_shape(self):
+        surf = ratio_surface(DOUBLE_NBL, DOUBLE_BOF, "base", num_m=7, num_t=6)
+        assert np.nanmin(surf.ratio) < 0.9   # separation at low M, long T
+        assert np.nanmax(surf.ratio) <= 1.0 + 1e-9
+        # Worst corner: smallest M, longest T.
+        assert surf.ratio[0, -1] == np.nanmin(surf.ratio)
+
+
+class TestNumericOptimum:
+    @pytest.mark.parametrize("phi", [0.25, 1.0, 3.0])
+    def test_closed_form_verified(self, figure_protocol, phi, base_7h):
+        check = verify_closed_form(figure_protocol, base_7h, phi)
+        assert check.waste_abs_error < 1e-6
+        assert check.period_rel_error < 0.02  # waste is flat near optimum
+
+    def test_clamped_case_verified(self, base_7h):
+        # TRIPLE at phi→0 clamps to P_min; numeric optimiser must agree.
+        check = verify_closed_form(TRIPLE, base_7h, 0.001)
+        assert check.waste_abs_error < 1e-6
+
+    def test_infeasible_raises(self):
+        params = scenarios.BASE.parameters(M=15.0)
+        with pytest.raises(InfeasibleModelError):
+            numeric_optimal_period(DOUBLE_NBL, params, 0.0)
+        with pytest.raises(InfeasibleModelError):
+            verify_closed_form(DOUBLE_NBL, params, 0.0)
+
+
+class TestSensitivity:
+    def test_signs(self, base_7h):
+        sens = waste_sensitivities(DOUBLE_NBL, base_7h, 1.0)
+        assert sens["M"].derivative < 0      # more reliable ⇒ less waste
+        assert sens["delta"].derivative > 0  # slower local ckpt ⇒ more waste
+        assert sens["R"].derivative > 0
+
+    def test_alpha_matters_less_at_high_phi(self, base_7h):
+        # At φ = R the transfer is blocking; α barely matters.
+        hi = abs(waste_sensitivities(DOUBLE_NBL, base_7h, 3.9)["alpha"].derivative)
+        lo = abs(waste_sensitivities(DOUBLE_NBL, base_7h, 0.1)["alpha"].derivative)
+        assert hi <= lo + 1e-6
+
+    def test_elasticity_accessor(self, base_7h):
+        e = elasticity(DOUBLE_NBL, base_7h, 1.0, "M")
+        assert e == pytest.approx(-0.5, abs=0.1)  # waste ~ M^(−1/2)
+
+    def test_unknown_field(self, base_7h):
+        with pytest.raises(ParameterError):
+            elasticity(DOUBLE_NBL, base_7h, 1.0, "n")
+
+    def test_zero_valued_field_uses_forward_difference(self, base_7h):
+        sens = waste_sensitivities(DOUBLE_NBL, base_7h, 1.0)
+        assert sens["D"].value == 0.0
+        assert np.isfinite(sens["D"].derivative)
+        assert sens["D"].derivative > 0
+
+
+class TestCrossover:
+    def test_triple_crossover_in_paper_band(self, base_7h):
+        # Fig. 5: TRIPLE/NBL crosses 1 for φ/R somewhere in [0.4, 0.8].
+        phi_star = find_phi_crossover(TRIPLE, DOUBLE_NBL, base_7h)
+        assert phi_star is not None
+        assert 0.4 <= phi_star / base_7h.R <= 0.8
+
+    def test_dominated_pair_returns_none(self, base_7h):
+        # BOF never strictly crosses NBL (≥ everywhere on (0, R)).
+        assert find_phi_crossover(DOUBLE_BOF, DOUBLE_NBL, base_7h,
+                                  hi=3.9) is None
+
+    def test_crossover_validation(self, base_7h):
+        with pytest.raises(ParameterError):
+            find_phi_crossover(TRIPLE, DOUBLE_NBL, base_7h, lo=5.0, hi=1.0)
+
+    def test_mtbf_frontier_monotone_in_target(self, base_7h):
+        m50 = find_mtbf_frontier(DOUBLE_NBL, base_7h, 1.0, waste_target=0.5)
+        m10 = find_mtbf_frontier(DOUBLE_NBL, base_7h, 1.0, waste_target=0.1)
+        assert m50 < m10  # reaching 10% waste needs a better machine
+
+    def test_mtbf_frontier_exa_day_claim(self, exa_7h):
+        """§VI-B: 'waste will be important when failures hit the system
+        more than once a day' — the 10%-waste frontier sits at hours."""
+        m = find_mtbf_frontier(DOUBLE_NBL, exa_7h, 6.0, waste_target=0.1)
+        assert 600.0 < m < 86400.0
+
+    def test_frontier_validation(self, base_7h):
+        with pytest.raises(ParameterError):
+            find_mtbf_frontier(DOUBLE_NBL, base_7h, 1.0, waste_target=1.5)
+        with pytest.raises(ParameterError):
+            find_mtbf_frontier(DOUBLE_NBL, base_7h, 1.0, m_lo=10.0, m_hi=5.0)
+
+    def test_frontier_boundaries(self, base_7h):
+        # Target already met at m_lo (waste(300s) ≈ 0.25 < 0.9) → returns m_lo.
+        assert find_mtbf_frontier(DOUBLE_NBL, base_7h, 1.0,
+                                  waste_target=0.9, m_lo=300.0) == 300.0

@@ -1,0 +1,131 @@
+"""Remaining API-surface coverage: vectorised paths, alt methods, exports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DOUBLE_BLOCKING, DOUBLE_NBL, TRIPLE_BOF, scenarios
+from repro.analysis.sweep import risk_surface
+from repro.core.waste import execution_time
+from repro.sim.des import DesConfig, run_des
+from repro.sim.riskmc import RiskMcConfig, run_risk_mc
+
+DAY = 86400.0
+
+
+class TestVectorisedPaths:
+    def test_execution_time_array(self):
+        params = scenarios.BASE.parameters(M="7h")
+        phis = np.linspace(0, 4, 5)
+        out = execution_time(DOUBLE_NBL, params, phis, t_base=1e5)
+        assert np.asarray(out).shape == (5,)
+        assert np.all(np.asarray(out) > 1e5)
+
+    def test_execution_time_m_sweep(self):
+        params = scenarios.BASE.parameters(M="7h")
+        out = execution_time(DOUBLE_NBL, params, 1.0, t_base=1e5,
+                             M=np.array([60.0, 25200.0]))
+        assert out[0] > out[1]  # harsher platform runs longer
+
+    def test_risk_surface_exponential_method(self):
+        paper = risk_surface(DOUBLE_NBL, "base", num_m=4, num_t=4)
+        expo = risk_surface(DOUBLE_NBL, "base", num_m=4, num_t=4,
+                            method="exponential")
+        np.testing.assert_allclose(paper.success, expo.success, atol=5e-3)
+        assert expo.meta["method"] == "exponential"
+
+    def test_success_probability_phi_and_t_broadcast(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        phis = np.linspace(0, 4, 3)[:, None]
+        ts = np.array([1.0, 10.0])[None, :] * DAY
+        out = repro.success_probability(DOUBLE_NBL, params, phis, ts)
+        assert np.asarray(out).shape == (3, 2)
+
+
+class TestAlternateProtocols:
+    def test_riskmc_blocking_double(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        mc = run_risk_mc(RiskMcConfig(protocol=DOUBLE_BLOCKING, params=params,
+                                      T=5 * DAY, replicas=40_000, seed=4))
+        model = repro.success_probability(DOUBLE_BLOCKING, params, 0.0, 5 * DAY)
+        assert mc.success_ci[0] - 0.05 <= model <= mc.success_ci[1] + 0.05
+
+    def test_riskmc_triple_bof(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        mc = run_risk_mc(RiskMcConfig(protocol=TRIPLE_BOF, params=params,
+                                      T=5 * DAY, replicas=40_000, seed=4))
+        assert mc.risk_window == pytest.approx(12.0)
+        assert mc.success_probability > 0.999
+
+    def test_des_triple_bof_runs(self):
+        params = scenarios.BASE.parameters(M=900.0, n=12)
+        r = run_des(DesConfig(protocol=TRIPLE_BOF, params=params, phi=1.0,
+                              work_target=1800.0, seed=6))
+        assert r.status == "completed"
+
+    def test_des_timeout_status(self):
+        params = scenarios.BASE.parameters(M=900.0, n=4)
+        r = run_des(DesConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                              work_target=1e9, seed=6, max_time=2000.0))
+        assert r.status == "timeout"
+        assert np.isnan(r.waste)
+
+
+class TestExports:
+    def test_top_level_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_extension_exports(self):
+        from repro.core import (
+            KBuddyModel,
+            optimal_period_renewal,
+            recommend_k,
+            waste_gap,
+            waste_renewal,
+            waste_renewal_at_optimum,
+        )
+
+        assert KBuddyModel(3).k == 3
+        assert callable(waste_renewal) and callable(waste_gap)
+        assert callable(optimal_period_renewal)
+        assert callable(waste_renewal_at_optimum)
+        assert callable(recommend_k)
+
+    def test_analysis_exports(self):
+        from repro.analysis import (
+            candidate_points,
+            cheapest_safe,
+            pareto_front,
+            safest_within,
+        )
+
+        assert all(callable(f) for f in
+                   (candidate_points, cheapest_safe, pareto_front,
+                    safest_within))
+
+    def test_lazy_experiment_modules(self):
+        import repro.experiments as exp
+
+        assert exp.table1.generate().rows
+        with pytest.raises(AttributeError):
+            exp.nonexistent_module
+
+
+class TestUnitsEdges:
+    def test_format_size_zero(self):
+        assert repro.units.format_size(0) == "0B"
+
+    def test_format_rate_small(self):
+        assert repro.units.format_rate(10.0) == "10B/s"
+
+    def test_parse_time_scientific(self):
+        assert repro.units.parse_time("2.5e2") == 250.0
+
+    def test_format_size_rejects_negative(self):
+        from repro.errors import UnitParseError
+
+        with pytest.raises(UnitParseError):
+            repro.units.format_size(-1)

@@ -1,0 +1,172 @@
+"""Trace replay (common random numbers) and campaign orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro.errors import ParameterError
+from repro.io import load_results
+from repro.sim.campaign import CampaignCell, CampaignConfig, cells_table, run_campaign
+from repro.sim.des import DesConfig, run_des
+from repro.sim.failures import FailureInjector, TraceInjector, generate_trace
+from repro.sim.rng import RngFactory
+
+
+class TestTraceInjector:
+    def test_replays_exact_times(self):
+        inj = TraceInjector(4, [(5.0, 0), (9.0, 2), (12.0, 0)])
+        assert inj.next_failure_delay(0) == 5.0
+        assert inj.next_failure_delay(0) == 7.0  # 12 − 5
+        assert inj.next_failure_delay(2) == 9.0
+        assert inj.next_failure_delay(1) == TraceInjector.NEVER
+        assert inj.next_failure_delay(0) == TraceInjector.NEVER
+
+    def test_accepts_structured_trace(self):
+        real = FailureInjector.from_platform_mtbf(8, 50.0, RngFactory(3))
+        trace = generate_trace(real, horizon=500.0)
+        inj = TraceInjector(8, trace)
+        assert inj.total_events == trace.shape[0]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TraceInjector(0, [])
+        with pytest.raises(ParameterError):
+            TraceInjector(2, [(1.0, 5)])  # node out of range
+        with pytest.raises(ParameterError):
+            TraceInjector(2, [(2.0, 0), (1.0, 1)])  # unsorted
+        inj = TraceInjector(2, [(1.0, 0)])
+        with pytest.raises(ParameterError):
+            inj.next_failure_delay(9)
+
+    def test_des_replay_reproduces_run(self):
+        """Replaying the trace of a sampled run reproduces its makespan."""
+        params = scenarios.BASE.parameters(M=600.0, n=16)
+        sampled_cfg = DesConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                                work_target=2 * 3600.0, seed=13)
+        sampled = run_des(sampled_cfg)
+
+        factory = RngFactory(13)
+        injector = FailureInjector.from_platform_mtbf(16, 600.0, factory)
+        trace = generate_trace(injector, horizon=sampled.makespan + 1.0)
+        replayed = run_des(DesConfig(
+            protocol=DOUBLE_NBL, params=params, phi=1.0,
+            work_target=2 * 3600.0, seed=13, trace=trace,
+        ))
+        assert replayed.makespan == pytest.approx(sampled.makespan)
+        assert replayed.failures >= sampled.failures - 1
+
+    def test_common_random_numbers_across_protocols(self):
+        """Under an identical trace *and* an identical period, NBL and BOF
+        share the failure history; their makespans differ only by the
+        recovery-policy deltas (≈ ±(R − φ) + RE drift per failure), far
+        less than independent sampling would produce."""
+        params = scenarios.BASE.parameters(M=400.0, n=12)
+        inj = FailureInjector.from_platform_mtbf(12, 400.0, RngFactory(5))
+        trace = generate_trace(inj, horizon=4 * 3600.0 * 10)
+        runs = {}
+        for spec in (DOUBLE_NBL, DOUBLE_BOF):
+            runs[spec.key] = run_des(DesConfig(
+                protocol=spec, params=params, phi=1.0, period=120.0,
+                work_target=2 * 3600.0, trace=trace, seed=1,
+            ))
+        nbl, bof = runs["double-nbl"], runs["double-bof"]
+        assert nbl.succeeded and bof.succeeded
+        assert abs(nbl.failures - bof.failures) <= 2
+        assert abs(nbl.makespan - bof.makespan) < 0.15 * nbl.makespan
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def small_campaign(self):
+        return CampaignConfig(
+            protocols=(DOUBLE_NBL, TRIPLE),
+            base_params=scenarios.BASE.parameters(M=600.0, n=12),
+            m_values=(600.0, 1200.0),
+            phi_values=(0.5, 2.0),
+            work_target=1800.0,
+            replicas=3,
+            seed=2025,
+        )
+
+    def test_grid_coverage(self, small_campaign):
+        cells = run_campaign(small_campaign)
+        assert len(cells) == 2 * 2 * 2  # protocols × M × phi
+        keys = {(c.protocol, c.M, c.phi) for c in cells}
+        assert ("triple", 1200.0, 0.5) in keys
+
+    def test_cells_have_replicas(self, small_campaign):
+        cells = run_campaign(small_campaign)
+        assert all(len(c.results) == 3 for c in cells)
+        assert all(0.0 <= c.success_rate <= 1.0 for c in cells)
+
+    def test_waste_improves_with_m(self, small_campaign):
+        cells = run_campaign(small_campaign)
+        by_key = {(c.protocol, c.M, c.phi): c for c in cells}
+        for proto in ("double-nbl", "triple"):
+            lo = by_key[(proto, 600.0, 0.5)].mean_waste
+            hi = by_key[(proto, 1200.0, 0.5)].mean_waste
+            assert hi < lo + 0.05  # better MTBF, less (or equal) waste
+
+    def test_persistence(self, tmp_path):
+        cfg = CampaignConfig(
+            protocols=(DOUBLE_NBL,),
+            base_params=scenarios.BASE.parameters(M=600.0, n=12),
+            m_values=(600.0,),
+            phi_values=(1.0,),
+            work_target=900.0,
+            replicas=2,
+            results_path=tmp_path / "campaign.jsonl",
+        )
+        cells = run_campaign(cfg)
+        stored = list(load_results(tmp_path / "campaign.jsonl"))
+        assert len(stored) == 2
+        assert stored[0].meta["protocol"] == "double-nbl"
+        assert cells[0].results[0].makespan == stored[0].makespan
+
+    def test_shared_traces_align_failures(self):
+        cfg = CampaignConfig(
+            protocols=(DOUBLE_NBL, DOUBLE_BOF),
+            base_params=scenarios.BASE.parameters(M=300.0, n=12),
+            m_values=(300.0,),
+            phi_values=(1.0,),
+            work_target=1800.0,
+            replicas=2,
+            share_traces=True,
+            seed=31,
+        )
+        cells = run_campaign(cfg)
+        by_proto = {c.protocol: c for c in cells}
+        nbl = by_proto["double-nbl"].results
+        bof = by_proto["double-bof"].results
+        # Same trace ⇒ at least the first failure strikes both protocols.
+        for a, b in zip(nbl, bof):
+            if a.succeeded and b.succeeded and a.failures and b.failures:
+                assert b.makespan >= a.makespan - 1e-6
+
+    def test_rendering(self, small_campaign):
+        cells = run_campaign(small_campaign)
+        text = cells_table(cells)
+        assert "campaign results" in text and "triple" in text
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            dict(protocols=()),
+            dict(m_values=()),
+            dict(replicas=0),
+            dict(work_target=0.0),
+        ],
+    )
+    def test_validation(self, override):
+        base = dict(
+            protocols=(DOUBLE_NBL,),
+            base_params=scenarios.BASE.parameters(M=600.0, n=12),
+            m_values=(600.0,),
+            phi_values=(1.0,),
+            work_target=900.0,
+        )
+        base.update(override)
+        with pytest.raises(ParameterError):
+            CampaignConfig(**base)

@@ -1,0 +1,91 @@
+"""CLI: argument parsing and command execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_commands_exist(self):
+        parser = build_parser()
+        for key in ("table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            args = parser.parse_args([key])
+            assert args.command == key
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro-checkpoint" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "Figure 5" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "exa" in capsys.readouterr().out
+
+    def test_fig5_with_csv(self, capsys, tmp_path):
+        assert main(["fig5", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5.csv").exists()
+        body = (tmp_path / "fig5.csv").read_text()
+        assert body.startswith("phi_over_R,")
+
+    def test_fig6_csv_multi_panel(self, capsys, tmp_path):
+        assert main(["fig6", "--csv", str(tmp_path)]) == 0
+        written = list(tmp_path.glob("fig6_*.csv"))
+        assert len(written) == 3
+
+    def test_optimum(self, capsys):
+        assert main([
+            "optimum", "--protocol", "triple", "--scenario", "base",
+            "--M", "7h", "--phi", "0.4", "--T", "10d",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "optimal P" in out and "risk window" in out and "P(success)" in out
+
+    def test_optimum_default_phi(self, capsys):
+        assert main(["optimum"]) == 0
+        assert "phi/R = 0.500" in capsys.readouterr().out
+
+    def test_optimum_infeasible(self, capsys):
+        assert main(["optimum", "--M", "15s", "--phi", "0"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_validate_quick(self, capsys):
+        rc = main([
+            "validate", "--scenario", "base", "--M", "10min",
+            "--phi", "1.0", "--risk-T", "5d", "--risk-M", "1min",
+        ])
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert rc == 0, out
+
+    def test_tune_free(self, capsys):
+        assert main(["tune", "--protocol", "triple", "--M", "7h"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned phi" in out and "risk window" in out
+
+    def test_tune_constrained(self, capsys):
+        assert main(["tune", "--protocol", "triple", "--M", "10min",
+                     "--T", "30d", "--min-success", "0.9999"]) == 0
+        assert "P(success)" in capsys.readouterr().out
+
+    def test_tune_unreachable_floor(self, capsys):
+        rc = main(["tune", "--protocol", "double-nbl", "--M", "1min",
+                   "--T", "30d", "--min-success", "0.999999"])
+        assert rc == 1
+        assert "no phi meets" in capsys.readouterr().out
+
+    def test_intro_command(self, capsys):
+        assert main(["intro"]) == 0
+        assert "0.8" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Young/Daly centralised comparators and their waste model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.comparators import (
+    centralized_optimal_period,
+    centralized_waste,
+    centralized_waste_at_optimum,
+    daly_period,
+    young_period,
+)
+from repro.errors import ParameterError
+
+
+class TestFormulas:
+    def test_young(self):
+        # T = sqrt(2MC) + C.
+        assert young_period(C=600.0, M=86400.0) == pytest.approx(
+            np.sqrt(2 * 86400 * 600) + 600
+        )
+
+    def test_daly(self):
+        assert daly_period(C=600.0, M=86400.0, D=60.0, R=600.0) == pytest.approx(
+            np.sqrt(2 * (86400 + 60 + 600) * 600) + 600
+        )
+
+    def test_daly_reduces_to_young(self):
+        assert daly_period(600.0, 86400.0, 0.0, 0.0) == young_period(600.0, 86400.0)
+
+    def test_vectorised(self):
+        ms = np.array([3600.0, 86400.0])
+        out = young_period(600.0, ms)
+        assert out.shape == (2,) and out[0] < out[1]
+
+    @pytest.mark.parametrize("bad", [dict(C=0.0, M=1.0), dict(C=1.0, M=0.0)])
+    def test_validation(self, bad):
+        with pytest.raises(ParameterError):
+            young_period(**bad)
+        with pytest.raises(ParameterError):
+            daly_period(**bad)
+
+    def test_daly_rejects_negative_dr(self):
+        with pytest.raises(ParameterError):
+            daly_period(1.0, 1.0, D=-1.0)
+
+
+class TestCentralizedWaste:
+    def test_template_optimum_close_to_young(self):
+        # sqrt(2C(M−A)) vs sqrt(2MC)+C agree to ~C/P relative order.
+        C, M = 600.0, 7 * 86400.0
+        p_template = centralized_optimal_period(C, M)
+        p_young = young_period(C, M)
+        assert p_template == pytest.approx(p_young, rel=0.05)
+
+    def test_waste_at_optimum_beats_neighbours(self):
+        C, M, D, R = 600.0, 86400.0, 60.0, 600.0
+        p_opt = centralized_optimal_period(C, M, D, R)
+        w_opt = centralized_waste(C, M, p_opt, D, R)
+        for f in (0.5, 0.8, 1.25, 2.0):
+            assert w_opt <= centralized_waste(C, M, p_opt * f, D, R) + 1e-12
+        assert w_opt == pytest.approx(centralized_waste_at_optimum(C, M, D, R))
+
+    def test_period_below_c_saturates(self):
+        assert centralized_waste(600.0, 86400.0, 500.0) == 1.0
+
+    def test_buddy_vs_centralized_headline(self):
+        """The paper's motivation: per-node δ ≪ global C ⇒ far less waste."""
+        from repro import DOUBLE_NBL, scenarios
+        from repro.core.waste import waste_at_optimum
+
+        params = scenarios.BASE.parameters(M=600.0)
+        w_buddy = float(np.asarray(waste_at_optimum(DOUBLE_NBL, params, 1.0).total))
+        # Dumping 10368 nodes x 512MB through shared storage: C ~ 10 min.
+        w_central = centralized_waste_at_optimum(C=600.0, M=600.0, D=0.0, R=600.0)
+        assert w_buddy < 0.3
+        assert w_central == 1.0  # cannot even sustain one failure per 10 min
+
+    def test_infeasible(self):
+        assert centralized_waste_at_optimum(C=600.0, M=300.0, D=0.0, R=400.0) == 1.0

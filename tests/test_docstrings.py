@@ -1,0 +1,20 @@
+"""Docstring examples stay executable (doctest sweep over key modules)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.sim.engine
+import repro.sim.rng
+import repro.units
+
+MODULES = [repro.units, repro.sim.engine, repro.sim.rng]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

@@ -1,0 +1,144 @@
+"""Discrete-event engine: ordering, cancellation, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_time_order(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(3.0, lambda e, ev: hits.append("c"))
+        eng.schedule(1.0, lambda e, ev: hits.append("a"))
+        eng.schedule(2.0, lambda e, ev: hits.append("b"))
+        eng.run()
+        assert hits == ["a", "b", "c"]
+        assert eng.now == 3.0
+
+    def test_fifo_ties(self):
+        eng = Engine()
+        hits = []
+        for tag in "abc":
+            eng.schedule(1.0, lambda e, ev, t=tag: hits.append(t))
+        eng.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_schedule_in(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.0, lambda e, ev: e.schedule_in(2.0,
+                     lambda e2, ev2: seen.append(e2.now)))
+        eng.run()
+        assert seen == [3.0]
+
+    def test_rejects_past(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda e, ev: None)
+        eng.step()
+        with pytest.raises(SimulationError):
+            eng.schedule(1.0, lambda e, ev: None)
+
+    def test_rejects_negative_delay(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule_in(-1.0, lambda e, ev: None)
+
+    def test_payload_and_kind(self):
+        eng = Engine()
+        got = []
+        eng.schedule(1.0, lambda e, ev: got.append((ev.payload, ev.kind)),
+                     payload=42, kind="test")
+        eng.run()
+        assert got == [(42, "test")]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        hits = []
+        ev = eng.schedule(1.0, lambda e, v: hits.append("x"))
+        Engine.cancel(ev)
+        eng.run()
+        assert hits == []
+
+    def test_cancel_from_callback(self):
+        eng = Engine()
+        hits = []
+        later = eng.schedule(2.0, lambda e, v: hits.append("later"))
+        eng.schedule(1.0, lambda e, v: Engine.cancel(later))
+        eng.run()
+        assert hits == []
+
+    def test_pending_counts_live_only(self):
+        eng = Engine()
+        ev1 = eng.schedule(1.0, lambda e, v: None)
+        eng.schedule(2.0, lambda e, v: None)
+        Engine.cancel(ev1)
+        assert eng.pending() == 1
+
+
+class TestRunControl:
+    def test_until_advances_clock(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda e, v: None)
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+        assert eng.pending() == 1
+
+    def test_until_executes_boundary(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(5.0, lambda e, v: hits.append(1))
+        eng.run(until=5.0)
+        assert hits == [1]
+
+    def test_stop(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, lambda e, v: (hits.append(1), e.stop()))
+        eng.schedule(2.0, lambda e, v: hits.append(2))
+        eng.run()
+        assert hits == [1]
+
+    def test_event_budget(self):
+        eng = Engine()
+
+        def reschedule(e, v):
+            e.schedule_in(1.0, reschedule)
+
+        eng.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            eng.run(max_events=100)
+
+    def test_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def nested(e, v):
+            try:
+                e.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        eng.schedule(1.0, nested)
+        eng.run()
+        assert len(errors) == 1
+
+    def test_executed_counter(self):
+        eng = Engine()
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda e, v: None)
+        eng.run()
+        assert eng.executed == 3
+
+    def test_peek_time(self):
+        eng = Engine()
+        assert eng.peek_time() is None
+        ev = eng.schedule(4.0, lambda e, v: None)
+        assert eng.peek_time() == 4.0
+        Engine.cancel(ev)
+        assert eng.peek_time() is None

@@ -1,0 +1,141 @@
+"""Higher-order (renewal-form) waste model vs the paper's first-order form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DOUBLE_NBL, TRIPLE, scenarios, waste
+from repro.core.exact import (
+    optimal_period_renewal,
+    waste_gap,
+    waste_renewal,
+    waste_renewal_at_optimum,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def params():
+    return scenarios.BASE.parameters(M=600.0)
+
+
+class TestRenewalForm:
+    def test_manual_value(self, params):
+        P, phi = 300.0, 1.0
+        F = float(np.asarray(DOUBLE_NBL.expected_lost_time(params, phi, P)))
+        c = 2.0 + phi
+        expected = 1.0 - (1.0 - c / P) / (1.0 + F / params.M)
+        assert waste_renewal(DOUBLE_NBL, params, phi, P) == pytest.approx(expected)
+
+    def test_always_a_fraction(self):
+        # Even where the paper's form saturates, the renewal form < 1
+        # (as long as the period fits the fixed phases).
+        params = scenarios.BASE.parameters(M=20.0)
+        w = waste_renewal(DOUBLE_NBL, params, 4.0, 100.0)
+        assert 0.0 < w < 1.0
+        assert waste(DOUBLE_NBL, params, 0.0, 100.0) == 1.0  # paper form
+
+    def test_below_min_period_saturates(self, params):
+        assert waste_renewal(DOUBLE_NBL, params, 1.0, 10.0) == 1.0
+
+    def test_m_override(self, params):
+        out = waste_renewal(DOUBLE_NBL, params, 1.0, 300.0,
+                            M=np.array([300.0, 3000.0]))
+        assert out.shape == (2,) and out[0] > out[1]
+
+    def test_rejects_bad_m(self, params):
+        with pytest.raises(ParameterError):
+            waste_renewal(DOUBLE_NBL, params, 1.0, 300.0, M=-1.0)
+
+
+class TestGap:
+    def test_gap_formula(self, params):
+        P, phi = 300.0, 1.0
+        F = float(np.asarray(DOUBLE_NBL.expected_lost_time(params, phi, P)))
+        c = 3.0
+        expected = (1 - c / P) * (F / params.M) ** 2 / (1 + F / params.M)
+        assert waste_gap(DOUBLE_NBL, params, phi, P) == pytest.approx(expected)
+
+    def test_gap_positive_second_order(self, params):
+        # Paper form is the pessimistic one.
+        gap = waste_gap(DOUBLE_NBL, params, 1.0, 300.0)
+        assert gap > 0
+        # And second-order small in the paper's regimes.
+        big_m = scenarios.BASE.parameters(M="7h")
+        assert waste_gap(DOUBLE_NBL, big_m, 1.0, 300.0) < 1e-3
+
+    def test_gap_nan_when_paper_saturates(self):
+        params = scenarios.BASE.parameters(M=20.0)
+        assert np.isnan(waste_gap(DOUBLE_NBL, params, 0.0, 100.0))
+
+    @given(m=st.floats(min_value=100.0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_forms_agree_to_first_order(self, m):
+        params = scenarios.BASE.parameters(M=m)
+        P = 300.0
+        F = float(np.asarray(DOUBLE_NBL.expected_lost_time(params, 1.0, P)))
+        gap = waste_gap(DOUBLE_NBL, params, 1.0, P)
+        if np.isnan(gap):
+            return
+        assert gap <= (F / m) ** 2 + 1e-12
+
+
+class TestRenewalOptimum:
+    def test_positive_root_formula(self, params):
+        phi = 1.0
+        c = 3.0
+        A = float(np.asarray(DOUBLE_NBL.lost_time_constant(params, phi)))
+        expected = c + np.sqrt(c**2 + 2 * c * (params.M + A))
+        assert optimal_period_renewal(DOUBLE_NBL, params, phi) == pytest.approx(
+            expected
+        )
+
+    def test_optimum_beats_neighbours(self, params):
+        phi = 1.0
+        p_opt = optimal_period_renewal(DOUBLE_NBL, params, phi)
+        w_opt = waste_renewal(DOUBLE_NBL, params, phi, p_opt)
+        for f in (0.5, 0.8, 1.25, 2.0):
+            assert w_opt <= waste_renewal(DOUBLE_NBL, params, phi, p_opt * f) + 1e-12
+        assert waste_renewal_at_optimum(DOUBLE_NBL, params, phi) == pytest.approx(
+            w_opt
+        )
+
+    def test_larger_than_paper_optimum(self, params):
+        # The renewal form penalises long periods less.
+        from repro import optimal_period
+
+        phi = 1.0
+        assert optimal_period_renewal(DOUBLE_NBL, params, phi) > optimal_period(
+            DOUBLE_NBL, params, phi
+        )
+
+    def test_converges_to_young_at_large_m(self):
+        params = scenarios.BASE.parameters(M=1e8)
+        phi = 1.0
+        p_renew = optimal_period_renewal(DOUBLE_NBL, params, phi)
+        assert p_renew == pytest.approx(np.sqrt(2 * 3.0 * 1e8), rel=0.01)
+
+    def test_clamped_to_min_period(self, params):
+        # TRIPLE at phi -> 0: c -> 0, root -> 0, clamp to 2θ.
+        p = optimal_period_renewal(TRIPLE, params, 0.0)
+        assert p == pytest.approx(88.0)
+
+
+class TestRenewalMatchesSimulator:
+    def test_renewal_mc_matches_renewal_form_tightly(self, params):
+        """The renewal MC estimates exactly the renewal-form waste, so the
+        agreement here is much tighter than against the paper form."""
+        from repro.sim.renewal import RenewalConfig, run_renewal_batch
+
+        phi, period = 1.0, 250.0
+        _, summary = run_renewal_batch(
+            RenewalConfig(protocol=DOUBLE_NBL, params=params, phi=phi,
+                          period=period, n_periods=100_000, seed=31),
+            replicas=10,
+        )
+        w_renew = waste_renewal(DOUBLE_NBL, params, phi, period)
+        w_paper = float(waste(DOUBLE_NBL, params, phi, period))
+        assert abs(summary.mean - w_renew) < abs(summary.mean - w_paper)
+        assert summary.mean == pytest.approx(w_renew, rel=0.01)

@@ -1,0 +1,182 @@
+"""Failure-injection edge cases in the event simulator.
+
+Exact ties, boundary strikes, minimal clusters, zero downtime — the
+places where off-by-one/epsilon bugs in discrete-event protocol code
+traditionally live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE, Parameters
+from repro.sim.application import Application
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.protocols.base import PlatformSim
+from repro.sim.protocols.buddy import BuddySimProtocol
+from repro.sim.topology import contiguous_groups
+from tests.test_platform_sim import PARAMS, PERIOD, PHI, ScriptedInjector, run_platform
+
+THETA = 34.0
+
+
+class TestBoundaryStrikes:
+    def test_failure_exactly_at_phase_boundary(self):
+        """t=36 is the phase-1/2 boundary.  Failure events are scheduled
+        at start() with the lowest sequence numbers, so a failure wins any
+        timestamp tie: it lands at the very end of phase 1 (offset = θ),
+        before the commit that the phase-end handler would have performed
+        — the conservative reading of a crash "at" the boundary."""
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [36.0]}
+        )
+        assert status == "completed"
+        # Block: D+R+re_time(1, θ) = 4 + (θ+σ+δ+34) = 4 + 134.
+        assert makespan == pytest.approx(300.0 + 138.0)
+        # The interrupted exchange never committed: whole period redone.
+        assert app.work_lost == pytest.approx(33.0)
+
+    def test_failure_exactly_at_period_end(self):
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [100.0]}
+        )
+        assert status == "completed"
+        # Lands at period 2, phase 0, offset 0: block = 4 + (θ+σ+0).
+        assert makespan == pytest.approx(300.0 + 4.0 + 98.0)
+
+    def test_failure_at_time_zero(self):
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 97.0, {0: [0.0]}
+        )
+        assert status == "completed"
+        # Nothing lost (work 0); block = 4 + re_time(0, 0) = 4 + 98.
+        assert makespan == pytest.approx(100.0 + 102.0)
+        assert app.work_lost == 0.0
+
+    def test_failure_exactly_at_completion_instant(self):
+        """A failure tied with the completion instant wins (lowest seq):
+        the final stretch is re-executed — a crash "at" completion is
+        treated as before it, never after."""
+        status, makespan, _, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [300.0]}
+        )
+        assert status == "completed"
+        # Block: D+R+re_time(2, σ) = 4 + (θ + 64) = 102, then the resumed
+        # phase completes immediately.
+        assert makespan == pytest.approx(300.0 + 102.0)
+
+    def test_two_failures_same_instant_different_groups(self):
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [50.0], 2: [50.0]}
+        )
+        assert status == "completed"
+        assert app.rollbacks == 2  # both processed, block restarted once
+
+    def test_buddy_pair_simultaneous_failure_is_fatal(self):
+        status, _, _, sim = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [50.0], 1: [50.0]}
+        )
+        assert status == "fatal"
+        assert sim.fatal_time == pytest.approx(50.0)
+
+    def test_failure_exactly_at_risk_end_is_fatal(self):
+        """The risk window is closed: [t, t+risk].  A buddy failing at
+        exactly t+risk ties with the risk-end event, and failures win ties
+        (lowest seq) — the conservative call, matching the cluster's lazy
+        expiry which only closes windows for strictly later times."""
+        risk = 38.0  # D+R+θ at phi=1
+        status, _, _, _ = run_platform(
+            DOUBLE_NBL, 5 * 97.0, {0: [50.0], 1: [50.0 + risk]}
+        )
+        assert status == "fatal"
+
+    def test_failure_just_after_risk_end_survives(self):
+        risk = 38.0
+        status, _, app, _ = run_platform(
+            DOUBLE_NBL, 5 * 97.0, {0: [50.0], 1: [50.0 + risk + 1e-6]}
+        )
+        assert status == "completed"
+        assert app.rollbacks == 2
+
+
+class TestMinimalClusters:
+    def test_two_node_cluster(self):
+        status, makespan, _, _ = run_platform(
+            DOUBLE_NBL, 97.0, {0: [50.0]}, n=2
+        )
+        assert status == "completed"
+
+    def test_three_node_triple(self):
+        status, makespan, _, _ = run_platform(
+            TRIPLE, 98.0, {0: [50.0]}, n=3
+        )
+        assert status == "completed"
+
+    def test_triple_three_failures_chain_fatal(self):
+        # Node 0 at 50, node 1 inside the window, node 2 inside again.
+        status, _, _, sim = run_platform(
+            TRIPLE, 50 * 98.0, {0: [50.0], 1: [60.0]}, n=3
+        )
+        # In the DES's conservative rule the second distinct member is
+        # already fatal (the cluster cannot rebuild two nodes at once).
+        assert status == "fatal"
+
+    def test_triple_staggered_failures_survive(self):
+        # Risk at phi=1: D+R+2θ = 72; failures 80 s apart.
+        status, _, app, _ = run_platform(
+            TRIPLE, 20 * 98.0, {0: [50.0], 1: [135.0], 2: [220.0]}, n=3
+        )
+        assert status == "completed"
+        assert app.rollbacks == 3
+
+
+class TestPlatformVariants:
+    def test_zero_downtime_zero_delta(self):
+        params = Parameters(D=0, delta=0.0, R=4, alpha=10, M=10_000, n=4)
+        proto = BuddySimProtocol(DOUBLE_NBL, params, 1.0, 100.0)
+        plan = proto.phase_plan()
+        assert plan[0].length == 0.0  # zero-length local checkpoint
+        cluster = Cluster(contiguous_groups(4, 2))
+        app = Application(work_target=200.0)
+        engine = Engine()
+        sim = PlatformSim(proto, ScriptedInjector(4, {0: [50.0]}), app,
+                          engine, cluster)
+        sim.start()
+        engine.run(until=1e6)
+        assert sim.finalize() == "completed"
+
+    def test_nonzero_downtime_lengthens_block(self):
+        params = Parameters(D=10.0, delta=2, R=4, alpha=10, M=10_000, n=4)
+        proto = BuddySimProtocol(DOUBLE_NBL, params, 1.0, 100.0)
+        cluster = Cluster(contiguous_groups(4, 2))
+        app = Application(work_target=3 * 97.0)
+        engine = Engine()
+        sim = PlatformSim(proto, ScriptedInjector(4, {0: [50.0]}), app,
+                          engine, cluster)
+        sim.start()
+        engine.run(until=1e6)
+        assert sim.finalize() == "completed"
+        # Same strike as the D=0 scenario plus 10 s of downtime.
+        assert engine.now == pytest.approx(300.0 + 52.0 + 10.0)
+
+    def test_failure_storm_many_rollbacks(self):
+        """Five failures in one period; the run still completes and work
+        accounting stays consistent."""
+        times = [50.0, 130.0, 210.0, 290.0, 370.0]
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [times[0], times[2], times[4]],
+                                   2: [times[1], times[3]]}
+        )
+        assert status == "completed"
+        assert app.rollbacks == 5
+        assert app.work_done == pytest.approx(3 * 97.0)
+        assert makespan > 300.0
+
+    def test_injector_renewal_after_replacement(self):
+        """A node's failure process continues after its replacement."""
+        status, _, app, sim = run_platform(
+            DOUBLE_NBL, 5 * 97.0, {0: [50.0, 250.0, 450.0]}
+        )
+        assert status == "completed"
+        assert sim.failures_seen == 3

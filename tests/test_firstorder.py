@@ -1,0 +1,105 @@
+"""Generic first-order machinery: F, waste composition, optimal period."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import firstorder as fo
+from repro.errors import ParameterError
+
+
+class TestExpectedLostTime:
+    def test_scalar(self):
+        assert fo.expected_lost_time(10.0, 100.0) == pytest.approx(60.0)
+
+    def test_broadcast(self):
+        out = fo.expected_lost_time(np.array([1.0, 2.0]), 10.0)
+        np.testing.assert_allclose(out, [6.0, 7.0])
+
+
+class TestWasteComposition:
+    def test_eq5_identity(self):
+        # WASTE = wf + wff − wf·wff.
+        wff, wf = 0.1, 0.2
+        assert fo.combine_waste(wff, wf) == pytest.approx(0.28)
+
+    def test_saturation(self):
+        assert fo.combine_waste(1.0, 0.0) == 1.0
+        assert fo.combine_waste(0.0, 1.5) == 1.0
+
+    def test_zero_period_is_infinite_ff_waste(self):
+        assert fo.waste_fault_free(1.0, 0.0) == np.inf
+
+    @given(
+        wff=st.floats(min_value=0, max_value=0.999),
+        wf=st.floats(min_value=0, max_value=0.999),
+    )
+    def test_combined_bounded(self, wff, wf):
+        out = float(fo.combine_waste(wff, wf))
+        assert 0.0 <= out <= 1.0
+        assert out >= max(wff, wf) - 1e-12  # combining never helps
+
+
+class TestWasteAtPeriod:
+    def test_below_min_period_saturates(self):
+        assert fo.waste_at_period(c=2.0, A=10.0, p_min=6.0, P=5.0, M=1e4) == 1.0
+
+    def test_matches_manual(self):
+        c, A, M, P = 2.0, 48.0, 25200.0, 317.19
+        expected = (A + P / 2) / M + c / P - (A + P / 2) / M * (c / P)
+        got = float(fo.waste_at_period(c, A, 6.0, P, M))
+        assert got == pytest.approx(expected)
+
+
+class TestOptimalPeriod:
+    def test_closed_form(self):
+        # P* = sqrt(2c(M−A)).
+        assert fo.optimal_period_unclamped(2.0, 48.0, 25200.0) == pytest.approx(
+            np.sqrt(2 * 2 * (25200 - 48))
+        )
+
+    def test_infeasible_is_nan(self):
+        assert np.isnan(fo.optimal_period_unclamped(2.0, 100.0, 50.0))
+        assert np.isnan(fo.optimal_period_clamped(2.0, 100.0, 5.0, 50.0))
+
+    def test_clamped_to_p_min(self):
+        # c = 0 → unconstrained optimum 0 → clamp to p_min.
+        assert fo.optimal_period_clamped(0.0, 10.0, 88.0, 25200.0) == 88.0
+
+    @given(
+        c=st.floats(min_value=0.01, max_value=100.0),
+        A=st.floats(min_value=0.0, max_value=1000.0),
+        M=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_optimum_beats_neighbours(self, c, A, M):
+        """The clamped optimum is a true minimum on the feasible domain."""
+        p_min = 1.0
+        p_opt = float(fo.optimal_period_clamped(c, A, p_min, M))
+        if np.isnan(p_opt):
+            return
+        w_opt = float(fo.waste_at_period(c, A, p_min, p_opt, M))
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            p_alt = max(p_min, p_opt * factor)
+            w_alt = float(fo.waste_at_period(c, A, p_min, p_alt, M))
+            assert w_opt <= w_alt + 1e-9
+
+    def test_waste_at_optimum_infeasible(self):
+        assert fo.waste_at_optimum(2.0, 100.0, 5.0, 50.0) == 1.0
+
+
+class TestFeasibility:
+    def test_mask(self):
+        mask = fo.feasible_mask(
+            c=2.0, A=48.0, p_min=6.0, M=np.array([10.0, 1e4])
+        )
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_rejects_bad_p_min(self):
+        with pytest.raises(ParameterError):
+            fo.feasible_mask(1.0, 1.0, 0.0, 100.0)
+
+    def test_saturated_boundary_counts_infeasible(self):
+        # M just above A but p_min so large the boundary waste is 1.
+        assert not bool(fo.feasible_mask(c=10.0, A=9.0, p_min=10.0, M=10.0))

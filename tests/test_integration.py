@@ -1,0 +1,120 @@
+"""End-to-end integration: the three layers agree on one configuration.
+
+Story: pick a platform, derive its parameters from hardware models, compute
+the model's prediction, and confirm both simulators against it — the full
+pipeline a user of the library would run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    Parameters,
+    optimal_period,
+    success_probability,
+)
+from repro.core.waste import waste, waste_at_optimum
+from repro.sim.des import DesConfig, run_des_batch, summarize_waste
+from repro.sim.network import Link, blocking_transfer_time
+from repro.sim.renewal import RenewalConfig, run_renewal_batch
+from repro.sim.riskmc import RiskMcConfig, run_risk_mc
+from repro.sim.storage import SSD_2013, local_checkpoint_time
+
+MB = 10**6
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def derived_params() -> Parameters:
+    """Parameters derived from hardware characteristics, not Table I."""
+    ckpt = 512 * MB
+    delta = local_checkpoint_time(ckpt, SSD_2013)
+    R = blocking_transfer_time(ckpt, Link(bandwidth=128 * MB))
+    return Parameters(D=0.0, delta=delta, R=R, alpha=10.0, M=600.0, n=48)
+
+
+def test_hardware_derivation_matches_table1(derived_params):
+    assert derived_params.delta == pytest.approx(2.0)
+    assert derived_params.R == pytest.approx(4.0)
+
+
+def test_model_renewal_des_three_way_agreement(derived_params):
+    """Model waste ≈ renewal waste ≈ DES waste on one configuration."""
+    phi = 1.0
+    spec = DOUBLE_NBL
+    period = optimal_period(spec, derived_params, phi)
+    w_model = float(waste(spec, derived_params, phi, period))
+
+    _, renewal_summary = run_renewal_batch(
+        RenewalConfig(protocol=spec, params=derived_params, phi=phi,
+                      period=float(period), n_periods=60_000, seed=101),
+        replicas=6,
+    )
+    # Renewal carries a documented O((F/M)^2) bias: assert closeness.
+    assert renewal_summary.mean == pytest.approx(w_model, rel=0.10)
+
+    des_results = [
+        r for r in run_des_batch(
+            DesConfig(protocol=spec, params=derived_params, phi=phi,
+                      work_target=8 * 3600.0, seed=202),
+            replicas=8,
+        )
+        if r.succeeded
+    ]
+    assert len(des_results) >= 6
+    des_summary = summarize_waste(des_results)
+    assert des_summary.mean == pytest.approx(w_model, rel=0.25)
+
+
+def test_protocol_ranking_is_consistent_across_layers(derived_params):
+    """TRIPLE < NBL ≤ BOF on waste at low φ — in the model and the DES."""
+    phi = 0.4
+    model = {
+        spec.key: float(np.asarray(waste_at_optimum(spec, derived_params, phi).total))
+        for spec in (DOUBLE_NBL, DOUBLE_BOF, TRIPLE)
+    }
+    assert model["triple"] < model["double-nbl"] <= model["double-bof"]
+
+    measured = {}
+    for spec in (DOUBLE_NBL, DOUBLE_BOF, TRIPLE):
+        results = [
+            r for r in run_des_batch(
+                DesConfig(protocol=spec, params=derived_params, phi=phi,
+                          work_target=8 * 3600.0, seed=303),
+                replicas=8,
+            )
+            if r.succeeded
+        ]
+        measured[spec.key] = summarize_waste(results).mean
+    assert measured["triple"] < measured["double-nbl"]
+
+
+def test_risk_story_end_to_end():
+    """High-failure regime: formula and MC agree that TRIPLE is far safer."""
+    params = Parameters(D=0.0, delta=2.0, R=4.0, alpha=10.0, M=60.0, n=10368)
+    T = 10 * DAY
+    p_model_nbl = success_probability(DOUBLE_NBL, params, 0.0, T)
+    p_model_tri = success_probability(TRIPLE, params, 0.0, T)
+    mc_nbl = run_risk_mc(RiskMcConfig(protocol=DOUBLE_NBL, params=params, T=T,
+                                      phi=0.0, replicas=300_000, seed=7))
+    mc_tri = run_risk_mc(RiskMcConfig(protocol=TRIPLE, params=params, T=T,
+                                      phi=0.0, replicas=300_000, seed=7))
+    # Order preserved and magnitudes in the right ballpark.
+    assert p_model_tri > 0.99 and mc_tri.success_probability > 0.99
+    assert p_model_nbl < 0.5 and mc_nbl.success_probability < 0.6
+    assert mc_tri.success_probability > mc_nbl.success_probability
+
+
+def test_cli_pipeline(tmp_path, capsys):
+    """The packaged CLI regenerates an artefact and writes its CSV."""
+    from repro.cli import main
+
+    assert main(["fig8", "--csv", str(tmp_path)]) == 0
+    csv = (tmp_path / "fig8.csv").read_text()
+    header = csv.splitlines()[0].split(",")
+    assert header == ["phi_over_R", "DoubleBoF/DoubleNBL", "Triple/DoubleNBL"]

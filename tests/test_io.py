@@ -1,0 +1,132 @@
+"""Result persistence: lossless JSON round-trips, corruption handling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.io import (
+    dump_result,
+    from_envelope,
+    load_result,
+    load_results,
+    save_results,
+    to_envelope,
+)
+from repro.sim.results import DesResult, MonteCarloSummary
+
+
+def sample_des(**kw) -> DesResult:
+    defaults = dict(
+        status="completed", makespan=1234.5, work_target=1000.0,
+        work_done=1000.0, failures=7, rollbacks=6, work_lost=55.25,
+        commits=12, risk_time=33.5, fatal_time=float("nan"),
+        fatal_group=(), meta={"protocol": "triple", "seed": 42},
+    )
+    defaults.update(kw)
+    return DesResult(**defaults)
+
+
+def sample_summary() -> MonteCarloSummary:
+    return MonteCarloSummary.from_samples([0.1, 0.12, 0.11], meta={"x": 1})
+
+
+class TestRoundTrip:
+    def test_des_result(self):
+        original = sample_des()
+        restored = load_result(dump_result(original))
+        assert isinstance(restored, DesResult)
+        assert restored.makespan == original.makespan
+        assert restored.meta == original.meta
+        assert math.isnan(restored.fatal_time)
+
+    def test_fatal_result_with_group(self):
+        original = sample_des(status="fatal", fatal_time=99.5,
+                              fatal_group=(4, 5))
+        restored = load_result(dump_result(original))
+        assert restored.fatal_group == (4, 5)
+        assert restored.fatal_time == 99.5
+        assert math.isnan(restored.waste)  # derived property still works
+
+    def test_infinities(self):
+        original = sample_des(fatal_time=float("inf"))
+        restored = load_result(dump_result(original))
+        assert restored.fatal_time == float("inf")
+        original = sample_des(fatal_time=float("-inf"))
+        assert load_result(dump_result(original)).fatal_time == float("-inf")
+
+    def test_summary(self):
+        original = sample_summary()
+        restored = load_result(dump_result(original))
+        assert isinstance(restored, MonteCarloSummary)
+        assert restored.mean == original.mean
+        assert restored.success_ci == original.success_ci
+
+    def test_waste_preserved_through_roundtrip(self):
+        original = sample_des()
+        assert load_result(dump_result(original)).waste == original.waste
+
+
+class TestFiles:
+    def test_save_and_stream(self, tmp_path):
+        results = [sample_des(makespan=1000.0 + i) for i in range(5)]
+        path = tmp_path / "runs.jsonl"
+        assert save_results(results, path) == 5
+        loaded = list(load_results(path))
+        assert [r.makespan for r in loaded] == [r.makespan for r in results]
+
+    def test_append(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        save_results([sample_des()], path)
+        save_results([sample_summary()], path, append=True)
+        loaded = list(load_results(path))
+        assert len(loaded) == 2
+        assert isinstance(loaded[0], DesResult)
+        assert isinstance(loaded[1], MonteCarloSummary)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(dump_result(sample_des()) + "\n\n\n")
+        assert len(list(load_results(path))) == 1
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(dump_result(sample_des()) + "\n{broken\n")
+        with pytest.raises(ParameterError, match="runs.jsonl:2"):
+            list(load_results(path))
+
+
+class TestValidation:
+    def test_rejects_foreign_envelope(self):
+        with pytest.raises(ParameterError):
+            from_envelope({"format": "something-else"})
+        with pytest.raises(ParameterError):
+            from_envelope([1, 2, 3])
+
+    def test_rejects_future_version(self):
+        env = to_envelope(sample_des())
+        env["version"] = 99
+        with pytest.raises(ParameterError, match="version"):
+            from_envelope(env)
+
+    def test_rejects_unknown_kind(self):
+        env = to_envelope(sample_des())
+        env["kind"] = "Mystery"
+        with pytest.raises(ParameterError, match="kind"):
+            from_envelope(env)
+
+    def test_rejects_corrupt_payload(self):
+        env = to_envelope(sample_des())
+        env["payload"]["bogus_field"] = 1
+        with pytest.raises(ParameterError, match="corrupt"):
+            from_envelope(env)
+
+    def test_rejects_unserialisable(self):
+        with pytest.raises(ParameterError):
+            to_envelope(object())  # type: ignore[arg-type]
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ParameterError):
+            load_result("{nope")

@@ -1,0 +1,137 @@
+"""Generalised k-buddy model: consistency with TRIPLE and k trade-offs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TRIPLE, scenarios
+from repro.core.kbuddy import KBuddyModel, recommend_k
+from repro.core.waste import waste_at_optimum
+from repro.errors import ParameterError
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def params():
+    return scenarios.BASE.parameters(M=600.0)
+
+
+class TestConsistencyWithTriple:
+    """k = 3 must reproduce the paper's TRIPLE exactly."""
+
+    @pytest.mark.parametrize("phi", [0.0, 0.5, 2.0, 4.0])
+    def test_waste(self, params, phi):
+        k3 = KBuddyModel(3)
+        w_k = k3.waste_at_optimum(params, phi)
+        w_t = float(np.asarray(waste_at_optimum(TRIPLE, params, phi).total))
+        assert w_k == pytest.approx(w_t, rel=1e-12)
+
+    @pytest.mark.parametrize("phi", [0.0, 2.0])
+    def test_risk_window(self, params, phi):
+        from repro import risk_window
+
+        assert KBuddyModel(3).risk_window(params, phi) == pytest.approx(
+            risk_window(TRIPLE, params, phi)
+        )
+
+    def test_success_probability(self, phi=0.0):
+        from repro import success_probability
+
+        params = scenarios.BASE.parameters(M=60.0)
+        T = 10 * DAY
+        assert KBuddyModel(3).success_probability(params, phi, T) == pytest.approx(
+            success_probability(TRIPLE, params, phi, T), rel=1e-9
+        )
+
+    def test_optimal_period(self, params):
+        from repro import optimal_period
+
+        assert KBuddyModel(3).optimal_period(params, 1.0) == pytest.approx(
+            optimal_period(TRIPLE, params, 1.0)
+        )
+
+
+class TestKTradeoffs:
+    def test_memory_grows_linearly(self):
+        assert KBuddyModel(2).images_held() == 1
+        assert KBuddyModel(3).images_held() == 2
+        assert KBuddyModel(5).images_held() == 4
+
+    def test_success_improves_with_k(self):
+        params = scenarios.BASE.parameters(M=60.0, n=10320)  # % 2,3,4,5 == 0
+        T = 30 * DAY
+        probs = [KBuddyModel(k).success_probability(params, 0.0, T)
+                 for k in (2, 3, 4)]
+        assert probs[0] < probs[1] <= probs[2]
+
+    def test_waste_grows_with_k_at_positive_phi(self, params):
+        phi = 2.0
+        wastes = [KBuddyModel(k).waste_at_optimum(params, phi)
+                  for k in (2, 3, 4, 5)]
+        assert all(b >= a - 1e-12 for a, b in zip(wastes, wastes[1:]))
+
+    def test_k2_risk_behaves_like_double(self):
+        # One remote image: a pair is at risk after any single failure,
+        # so fatal probability is O(λ²) — same order as DOUBLE.
+        params = scenarios.BASE.parameters(M=60.0)
+        T = 10 * DAY
+        p2 = KBuddyModel(2).success_probability(params, 0.0, T)
+        p3 = KBuddyModel(3).success_probability(params, 0.0, T)
+        assert p2 < 0.9
+        assert p3 > 0.99
+
+    def test_min_period_scales(self, params):
+        theta = params.theta(1.0)
+        assert float(np.asarray(KBuddyModel(4).min_period(params, 1.0))) == (
+            pytest.approx(3 * theta)
+        )
+
+
+class TestRecommendK:
+    def test_base_regime_picks_3(self):
+        params = scenarios.BASE.parameters(M=60.0, n=10320)
+        k, table = recommend_k(params, 0.0, T=30 * DAY, target_success=0.99)
+        assert k == 3
+        assert table[2]["success"] < 0.99 <= table[3]["success"]
+        assert table[3]["images"] == 2.0
+
+    def test_harsher_regime_needs_more(self):
+        params = scenarios.BASE.parameters(M=5.0, n=10320)
+        k, _ = recommend_k(params, 0.0, T=365 * DAY, target_success=0.999)
+        assert k >= 4
+
+    def test_impossible_raises(self):
+        params = scenarios.BASE.parameters(M=0.2, n=10320)
+        with pytest.raises(ParameterError):
+            recommend_k(params, 0.0, T=36500 * DAY, target_success=0.999999,
+                        max_k=3)
+
+    def test_skips_nondividing_k(self):
+        params = scenarios.BASE.parameters(M=60.0, n=10368)  # not % 5
+        _, table = recommend_k(params, 0.0, T=DAY, target_success=0.5)
+        assert 5 not in table
+
+
+class TestValidation:
+    @pytest.mark.parametrize("k", [1, 0, -2, 2.5, True])
+    def test_bad_k(self, k):
+        with pytest.raises(ParameterError):
+            KBuddyModel(k)
+
+    def test_bad_phi(self, params):
+        with pytest.raises(ParameterError):
+            KBuddyModel(3).waste_at_optimum(params, 10.0)
+
+    def test_bad_n_for_success(self, params):
+        with pytest.raises(ParameterError):
+            KBuddyModel(5).success_probability(params, 0.0, DAY)
+
+    def test_bad_target(self, params):
+        with pytest.raises(ParameterError):
+            recommend_k(params, 0.0, DAY, target_success=1.5)
+
+    def test_negative_t(self, params):
+        with pytest.raises(ParameterError):
+            KBuddyModel(3).group_fatal_probability(params, 0.0, -1.0)

@@ -1,0 +1,145 @@
+"""Memory accounting (§IV) and the fork/copy-on-write model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE
+from repro.core.cow import CowModel
+from repro.core.memory import MemoryBudget, fits_in, peak_bytes, steady_state_bytes
+from repro.errors import ParameterError
+
+MB = 10**6
+
+
+class TestMemoryAccounting:
+    def test_steady_state_two_images(self):
+        assert steady_state_bytes(DOUBLE_NBL, 512 * MB) == 1024 * MB
+        assert steady_state_bytes(TRIPLE, 512 * MB) == 1024 * MB
+
+    def test_paper_claim_equal_footprints(self):
+        # §IV: TRIPLE matches the doubles' memory demand.
+        for size in (64 * MB, 512 * MB, 4096 * MB):
+            assert steady_state_bytes(TRIPLE, size) == steady_state_bytes(
+                DOUBLE_NBL, size
+            )
+            assert peak_bytes(TRIPLE, size) == peak_bytes(DOUBLE_NBL, size)
+
+    def test_cow_shrinks_peak(self):
+        full = peak_bytes(TRIPLE, 512 * MB, cow_dirty_fraction=1.0)
+        cow = peak_bytes(TRIPLE, 512 * MB, cow_dirty_fraction=0.1)
+        assert cow < full
+        assert cow == steady_state_bytes(TRIPLE, 512 * MB) + 512 * MB + 51 * MB + MB // 5
+
+    def test_budget(self):
+        budget = MemoryBudget(
+            capacity_bytes=2 * 1024 * MB,
+            checkpoint_bytes=512 * MB,
+            cow_dirty_fraction=0.0,
+        )
+        assert fits_in(TRIPLE, budget)
+        assert budget.headroom(TRIPLE) == 2048 * MB - 1536 * MB
+
+    def test_budget_overflow(self):
+        budget = MemoryBudget(capacity_bytes=1024 * MB, checkpoint_bytes=512 * MB)
+        assert not fits_in(DOUBLE_NBL, budget)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(capacity_bytes=0, checkpoint_bytes=1),
+            dict(capacity_bytes=1, checkpoint_bytes=0),
+            dict(capacity_bytes=1, checkpoint_bytes=1, cow_dirty_fraction=1.5),
+        ],
+    )
+    def test_budget_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            MemoryBudget(**kwargs)
+
+    def test_peak_validation(self):
+        with pytest.raises(ParameterError):
+            peak_bytes(TRIPLE, -1)
+        with pytest.raises(ParameterError):
+            peak_bytes(TRIPLE, 1, cow_dirty_fraction=2.0)
+
+
+class TestCowModel:
+    def make(self, **kw) -> CowModel:
+        defaults = dict(pages=131072, page_bytes=4096, dirty_rate=1000.0,
+                        copy_time=2e-6, interference=0.0, ordering="uniform")
+        defaults.update(kw)
+        return CowModel(**defaults)
+
+    def test_uniform_duplications(self):
+        # E[dup] = rate·θ/2 for uniform ordering.
+        model = self.make()
+        assert model.duplicated_pages_over(10.0) == pytest.approx(5000.0)
+
+    def test_hot_first_beats_uniform(self):
+        # §IV: ordering most-likely-modified first reduces duplication.
+        uni = self.make(ordering="uniform")
+        hot = self.make(ordering="hot-first")
+        assert hot.duplicated_pages_over(10.0) < uni.duplicated_pages_over(10.0)
+
+    def test_cap_at_image_size(self):
+        model = self.make(dirty_rate=1e9)
+        assert model.duplicated_pages_over(100.0) == model.pages
+
+    def test_outcome_fields(self):
+        out = self.make().evaluate(10.0)
+        assert out.duplicated_pages == pytest.approx(5000.0)
+        assert out.transient_bytes == pytest.approx(5000.0 * 4096)
+        assert out.stall_time == pytest.approx(5000.0 * 2e-6)
+        assert 0.0 <= out.overhead_fraction <= 1.0
+
+    def test_effective_phi_small_for_fast_network(self):
+        # §VI-A: "a very small ratio phi/R can be achieved for large theta".
+        model = self.make(dirty_rate=100.0)
+        ratio = model.phi_over_r(theta=44.0, R=4.0)
+        assert ratio < 0.01
+
+    def test_interference_adds_overhead(self):
+        calm = self.make(interference=0.0).evaluate(10.0)
+        busy = self.make(interference=0.05).evaluate(10.0)
+        assert busy.overhead_fraction > calm.overhead_fraction
+
+    def test_phi_curve_monotone_pages(self):
+        model = self.make()
+        thetas = [4.0, 8.0, 16.0, 44.0]
+        curve = model.phi_curve(thetas, R=4.0)
+        assert curve.shape == (4,)
+        assert all(0 <= v <= 1 for v in curve)
+
+    def test_upload_duration(self):
+        model = self.make()
+        assert model.upload_duration(128 * MB) == pytest.approx(
+            model.image_bytes / (128 * MB)
+        )
+        with pytest.raises(ParameterError):
+            model.upload_duration(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(pages=0),
+            dict(page_bytes=0),
+            dict(dirty_rate=-1.0),
+            dict(copy_time=-1.0),
+            dict(interference=1.0),
+            dict(ordering="random"),
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(pages=10, page_bytes=4096)
+        defaults.update(kwargs)
+        with pytest.raises(ParameterError):
+            CowModel(**defaults)
+
+    def test_zero_theta(self):
+        out = self.make().evaluate(0.0)
+        assert out.duplicated_pages == 0.0
+        assert out.overhead_fraction == 0.0
+        with pytest.raises(ParameterError):
+            self.make().duplicated_pages_over(-1.0)

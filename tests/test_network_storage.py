@@ -1,0 +1,112 @@
+"""Network/storage parameter derivation (Table I values from hardware)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.network import Link, blocking_transfer_time, effective_alpha
+from repro.sim.storage import NVME_EXA, SSD_2013, StorageDevice, local_checkpoint_time
+
+MB = 10**6
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link(bandwidth=128 * MB)
+        assert link.transfer_time(512 * MB) == pytest.approx(4.0)
+
+    def test_latency_added(self):
+        link = Link(bandwidth=128 * MB, latency=0.5)
+        assert link.transfer_time(512 * MB) == pytest.approx(4.5)
+
+    def test_sharing(self):
+        link = Link(bandwidth=128 * MB)
+        assert link.transfer_time(512 * MB, concurrent=2) == pytest.approx(8.0)
+
+    def test_full_duplex_exchange(self):
+        link = Link(bandwidth=128 * MB, full_duplex=True)
+        assert link.exchange_time(512 * MB) == pytest.approx(4.0)
+
+    def test_half_duplex_exchange(self):
+        link = Link(bandwidth=128 * MB, full_duplex=False)
+        assert link.exchange_time(512 * MB) == pytest.approx(8.0)
+
+    def test_base_scenario_r(self):
+        # Table I: R = 4 s for 512 MB — implies ≈128 MB/s of buddy bandwidth.
+        link = Link(bandwidth=128 * MB)
+        assert blocking_transfer_time(512 * MB, link) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("kwargs", [dict(bandwidth=0), dict(bandwidth=1, latency=-1)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            Link(**kwargs)
+
+    def test_transfer_validation(self):
+        link = Link(bandwidth=1.0)
+        with pytest.raises(ParameterError):
+            link.transfer_time(-1.0)
+        with pytest.raises(ParameterError):
+            link.transfer_time(1.0, concurrent=0)
+
+
+class TestAlphaHeuristic:
+    def test_headroom_gives_positive_alpha(self):
+        link = Link(bandwidth=128 * MB)
+        alpha = effective_alpha(link, compute_memory_bandwidth=10e9,
+                                checkpoint_bytes=512 * MB)
+        assert alpha > 1.0
+
+    def test_saturated_bus_gives_small_alpha(self):
+        link = Link(bandwidth=10e9)
+        alpha = effective_alpha(link, compute_memory_bandwidth=1e9,
+                                checkpoint_bytes=512 * MB, max_alpha=100.0)
+        assert alpha < 1.0
+
+    def test_capped(self):
+        link = Link(bandwidth=1 * MB)
+        alpha = effective_alpha(link, compute_memory_bandwidth=1e12,
+                                checkpoint_bytes=512 * MB, max_alpha=10.0)
+        assert alpha == 10.0
+
+    def test_validation(self):
+        link = Link(bandwidth=1.0)
+        with pytest.raises(ParameterError):
+            effective_alpha(link, 0.0, 1.0)
+        with pytest.raises(ParameterError):
+            effective_alpha(link, 1.0, 0.0)
+
+
+class TestStorage:
+    def test_base_delta_from_ssd(self):
+        # Table I: δ = 2 s for 512 MB at SSD speed.
+        assert local_checkpoint_time(512 * MB, SSD_2013) == pytest.approx(2.0)
+
+    def test_exa_device(self):
+        # 500 Gb/s bus: 64 GB/core... per-node image in tens of seconds.
+        t = local_checkpoint_time(1.875e12, NVME_EXA)
+        assert t == pytest.approx(30.0)
+
+    def test_amplification(self):
+        dev = StorageDevice("x", write_bandwidth=100.0, write_amplification=2.0)
+        assert dev.write_time(100.0) == pytest.approx(2.0)
+
+    def test_latency(self):
+        dev = StorageDevice("x", write_bandwidth=100.0, latency=0.25)
+        assert dev.write_time(100.0) == pytest.approx(1.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(write_bandwidth=0.0),
+            dict(write_bandwidth=1.0, latency=-1.0),
+            dict(write_bandwidth=1.0, write_amplification=0.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            StorageDevice("bad", **kwargs)
+
+    def test_write_time_validation(self):
+        with pytest.raises(ParameterError):
+            SSD_2013.write_time(-1.0)

@@ -1,0 +1,121 @@
+"""Overlap model θ(φ): endpoints, inverse, slowdown (paper §II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import OverlapModel
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def base_model() -> OverlapModel:
+    return OverlapModel(theta_min=4.0, alpha=10.0)
+
+
+class TestEndpoints:
+    def test_blocking_endpoint(self, base_model):
+        # φ = θmin: fully blocking, θ = θmin.
+        assert base_model.theta_of_phi(4.0) == pytest.approx(4.0)
+
+    def test_hidden_endpoint(self, base_model):
+        # φ = 0: fully hidden, θ = (1+α)θmin.
+        assert base_model.theta_of_phi(0.0) == pytest.approx(44.0)
+        assert base_model.theta_max == pytest.approx(44.0)
+
+    def test_linearity(self, base_model):
+        # θ(φ) = θmin + α(θmin − φ): at φ = θmin/2, θ = θmin(1 + α/2).
+        assert base_model.theta_of_phi(2.0) == pytest.approx(4.0 + 10.0 * 2.0)
+
+    def test_exa_values(self):
+        model = OverlapModel(theta_min=60.0, alpha=10.0)
+        assert model.theta_of_phi(0.0) == pytest.approx(660.0)
+        assert model.theta_of_phi(6.0) == pytest.approx(600.0)
+
+
+class TestInverse:
+    def test_phi_of_theta_endpoints(self, base_model):
+        assert base_model.phi_of_theta(4.0) == pytest.approx(4.0)
+        assert base_model.phi_of_theta(44.0) == pytest.approx(0.0)
+
+    def test_beyond_theta_max_keeps_zero(self, base_model):
+        assert base_model.phi_of_theta(100.0) == 0.0
+
+    def test_below_theta_min_rejected(self, base_model):
+        with pytest.raises(ParameterError):
+            base_model.phi_of_theta(3.0)
+
+    @given(phi=st.floats(min_value=0.0, max_value=4.0))
+    def test_roundtrip(self, phi):
+        model = OverlapModel(theta_min=4.0, alpha=10.0)
+        assert model.phi_of_theta(model.theta_of_phi(phi)) == pytest.approx(
+            phi, abs=1e-9
+        )
+
+    def test_alpha_zero_degenerates(self):
+        model = OverlapModel(theta_min=4.0, alpha=0.0)
+        assert model.theta_of_phi(0.0) == pytest.approx(4.0)
+        assert model.phi_of_theta(4.0) == pytest.approx(4.0)
+
+
+class TestSlowdownAndWork:
+    def test_slowdown_endpoints(self, base_model):
+        assert base_model.slowdown(4.0) == pytest.approx(1.0)  # fully blocking
+        assert base_model.slowdown(0.0) == pytest.approx(0.0)  # fully hidden
+
+    def test_work_during_window(self, base_model):
+        # θ(2) = 24, work = 24 − 2 = 22.
+        assert base_model.work_during_window(2.0) == pytest.approx(22.0)
+
+    @given(phi=st.floats(min_value=0.0, max_value=4.0))
+    def test_work_nonnegative(self, phi):
+        model = OverlapModel(theta_min=4.0, alpha=10.0)
+        assert model.work_during_window(phi) >= -1e-12
+
+    @given(
+        phi1=st.floats(min_value=0.0, max_value=4.0),
+        phi2=st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_theta_decreasing_in_phi(self, phi1, phi2):
+        model = OverlapModel(theta_min=4.0, alpha=10.0)
+        if phi1 < phi2:
+            assert model.theta_of_phi(phi1) >= model.theta_of_phi(phi2)
+
+
+class TestVectorisation:
+    def test_array_in_array_out(self, base_model):
+        phis = np.linspace(0, 4, 11)
+        thetas = base_model.theta_of_phi(phis)
+        assert thetas.shape == (11,)
+        assert thetas[0] == pytest.approx(44.0)
+        assert thetas[-1] == pytest.approx(4.0)
+
+    def test_scalar_in_scalar_out(self, base_model):
+        assert isinstance(base_model.theta_of_phi(1.0), float)
+        assert isinstance(base_model.slowdown(1.0), float)
+
+    def test_phi_grid(self, base_model):
+        grid = base_model.phi_grid(5)
+        np.testing.assert_allclose(grid, [0, 1, 2, 3, 4])
+        with pytest.raises(ParameterError):
+            base_model.phi_grid(1)
+
+
+class TestValidation:
+    def test_rejects_bad_theta_min(self):
+        with pytest.raises(ParameterError):
+            OverlapModel(theta_min=0.0, alpha=1.0)
+        with pytest.raises(ParameterError):
+            OverlapModel(theta_min=-1.0, alpha=1.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            OverlapModel(theta_min=1.0, alpha=-0.5)
+
+    def test_rejects_phi_out_of_range(self, base_model):
+        with pytest.raises(ParameterError):
+            base_model.theta_of_phi(5.0)
+        with pytest.raises(ParameterError):
+            base_model.theta_of_phi(-0.5)

@@ -1,0 +1,99 @@
+"""Parameter bundle validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Parameters
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=25200, n=10368)
+        assert p.D == 0.0
+        assert p.delta == 2.0
+        assert p.R == 4.0
+        assert p.M == 25200.0
+
+    def test_accepts_unit_strings(self):
+        p = Parameters(D="1min", delta="2s", R="4s", alpha=10, M="7h", n=100)
+        assert p.D == 60.0
+        assert p.M == 25200.0
+
+    def test_default_n(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600)
+        assert p.n == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(D=-1, delta=2, R=4, alpha=10, M=600),
+            dict(D=0, delta=-2, R=4, alpha=10, M=600),
+            dict(D=0, delta=2, R=0, alpha=10, M=600),
+            dict(D=0, delta=2, R=4, alpha=-1, M=600),
+            dict(D=0, delta=2, R=4, alpha=10, M=0),
+            dict(D=0, delta=2, R=4, alpha=10, M=600, n=1),
+            dict(D=0, delta=2, R=4, alpha=10, M=600, n=2.5),
+            dict(D=0, delta=2, R=4, alpha="ten", M=600),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            Parameters(**kwargs)
+
+    def test_immutable(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600)
+        with pytest.raises(AttributeError):
+            p.M = 1200
+
+
+class TestDerived:
+    def test_theta_min_is_r(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600)
+        assert p.theta_min == 4.0
+        assert p.theta_max == pytest.approx(44.0)
+
+    def test_lambda(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=60, n=10368)
+        assert p.lam == pytest.approx(1.0 / (10368 * 60))
+        assert p.node_mtbf == pytest.approx(10368 * 60)
+
+    def test_theta_delegates_to_overlap(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600)
+        assert p.theta(0.0) == pytest.approx(44.0)
+        assert p.phi_for_theta(44.0) == pytest.approx(0.0)
+
+
+class TestUpdatesAndSerialisation:
+    def test_with_updates(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600, n=64)
+        q = p.with_updates(M="1h", n=128)
+        assert q.M == 3600.0
+        assert q.n == 128
+        assert p.M == 600.0  # original untouched
+
+    def test_with_updates_rejects_unknown(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600)
+        with pytest.raises(ParameterError):
+            p.with_updates(bogus=1)
+
+    def test_mapping_roundtrip(self):
+        p = Parameters(D=60, delta=30, R=60, alpha=10, M=600, n=10**6)
+        q = Parameters.from_mapping(p.to_dict())
+        assert q == p
+
+    def test_from_mapping_missing(self):
+        with pytest.raises(ParameterError):
+            Parameters.from_mapping({"D": 0, "delta": 2})
+
+    def test_from_mapping_unknown(self):
+        with pytest.raises(ParameterError):
+            Parameters.from_mapping(
+                {"D": 0, "delta": 2, "R": 4, "alpha": 10, "M": 600, "x": 1}
+            )
+
+    def test_describe(self):
+        p = Parameters(D=0, delta=2, R=4, alpha=10, M=600, n=64)
+        text = p.describe()
+        assert "M=600" in text and "n=64" in text

@@ -1,0 +1,140 @@
+"""Bi-criteria Pareto selection and the §I motivation numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.analysis.pareto import (
+    OperatingPoint,
+    candidate_points,
+    cheapest_safe,
+    pareto_front,
+    safest_within,
+)
+from repro.errors import ParameterError
+from repro.experiments import intro
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Moderate regime: waste a few %, fatal probabilities spread out.
+    params = scenarios.BASE.parameters(M=600.0)
+    return candidate_points(params, T=30 * DAY, num_phi=17)
+
+
+class TestCandidates:
+    def test_all_feasible_fractions(self, points):
+        assert points
+        for p in points:
+            assert 0.0 <= p.waste < 1.0
+            assert 0.0 <= p.fatal_probability <= 1.0
+            assert np.isfinite(p.period)
+
+    def test_every_protocol_represented(self, points):
+        assert {p.protocol for p in points} == {
+            "double-blocking", "double-nbl", "double-bof", "triple",
+            "triple-bof",
+        }
+
+    def test_infeasible_platform_yields_nothing(self):
+        params = scenarios.BASE.parameters(M=3.0)
+        assert candidate_points(params, T=DAY, num_phi=5) == []
+
+    def test_validation(self):
+        params = scenarios.BASE.parameters(M=120.0)
+        with pytest.raises(ParameterError):
+            candidate_points(params, T=0.0)
+        with pytest.raises(ParameterError):
+            candidate_points(params, T=1.0, num_phi=1)
+
+
+class TestPareto:
+    def test_front_is_nondominated(self, points):
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_front_sorted_and_tradeoff_shaped(self, points):
+        front = pareto_front(points)
+        wastes = [p.waste for p in front]
+        fatals = [p.fatal_probability for p in front]
+        assert wastes == sorted(wastes)
+        # Along a Pareto front, lower waste must mean higher risk.
+        assert fatals == sorted(fatals, reverse=True)
+
+    def test_triple_variants_dominate_front(self, points):
+        """The paper's conclusion, bi-criteria form: the efficient set is
+        (almost) exclusively triple protocols in the favourable regime."""
+        front = pareto_front(points)
+        triple_share = sum(p.protocol.startswith("triple") for p in front)
+        assert triple_share / len(front) > 0.8
+
+    def test_dominates_semantics(self):
+        a = OperatingPoint("x", 0.0, 100.0, waste=0.1, fatal_probability=0.01)
+        b = OperatingPoint("y", 0.0, 100.0, waste=0.2, fatal_probability=0.01)
+        c = OperatingPoint("z", 0.0, 100.0, waste=0.1, fatal_probability=0.01)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # equal points do not dominate
+
+
+class TestConstraints:
+    def test_cheapest_safe(self, points):
+        pick = cheapest_safe(points, min_success=0.999)
+        assert pick is not None
+        assert pick.success_probability >= 0.999
+        cheaper = [p for p in points if p.waste < pick.waste]
+        assert all(p.success_probability < 0.999 for p in cheaper)
+
+    def test_safest_within(self, points):
+        pick = safest_within(points, max_waste=0.2)
+        assert pick is not None
+        assert pick.waste <= 0.2
+
+    def test_unsatisfiable_returns_none(self, points):
+        assert cheapest_safe(points, min_success=1.0) is None or all(
+            p.success_probability < 1.0 for p in points
+        )
+        assert safest_within(points, max_waste=1e-9) is None
+
+    def test_validation(self, points):
+        with pytest.raises(ParameterError):
+            cheapest_safe(points, min_success=0.0)
+        with pytest.raises(ParameterError):
+            safest_within(points, max_waste=2.0)
+
+
+class TestIntro:
+    def test_paper_headline_086(self):
+        facts = intro.generate(node_mtbf_years=50.0, n_nodes=10**6)
+        # §I: "jumps to 1 − 0.999998^1e6 > 0.86".
+        assert facts.p_platform_failure_within_hour > 0.86
+        assert facts.p_node_survives_hour == pytest.approx(0.999998, abs=2e-6)
+
+    def test_platform_mtbf_is_minutes(self):
+        facts = intro.generate()
+        assert 60.0 < facts.platform_mtbf_seconds < 3600.0
+
+    def test_no_checkpoint_day_run_hopeless(self):
+        facts = intro.generate()
+        assert facts.p_one_day_run_no_checkpoint < 1e-20
+
+    def test_small_machine_is_fine(self):
+        facts = intro.generate(node_mtbf_years=50.0, n_nodes=100)
+        assert facts.p_platform_failure_within_hour < 0.001
+
+    def test_render_and_csv(self):
+        facts = intro.generate()
+        assert "0.86" in facts.render() or "0.8" in facts.render()
+        assert facts.to_csv().count("\n") == 2
+
+    def test_registered_in_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["intro"]) == 0
+        assert "exascale reliability" in capsys.readouterr().out

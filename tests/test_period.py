@@ -1,0 +1,97 @@
+"""Optimal periods against the paper's closed forms (Eqs. 9, 10, 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DOUBLE_BLOCKING,
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    feasible,
+    optimal_period,
+    scenarios,
+)
+from repro.core.period import optimal_period_unclamped
+
+
+@pytest.fixture
+def base_7h():
+    return scenarios.BASE.parameters(M="7h")
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("phi", [0.5, 1.0, 2.0, 3.5])
+    def test_eq9_double_nbl(self, base_7h, phi):
+        theta = 4 + 10 * (4 - phi)
+        expected = np.sqrt(2 * (2 + phi) * (25200 - 4 - 0 - theta))
+        assert optimal_period_unclamped(
+            DOUBLE_NBL, base_7h, phi
+        ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("phi", [0.5, 1.0, 2.0, 3.5])
+    def test_eq10_double_bof(self, base_7h, phi):
+        theta = 4 + 10 * (4 - phi)
+        expected = np.sqrt(2 * (2 + phi) * (25200 - 2 * 4 - 0 - theta + phi))
+        assert optimal_period_unclamped(
+            DOUBLE_BOF, base_7h, phi
+        ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("phi", [0.5, 1.0, 2.0, 3.5])
+    def test_eq15_triple(self, base_7h, phi):
+        theta = 4 + 10 * (4 - phi)
+        expected = 2 * np.sqrt(phi * (25200 - 0 - 4 - theta))
+        assert optimal_period_unclamped(TRIPLE, base_7h, phi) == pytest.approx(expected)
+
+    def test_buddy_period_much_larger_than_daly_with_global_c(self, base_7h):
+        # §III-B: with per-node δ, buddy periods dwarf centralised ones
+        # computed with a global checkpoint cost (here 100x δ).
+        from repro.core.comparators import daly_period
+
+        p_buddy = optimal_period(DOUBLE_NBL, base_7h, 1.0)
+        p_central_like = daly_period(C=200.0, M=base_7h.M / 100)
+        assert p_buddy > 0
+        assert p_central_like > 0
+
+
+class TestClamping:
+    def test_triple_phi0_clamps_to_2theta(self, base_7h):
+        assert optimal_period(TRIPLE, base_7h, 0.0) == pytest.approx(88.0)
+
+    def test_clamp_only_when_needed(self, base_7h):
+        p_un = optimal_period_unclamped(DOUBLE_NBL, base_7h, 1.0)
+        p_cl = optimal_period(DOUBLE_NBL, base_7h, 1.0)
+        assert p_cl == pytest.approx(p_un)  # interior optimum feasible here
+
+    def test_infeasible_nan(self):
+        params = scenarios.BASE.parameters(M=15)
+        assert np.isnan(optimal_period(DOUBLE_NBL, params, 0.0))
+
+    def test_vectorised_over_m(self, base_7h):
+        ms = np.array([15.0, 600.0, 25200.0])
+        out = optimal_period(DOUBLE_NBL, base_7h, 1.0, M=ms)
+        assert np.isnan(out[0]) and np.all(np.isfinite(out[1:]))
+        assert out[1] < out[2]  # larger MTBF, larger period
+
+
+class TestFeasible:
+    def test_scalar(self, base_7h):
+        assert feasible(DOUBLE_NBL, base_7h, 1.0) is True
+
+    def test_saturated(self):
+        params = scenarios.BASE.parameters(M=15)
+        assert feasible(DOUBLE_NBL, params, 0.0) in (False, np.False_)
+
+    def test_blocking_needs_bigger_m(self):
+        # DOUBLE-BLOCKING pins phi=R: A = D+2R = 8 on Base.
+        params = scenarios.BASE.parameters(M=9)
+        assert not feasible(DOUBLE_BLOCKING, params, 0.0)
+        params = scenarios.BASE.parameters(M=120)
+        assert feasible(DOUBLE_BLOCKING, params, 0.0)
+
+    def test_exa_one_failure_per_minute_saturates(self):
+        # §VI-B: at exascale, waste is crippling when M is a minute.
+        params = scenarios.EXA.parameters(M=60)
+        assert not feasible(DOUBLE_NBL, params, 0.0)

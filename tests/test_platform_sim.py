@@ -1,0 +1,251 @@
+"""Platform state machine: deterministic failure scenarios, verified by hand.
+
+These tests drive :class:`PlatformSim` with scripted failure times and check
+makespans against closed-form expectations — the ground truth for the DES's
+block-insertion semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE, Parameters
+from repro.errors import SimulationError
+from repro.sim.application import Application
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.protocols.base import PlatformSim
+from repro.sim.protocols.buddy import BuddySimProtocol
+from repro.sim.protocols.coordinated import CoordinatedSimProtocol
+from repro.sim.protocols.none import NoCheckpointSimProtocol
+from repro.sim.topology import contiguous_groups
+
+PARAMS = Parameters(D=0, delta=2, R=4, alpha=10, M=10_000, n=4)
+PHI = 1.0           # θ = 34
+PERIOD = 100.0      # phases: 2 / 34 / 64, W = 97
+THETA = 34.0
+NEVER = 1e15
+
+
+class ScriptedInjector:
+    """Failure process with explicit per-node failure schedules."""
+
+    def __init__(self, n_nodes: int, schedules: dict[int, list[float]]):
+        self.n_nodes = n_nodes
+        # Convert absolute times to successive inter-arrival delays.
+        self._delays = {}
+        for node, times in schedules.items():
+            prev, delays = 0.0, []
+            for t in times:
+                delays.append(t - prev)
+                prev = t
+            self._delays[node] = delays
+
+    def next_failure_delay(self, node: int) -> float:
+        queue = self._delays.get(node, [])
+        return queue.pop(0) if queue else NEVER
+
+
+def run_platform(spec, work, schedules, n=None, phi=PHI, period=PERIOD,
+                 params=PARAMS, until=1e9):
+    if n is None:
+        n = 6 if spec.group_size == 3 else 4
+    protocol = BuddySimProtocol(spec, params, phi, period)
+    cluster = Cluster(contiguous_groups(n, spec.group_size))
+    injector = ScriptedInjector(n, schedules)
+    app = Application(work_target=work)
+    engine = Engine()
+    sim = PlatformSim(protocol, injector, app, engine, cluster)
+    sim.start()
+    engine.run(until=until, max_events=100_000)
+    status = sim.finalize()
+    return status, engine.now, app, sim
+
+
+class TestFaultFree:
+    def test_exact_makespan_double(self):
+        # 3 full periods of work (97 each) finish exactly at t = 300.
+        status, makespan, app, _ = run_platform(DOUBLE_NBL, 3 * 97.0, {})
+        assert status == "completed"
+        assert makespan == pytest.approx(300.0)
+        assert app.work_done == pytest.approx(291.0)
+
+    def test_completion_mid_compute_phase(self):
+        # 97 + 50 work: period 1 (97) + δ + exchange work 33 + 18 at speed 1
+        # inside phase 2 ... completion inside the second period.
+        status, makespan, app, _ = run_platform(DOUBLE_NBL, 97.0 + 50.0, {})
+        assert status == "completed"
+        # Second period: phase0 ends t=102 (0 work), phase1 ends t=136
+        # (+33), needs 17 more at full speed -> t = 153.
+        assert makespan == pytest.approx(153.0)
+
+    def test_completion_mid_exchange_phase(self):
+        # Needs 10 work units in the second period's exchange phase:
+        # rate 33/34 ⇒ 10/(33/34) seconds after t=102.
+        status, makespan, _, _ = run_platform(DOUBLE_NBL, 97.0 + 10.0, {})
+        assert makespan == pytest.approx(102.0 + 10.0 * 34.0 / 33.0)
+
+    def test_commits_at_exchange_end(self):
+        _, _, app, _ = run_platform(DOUBLE_NBL, 3 * 97.0, {})
+        # Commits at t = 36, 136, 236 capture work 0, 97, 194.
+        assert app.commits[:3] == [(36.0, 0.0), (136.0, 97.0), (236.0, 194.0)]
+
+    def test_triple_fault_free(self):
+        # TRIPLE: phases 34/34/32, W = 98 at phi=1.
+        status, makespan, app, _ = run_platform(TRIPLE, 2 * 98.0, {})
+        assert status == "completed"
+        assert makespan == pytest.approx(200.0)
+        # Commit at end of phase 0 (t=34) captures work 0.
+        assert app.commits[0] == (34.0, 0.0)
+
+
+class TestSingleFailure:
+    def test_failure_in_compute_phase(self):
+        """Failure at t=50 (phase 2, offset 14): block = D+R+θ+offset."""
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [50.0]}
+        )
+        assert status == "completed"
+        block = 0.0 + 4.0 + (THETA + 14.0)  # D + R + re_time(2, 14)
+        assert makespan == pytest.approx(300.0 + block)
+        assert app.rollbacks == 1
+        # Lost work: exchange work 33 + 14 s of compute.
+        assert app.work_lost == pytest.approx(33.0 + 14.0)
+
+    def test_failure_during_local_checkpoint(self):
+        """Failure at t=101 (period 2, phase 0, offset 1).
+
+        Rollback to commit(t=36) = work 0; block = D+R+re_time(0, 1)
+        = 4 + (θ+σ+1) = 4 + 99; all of period 1's work re-executed.
+        """
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [101.0]}
+        )
+        assert status == "completed"
+        assert makespan == pytest.approx(300.0 + 4.0 + 34.0 + 64.0 + 1.0)
+        assert app.work_lost == pytest.approx(97.0)
+
+    def test_failure_during_exchange(self):
+        """Failure at t=110 (period 2, phase 1, offset 8).
+
+        Lost work: period-1 W plus 8s at exchange rate 33/34.
+        Block: D+R + re_time(1, 8) = 4 + (θ+σ+δ+8).
+        """
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [110.0]}
+        )
+        assert status == "completed"
+        assert makespan == pytest.approx(300.0 + 4.0 + (34 + 64 + 2 + 8))
+        assert app.work_lost == pytest.approx(97.0 + 8.0 * 33.0 / 34.0)
+
+    def test_triple_failure_in_second_exchange_cheap(self):
+        """TRIPLE failure in phase 1 rolls back only to the new snapshot."""
+        status, makespan, app, _ = run_platform(
+            TRIPLE, 2 * 98.0, {0: [140.0]}  # period 2, phase 1, offset 6
+        )
+        assert status == "completed"
+        # re_time(1, 6) = θ + 6 = 40; block = D+R+40 = 44.
+        assert makespan == pytest.approx(200.0 + 44.0)
+        # Lost work: 33 (phase 0 of period 2) ... no — commit at end of
+        # phase 0 captured *period-start* work; phase-0 work plus 6 s of
+        # phase-1 exchange work is volatile.
+        assert app.work_lost == pytest.approx(33.0 + 6.0 * 33.0 / 34.0)
+
+    def test_work_conserved_after_recovery(self):
+        _, makespan, app, _ = run_platform(DOUBLE_NBL, 3 * 97.0, {0: [50.0]})
+        assert app.work_done == pytest.approx(3 * 97.0)
+
+
+class TestFatalAndRisk:
+    def test_buddy_failure_in_risk_window_fatal(self):
+        # Risk = D+R+θ = 38 for NBL at phi=1; second failure 10 s later.
+        status, _, _, sim = run_platform(
+            DOUBLE_NBL, 10 * 97.0, {0: [50.0], 1: [60.0]}
+        )
+        assert status == "fatal"
+        assert sim.fatal_time == pytest.approx(60.0)
+        assert sim.fatal_group == (0, 1)
+
+    def test_buddy_failure_after_window_survives(self):
+        status, _, app, _ = run_platform(
+            DOUBLE_NBL, 10 * 97.0, {0: [50.0], 1: [50.0 + 39.0]}
+        )
+        assert status == "completed"
+        assert app.rollbacks == 2
+
+    def test_unrelated_node_failure_not_fatal(self):
+        status, _, app, _ = run_platform(
+            DOUBLE_NBL, 10 * 97.0, {0: [50.0], 2: [55.0]}
+        )
+        assert status == "completed"
+        assert app.rollbacks == 2
+
+    def test_same_node_refailure_restarts_block(self):
+        # Node 0 fails at 50 and again at 60 (inside its own block).
+        status, makespan, app, _ = run_platform(
+            DOUBLE_NBL, 3 * 97.0, {0: [50.0, 60.0]}
+        )
+        assert status == "completed"
+        # Second block replaces the first: ends at 60 + 4 + 48.
+        assert makespan == pytest.approx(300.0 + (60.0 + 52.0 - 50.0))
+        assert app.rollbacks == 2
+
+    def test_risk_time_recorded(self):
+        _, _, _, sim = run_platform(DOUBLE_NBL, 3 * 97.0, {0: [50.0]})
+        total_risk = sum(g.risk_time for g in sim.cluster.groups)
+        assert total_risk == pytest.approx(38.0)  # D+R+θ at phi=1
+
+
+class TestBaselines:
+    def test_coordinated_failure_never_fatal(self):
+        protocol = CoordinatedSimProtocol(
+            checkpoint_time=10.0, downtime=0.0, recovery=5.0, period=100.0
+        )
+        injector = ScriptedInjector(2, {0: [150.0], 1: [152.0]})
+        app = Application(work_target=3 * 90.0)
+        engine = Engine()
+        sim = PlatformSim(protocol, injector, app, engine, cluster=None)
+        sim.start()
+        engine.run(until=1e9)
+        assert sim.finalize() == "completed"
+        assert app.rollbacks == 2
+
+    def test_coordinated_block_length(self):
+        protocol = CoordinatedSimProtocol(10.0, 0.0, 5.0, 100.0)
+        injector = ScriptedInjector(1, {0: [150.0]})  # compute phase, offset 40
+        app = Application(work_target=3 * 90.0)
+        engine = Engine()
+        sim = PlatformSim(protocol, injector, app, engine)
+        sim.start()
+        engine.run(until=1e9)
+        # Fault-free makespan 300; block = D+R+lost(=40) = 45.
+        assert engine.now == pytest.approx(345.0)
+
+    def test_no_checkpoint_restarts_from_zero(self):
+        protocol = NoCheckpointSimProtocol(downtime=2.0)
+        injector = ScriptedInjector(1, {0: [70.0]})
+        app = Application(work_target=100.0)
+        engine = Engine()
+        sim = PlatformSim(protocol, injector, app, engine)
+        sim.start()
+        engine.run(until=1e9)
+        assert sim.finalize() == "completed"
+        # Block-insertion semantics: 100s of work + a (2 + 70)-second
+        # recovery block that re-executes the 70 lost work units.
+        assert engine.now == pytest.approx(100.0 + 2.0 + 70.0)
+        assert app.work_lost == pytest.approx(70.0)
+
+    def test_buddy_protocol_requires_cluster(self):
+        protocol = BuddySimProtocol(DOUBLE_NBL, PARAMS, PHI, PERIOD)
+        with pytest.raises(SimulationError):
+            PlatformSim(protocol, ScriptedInjector(4, {}),
+                        Application(work_target=1.0), Engine(), cluster=None)
+
+
+class TestTimeout:
+    def test_unfinished_run_times_out(self):
+        status, makespan, _, _ = run_platform(DOUBLE_NBL, 1e9, {}, until=5000.0)
+        assert status == "timeout"
+        assert makespan == pytest.approx(5000.0)

@@ -1,0 +1,116 @@
+"""Property-based tests for the extension modules (exact, kbuddy, pareto)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import DOUBLE_NBL, Parameters, optimal_period, waste
+from repro.analysis.pareto import OperatingPoint, pareto_front
+from repro.core.exact import optimal_period_renewal, waste_gap, waste_renewal
+from repro.core.kbuddy import KBuddyModel
+
+platforms = st.builds(
+    Parameters,
+    D=st.floats(min_value=0.0, max_value=120.0),
+    delta=st.floats(min_value=0.1, max_value=60.0),
+    R=st.floats(min_value=0.5, max_value=120.0),
+    alpha=st.floats(min_value=0.0, max_value=50.0),
+    M=st.floats(min_value=60.0, max_value=10 * 86400.0),
+    n=st.integers(min_value=1, max_value=10**5).map(lambda k: 12 * k),
+)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions, p_scale=st.floats(min_value=1.0, max_value=30.0))
+def test_renewal_waste_is_fraction_and_below_paper(params, f, p_scale):
+    """Renewal form ∈ [0,1] and never exceeds the paper's waste."""
+    phi = f * params.R
+    p_min = float(np.asarray(DOUBLE_NBL.min_period(params, phi)))
+    P = p_scale * p_min
+    w_renew = waste_renewal(DOUBLE_NBL, params, phi, P)
+    w_paper = waste(DOUBLE_NBL, params, phi, P)
+    assert 0.0 <= w_renew <= 1.0
+    assert w_renew <= w_paper + 1e-12
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions)
+def test_renewal_gap_shrinks_with_m(params, f):
+    """The O((F/M)²) gap decreases when the platform gets more reliable."""
+    phi = f * params.R
+    P = 4.0 * float(np.asarray(DOUBLE_NBL.min_period(params, phi)))
+    g1 = waste_gap(DOUBLE_NBL, params, phi, P)
+    g2 = waste_gap(DOUBLE_NBL, params.with_updates(M=params.M * 10), phi, P)
+    if np.isnan(g1) or np.isnan(g2):
+        return
+    assert g2 <= g1 + 1e-12
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=st.floats(min_value=0.05, max_value=1.0))
+def test_renewal_optimum_exceeds_paper_optimum(params, f):
+    phi = f * params.R
+    p_paper = optimal_period(DOUBLE_NBL, params, phi)
+    p_renew = optimal_period_renewal(DOUBLE_NBL, params, phi)
+    if not np.isfinite(p_paper):
+        return
+    assert p_renew >= p_paper - 1e-9
+
+
+@settings(max_examples=80)
+@given(
+    params=platforms,
+    f=fractions,
+    t_days=st.floats(min_value=0.1, max_value=60.0),
+    k=st.sampled_from([2, 3, 4, 6]),
+)
+def test_kbuddy_success_monotone_in_k(params, f, t_days, k):
+    """More buddies never hurt the success probability."""
+    phi = f * params.R
+    T = t_days * 86400.0
+    p_k = KBuddyModel(k).success_probability(params, phi, T)
+    p_k1 = KBuddyModel(k + 2 if k == 4 else k + 1).success_probability(
+        params, phi, T
+    ) if params.n % (k + 2 if k == 4 else k + 1) == 0 else None
+    assert 0.0 <= p_k <= 1.0
+    if p_k1 is not None:
+        assert p_k1 >= p_k - 1e-12
+
+
+@settings(max_examples=80)
+@given(params=platforms, f=fractions, k=st.sampled_from([2, 3, 4]))
+def test_kbuddy_waste_in_bounds(params, f, k):
+    phi = f * params.R
+    w = KBuddyModel(k).waste_at_optimum(params, phi)
+    assert 0.0 <= w <= 1.0
+
+
+@settings(max_examples=60)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                  st.floats(min_value=0.0, max_value=1.0)),
+        min_size=1, max_size=40,
+    )
+)
+def test_pareto_front_properties(data):
+    """Front members are mutually non-dominating; everything off the
+    front is dominated by some front member (or criterion-identical)."""
+    points = [
+        OperatingPoint("p", 0.0, 100.0, waste=w, fatal_probability=q)
+        for w, q in data
+    ]
+    front = pareto_front(points)
+    assert front
+    for a in front:
+        assert not any(b.dominates(a) for b in front)
+    front_keys = {(round(p.waste, 15), round(p.fatal_probability, 15))
+                  for p in front}
+    for p in points:
+        key = (round(p.waste, 15), round(p.fatal_probability, 15))
+        if key in front_keys:
+            continue
+        assert any(q.dominates(p) for q in front)

@@ -1,0 +1,151 @@
+"""Property-based tests of the analytical model (hypothesis).
+
+Invariants exercised over randomly drawn platforms and operating points:
+monotonicities, bounds, ordering relations between protocols, and
+consistency between independently implemented code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import (
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    Parameters,
+    optimal_period,
+    risk_window,
+    success_probability,
+    waste,
+)
+from repro.core.waste import waste_at_optimum
+
+# Random but physically sensible platforms.
+platforms = st.builds(
+    Parameters,
+    D=st.floats(min_value=0.0, max_value=120.0),
+    delta=st.floats(min_value=0.1, max_value=60.0),
+    R=st.floats(min_value=0.5, max_value=120.0),
+    alpha=st.floats(min_value=0.0, max_value=50.0),
+    M=st.floats(min_value=60.0, max_value=10 * 86400.0),
+    n=st.integers(min_value=6, max_value=10**7).map(lambda k: 6 * (k // 6 + 1)),
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=150)
+@given(params=platforms, f=fractions, p_scale=st.floats(min_value=1.0, max_value=50.0))
+def test_waste_is_a_fraction(params, f, p_scale):
+    """Waste always lands in [0, 1] for any (protocol, φ, P)."""
+    phi = f * params.R
+    for spec in (DOUBLE_NBL, DOUBLE_BOF, TRIPLE):
+        p_min = float(np.asarray(spec.min_period(params, phi)))
+        w = waste(spec, params, phi, p_scale * p_min)
+        assert 0.0 <= w <= 1.0
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions)
+def test_optimum_is_global_on_sampled_grid(params, f):
+    """No sampled period beats the closed-form optimum."""
+    phi = f * params.R
+    for spec in (DOUBLE_NBL, DOUBLE_BOF, TRIPLE):
+        p_opt = optimal_period(spec, params, phi)
+        if not np.isfinite(p_opt):
+            continue
+        w_opt = waste(spec, params, phi, p_opt)
+        p_min = float(np.asarray(spec.min_period(params, phi)))
+        for candidate in np.geomspace(p_min, 100 * p_opt, 25):
+            assert w_opt <= waste(spec, params, phi, candidate) + 1e-9
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions)
+def test_bof_waste_dominates_nbl(params, f):
+    """Eq. 8: F_bof ≥ F_nbl ⇒ BOF's optimal waste is never smaller."""
+    phi = f * params.R
+    w_bof = float(np.asarray(waste_at_optimum(DOUBLE_BOF, params, phi).total))
+    w_nbl = float(np.asarray(waste_at_optimum(DOUBLE_NBL, params, phi).total))
+    assert w_bof >= w_nbl - 1e-12
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions)
+def test_risk_window_ordering(params, f):
+    """BOF risk ≤ NBL risk ≤ TRIPLE risk (at the same φ)."""
+    phi = f * params.R
+    assert risk_window(DOUBLE_BOF, params, phi) <= risk_window(
+        DOUBLE_NBL, params, phi
+    ) + 1e-12
+    assert risk_window(DOUBLE_NBL, params, phi) <= risk_window(
+        TRIPLE, params, phi
+    ) + 1e-12
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions,
+       t_days=st.floats(min_value=0.01, max_value=120.0))
+def test_success_probability_bounds_and_methods(params, f, t_days):
+    """Both evaluation methods return probabilities; exponential ≥ 0 always."""
+    phi = f * params.R
+    T = t_days * 86400.0
+    for spec in (DOUBLE_NBL, TRIPLE):
+        p1 = success_probability(spec, params, phi, T)
+        p2 = success_probability(spec, params, phi, T, method="exponential")
+        assert 0.0 <= p1 <= 1.0
+        assert 0.0 <= p2 <= 1.0
+
+
+@settings(max_examples=100)
+@given(params=platforms, f=fractions,
+       t_days=st.floats(min_value=0.01, max_value=30.0))
+def test_triple_formula_beats_double_at_same_risk_order(params, f, t_days):
+    """A triple's fatal probability is higher-order: with identical λ and
+    comparable windows, P_triple ≥ P_double_nbl whenever λ·Risk ≤ 1e-2."""
+    phi = f * params.R
+    T = t_days * 86400.0
+    lam_risk = params.lam * risk_window(TRIPLE, params, phi)
+    assume(lam_risk < 1e-2)
+    p_tri = success_probability(TRIPLE, params, phi, T)
+    p_nbl = success_probability(DOUBLE_NBL, params, phi, T)
+    assert p_tri >= p_nbl - 1e-9
+
+
+@settings(max_examples=80)
+@given(params=platforms, f=st.floats(min_value=0.05, max_value=1.0))
+def test_waste_monotone_in_mtbf(params, f):
+    phi = f * params.R
+    ms = np.geomspace(params.M, params.M * 100, 8)
+    w = np.asarray(waste_at_optimum(DOUBLE_NBL, params, phi, M=ms).total)
+    assert np.all(np.diff(w) <= 1e-10)
+
+
+@settings(max_examples=80)
+@given(params=platforms)
+def test_triple_ff_waste_vanishes_at_phi0(params):
+    """§V: with a fully hidden transfer TRIPLE's fault-free waste is 0."""
+    bd = waste_at_optimum(TRIPLE, params, 0.0)
+    if np.isfinite(float(np.asarray(bd.period))):
+        assert float(np.asarray(bd.fault_free)) == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=60)
+@given(
+    params=platforms,
+    f=fractions,
+    split=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_f_is_linear_in_period(params, f, split):
+    """F(P) = A + P/2 ⇒ exact linearity between any two periods."""
+    phi = f * params.R
+    p1, p2 = 200.0, 2000.0
+    spec = DOUBLE_NBL
+    f1 = float(np.asarray(spec.expected_lost_time(params, phi, p1)))
+    f2 = float(np.asarray(spec.expected_lost_time(params, phi, p2)))
+    p_mid = split * p1 + (1 - split) * p2
+    f_mid = float(np.asarray(spec.expected_lost_time(params, phi, p_mid)))
+    assert f_mid == pytest.approx(split * f1 + (1 - split) * f2, rel=1e-9)

@@ -1,0 +1,106 @@
+"""Property-based tests of the simulation substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.application import Application
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.topology import contiguous_groups, random_groups, strided_groups
+
+
+@settings(max_examples=60)
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                      max_size=50))
+def test_engine_executes_in_nondecreasing_time(times):
+    eng = Engine()
+    seen: list[float] = []
+    for t in times:
+        eng.schedule(t, lambda e, ev: seen.append(e.now))
+    eng.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(times)
+
+
+@settings(max_examples=60)
+@given(
+    steps=st.lists(
+        st.tuples(st.sampled_from(["advance", "commit", "rollback"]),
+                  st.floats(min_value=0.0, max_value=100.0)),
+        max_size=60,
+    )
+)
+def test_application_invariants(steps):
+    """committed ≤ done always; rollback restores exactly the commit level."""
+    app = Application(work_target=1e9)
+    for op, amount in steps:
+        if op == "advance":
+            app.advance(amount)
+        elif op == "commit":
+            app.commit_snapshot(now=0.0)
+        else:
+            app.rollback()
+            assert app.work_done == app.committed_work
+        assert app.committed_work <= app.work_done + 1e-9
+        assert app.work_lost >= 0.0
+
+
+@settings(max_examples=40)
+@given(
+    n_pairs=st.integers(min_value=1, max_value=20),
+    events=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=39),
+                  st.floats(min_value=0.0, max_value=100.0)),
+        max_size=40,
+    ),
+)
+def test_cluster_fatal_iff_distinct_member_in_window(n_pairs, events):
+    """Replay random failures; cross-check the fatal flag against a simple
+    reference bookkeeping of open windows."""
+    n = 2 * n_pairs
+    cluster = Cluster(contiguous_groups(n, 2))
+    open_windows: dict[int, tuple[int, float]] = {}  # group -> (node, end)
+    risk = 7.5
+    t = 0.0
+    for node_raw, dt in events:
+        node = node_raw % n
+        t += dt
+        group = node // 2
+        expect_fatal = False
+        if group in open_windows:
+            rec_node, end = open_windows[group]
+            if t <= end and rec_node != node:
+                expect_fatal = True
+        got_fatal = cluster.on_failure(node, t, risk)
+        assert got_fatal == expect_fatal
+        if expect_fatal:
+            return  # run over — one fatal ends the scenario
+        open_windows[group] = (node, t + risk)
+        # Close expired windows lazily, mirroring the DES risk-end events.
+        for g, (rec, end) in list(open_windows.items()):
+            if end < t:
+                cluster.on_risk_end(rec, end)
+                del open_windows[g]
+
+
+@settings(max_examples=40)
+@given(
+    n_groups=st.integers(min_value=1, max_value=30),
+    g=st.sampled_from([2, 3]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_topologies_partition(n_groups, g, seed):
+    n = n_groups * g
+    for assignment in (
+        contiguous_groups(n, g),
+        strided_groups(n, g),
+        random_groups(n, g, np.random.default_rng(seed)),
+    ):
+        nodes = sorted(v for grp in assignment.groups for v in grp)
+        assert nodes == list(range(n))
+        for node in range(n):
+            assert node in assignment.members(node)
+            assert len(assignment.buddies(node)) == g - 1
+            assert node not in assignment.buddies(node)

@@ -1,0 +1,110 @@
+"""Renewal Monte Carlo vs the expected-lost-time formulas (Eqs. 7/8/14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_BLOCKING, DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro.core.period import optimal_period
+from repro.errors import InfeasibleModelError, ParameterError
+from repro.sim.renewal import RenewalConfig, run_renewal, run_renewal_batch
+from tests.conftest import ALL_PROTOCOLS
+
+
+@pytest.fixture
+def params():
+    return scenarios.BASE.parameters(M=600.0)
+
+
+class TestMechanics:
+    def test_reproducible(self, params):
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                            n_periods=5000, seed=1)
+        assert run_renewal(cfg).waste == run_renewal(cfg).waste
+
+    def test_default_period_is_optimal(self, params):
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                            n_periods=100, seed=1)
+        r = run_renewal(cfg)
+        assert r.period == pytest.approx(optimal_period(DOUBLE_NBL, params, 1.0))
+
+    def test_infeasible_raises(self):
+        params = scenarios.BASE.parameters(M=15.0)
+        with pytest.raises(InfeasibleModelError):
+            run_renewal(RenewalConfig(protocol=DOUBLE_NBL, params=params,
+                                      phi=0.0, n_periods=100))
+
+    def test_period_below_min_rejected(self, params):
+        with pytest.raises(ParameterError):
+            run_renewal(RenewalConfig(protocol=DOUBLE_NBL, params=params,
+                                      phi=1.0, period=10.0, n_periods=10))
+
+    def test_config_validation(self, params):
+        with pytest.raises(ParameterError):
+            RenewalConfig(protocol=DOUBLE_NBL, params=params, n_periods=0)
+
+    def test_no_failures_waste_is_ff_only(self):
+        quiet = scenarios.BASE.parameters(M=1e12)
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=quiet, phi=1.0,
+                            period=300.0, n_periods=100, seed=1)
+        r = run_renewal(cfg)
+        assert r.n_failures == 0
+        assert np.isnan(r.mean_block)
+        assert r.waste == pytest.approx(1.0 - 297.0 / 300.0)
+
+
+class TestFormulaValidation:
+    @pytest.mark.parametrize("spec", ALL_PROTOCOLS, ids=lambda s: s.key)
+    @pytest.mark.parametrize("phi", [0.5, 2.0])
+    def test_f_hat_matches_formula(self, spec, phi, params):
+        period = optimal_period(spec, params, phi)
+        cfg = RenewalConfig(protocol=spec, params=params, phi=phi,
+                            period=float(period), n_periods=150_000, seed=9)
+        r = run_renewal(cfg)
+        f_model = float(np.asarray(spec.expected_lost_time(params, phi, period)))
+        assert r.mean_block == pytest.approx(f_model, rel=0.02)
+
+    def test_phase_hits_proportional_to_lengths(self, params):
+        # Failures strike uniformly: hits ∝ phase lengths.
+        period = 300.0
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=params, phi=1.0,
+                            period=period, n_periods=200_000, seed=2)
+        r = run_renewal(cfg)
+        lengths = np.array([2.0, 34.0, 264.0])
+        expected = lengths / period
+        observed = np.asarray(r.phase_hits) / r.n_failures
+        np.testing.assert_allclose(observed, expected, atol=0.01)
+
+    def test_waste_close_to_model(self, params):
+        from repro.core.waste import waste
+
+        cfg = RenewalConfig(protocol=DOUBLE_BOF, params=params, phi=1.0,
+                            n_periods=100_000, seed=3)
+        r = run_renewal(cfg)
+        w_model = float(waste(DOUBLE_BOF, params, 1.0, r.period))
+        # Documented O((F/M)^2) thinning bias ⇒ generous tolerance.
+        assert r.waste == pytest.approx(w_model, rel=0.12)
+
+    def test_batch_summary(self, params):
+        cfg = RenewalConfig(protocol=TRIPLE, params=params, phi=1.0,
+                            n_periods=20_000, seed=4)
+        results, summary = run_renewal_batch(cfg, replicas=8)
+        assert len(results) == 8
+        assert summary.n_replicas == 8
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert len({r.waste for r in results}) == 8  # distinct seeds
+
+    def test_batch_validation(self, params):
+        cfg = RenewalConfig(protocol=TRIPLE, params=params, phi=1.0,
+                            n_periods=100)
+        with pytest.raises(ParameterError):
+            run_renewal_batch(cfg, replicas=0)
+
+    def test_blocking_protocol_runs(self, params):
+        cfg = RenewalConfig(protocol=DOUBLE_BLOCKING, params=params, phi=0.0,
+                            n_periods=50_000, seed=5)
+        r = run_renewal(cfg)
+        f_model = float(np.asarray(
+            DOUBLE_BLOCKING.expected_lost_time(params, 0.0, r.period)))
+        assert r.mean_block == pytest.approx(f_model, rel=0.05)

@@ -1,0 +1,97 @@
+"""Result containers: waste computation, Wilson/t intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.results import DesResult, MonteCarloSummary, wilson_interval
+
+
+def make_result(**kw) -> DesResult:
+    defaults = dict(
+        status="completed", makespan=1100.0, work_target=1000.0,
+        work_done=1000.0, failures=3, rollbacks=3, work_lost=42.0,
+        commits=10, risk_time=12.0,
+    )
+    defaults.update(kw)
+    return DesResult(**defaults)
+
+
+class TestDesResult:
+    def test_waste(self):
+        assert make_result().waste == pytest.approx(1 - 1000.0 / 1100.0)
+
+    def test_waste_nan_when_not_completed(self):
+        assert np.isnan(make_result(status="fatal").waste)
+        assert np.isnan(make_result(status="timeout").waste)
+
+    def test_succeeded(self):
+        assert make_result().succeeded
+        assert not make_result(status="fatal").succeeded
+
+
+class TestWilson:
+    def test_symmetric_midpoint(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert lo == pytest.approx(1 - hi, abs=1e-9)
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0 < hi < 0.1
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0
+        assert 0.9 < lo < 1.0
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(1, 0)
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 3)
+
+
+class TestSummary:
+    def test_from_samples(self):
+        s = MonteCarloSummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.ci_low < 2.5 < s.ci_high
+        assert s.success_rate == 1.0
+
+    def test_ci_contains_true_mean_mostly(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            samples = rng.normal(10.0, 2.0, size=30)
+            s = MonteCarloSummary.from_samples(samples)
+            hits += s.contains(10.0)
+        assert hits >= 85  # 95% CI
+
+    def test_nans_count_as_failures(self):
+        s = MonteCarloSummary.from_samples([1.0, float("nan"), 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.success_rate == pytest.approx(2 / 3)
+
+    def test_explicit_successes(self):
+        s = MonteCarloSummary.from_samples([1.0, 2.0], successes=1)
+        assert s.success_rate == 0.5
+
+    def test_single_sample(self):
+        s = MonteCarloSummary.from_samples([5.0])
+        assert s.mean == 5.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MonteCarloSummary.from_samples([])
+        with pytest.raises(ParameterError):
+            MonteCarloSummary.from_samples([1.0], confidence=2.0)

@@ -1,0 +1,183 @@
+"""Risk windows and success probabilities (Eqs. 11, 12, 16)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DOUBLE_BOF,
+    DOUBLE_NBL,
+    TRIPLE,
+    TRIPLE_BOF,
+    risk_window,
+    scenarios,
+    success_probability,
+    success_probability_base,
+    fatal_failure_probability,
+)
+from repro.core.risk import expected_fatal_count, group_fatal_probability
+from repro.errors import ParameterError
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def base_1min():
+    return scenarios.BASE.parameters(M="1min")
+
+
+class TestPaperFormulas:
+    def test_eq11_double(self, base_1min):
+        # Hand-expanded: (1 − 2λ²T·Risk)^(n/2).
+        T = 10 * DAY
+        lam = base_1min.lam
+        risk = 48.0
+        expected = (1 - 2 * lam**2 * T * risk) ** (base_1min.n / 2)
+        got = success_probability(DOUBLE_NBL, base_1min, 0.0, T)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_eq16_triple(self, base_1min):
+        T = 10 * DAY
+        lam = base_1min.lam
+        risk = 92.0
+        expected = (1 - 6 * lam**3 * T * risk**2) ** (base_1min.n / 3)
+        got = success_probability(TRIPLE, base_1min, 0.0, T)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_eq12_base(self, base_1min):
+        t_base = DAY
+        lam = base_1min.lam
+        expected = (1 - lam * t_base) ** base_1min.n
+        assert success_probability_base(base_1min, t_base) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_base_beyond_validity_is_zero(self, base_1min):
+        # λ·T ≥ 1 → the first-order survivor count hits zero.
+        t_huge = 2 * base_1min.n * base_1min.M  # λT = 2
+        assert success_probability_base(base_1min, t_huge) == 0.0
+
+    def test_fig6_anchors(self, base_1min):
+        """The §VI-A magnitudes checked by hand in DESIGN.md."""
+        T = 10 * DAY
+        assert success_probability(DOUBLE_NBL, base_1min, 0.0, T) == pytest.approx(
+            0.329, abs=0.002
+        )
+        assert success_probability(DOUBLE_BOF, base_1min, 0.0, T) == pytest.approx(
+            0.831, abs=0.002
+        )
+        assert success_probability(TRIPLE, base_1min, 0.0, T) == pytest.approx(
+            0.99937, abs=0.0002
+        )
+
+    def test_fig9_anchor_exa(self):
+        params = scenarios.EXA.parameters(M=60)
+        T = 60 * 7 * DAY
+        p_nbl = success_probability(DOUBLE_NBL, params, 0.0, T)
+        p_bof = success_probability(DOUBLE_BOF, params, 0.0, T)
+        p_tri = success_probability(TRIPLE, params, 0.0, T)
+        assert p_nbl < 1e-3  # NBL essentially never survives
+        assert 0.1 < p_bof < 0.3
+        assert p_tri > 0.999
+
+
+class TestMethodsAgree:
+    @given(
+        m_minutes=st.floats(min_value=1.0, max_value=30.0),
+        t_days=st.floats(min_value=1.0, max_value=30.0),
+    )
+    @settings(max_examples=40)
+    def test_first_order_vs_exponential(self, m_minutes, t_days):
+        params = scenarios.BASE.parameters(M=m_minutes * 60)
+        T = t_days * DAY
+        p_paper = success_probability(DOUBLE_NBL, params, 0.0, T)
+        p_exp = success_probability(
+            DOUBLE_NBL, params, 0.0, T, method="exponential"
+        )
+        # Identical to first order in λ·Risk; λ·Risk < 1e-3 on this grid.
+        assert p_exp == pytest.approx(p_paper, abs=2e-3)
+
+    def test_exponential_always_valid(self, base_1min):
+        # Far beyond the first-order domain the exponential method still
+        # returns a probability.
+        t = 1e9
+        p = success_probability(DOUBLE_NBL, base_1min, 0.0, t, method="exponential")
+        assert 0.0 <= p <= 1.0
+
+    def test_unknown_method(self, base_1min):
+        with pytest.raises(ParameterError):
+            success_probability(DOUBLE_NBL, base_1min, 0.0, 100.0, method="magic")
+
+
+class TestOrderings:
+    """Protocol risk orderings the paper's §VI reads off the figures."""
+
+    def test_bof_safer_than_nbl(self, base_1min):
+        for t_days in (1, 10, 30):
+            p_nbl = success_probability(DOUBLE_NBL, base_1min, 0.0, t_days * DAY)
+            p_bof = success_probability(DOUBLE_BOF, base_1min, 0.0, t_days * DAY)
+            assert p_bof >= p_nbl
+
+    def test_triple_safest(self, base_1min):
+        for t_days in (1, 10, 30):
+            p_bof = success_probability(DOUBLE_BOF, base_1min, 0.0, t_days * DAY)
+            p_tri = success_probability(TRIPLE, base_1min, 0.0, t_days * DAY)
+            assert p_tri >= p_bof
+
+    def test_triple_bof_beats_triple(self, base_1min):
+        T = 30 * DAY
+        p_tri = success_probability(TRIPLE, base_1min, 0.0, T)
+        p_tbof = success_probability(TRIPLE_BOF, base_1min, 0.0, T)
+        assert p_tbof >= p_tri
+
+    def test_success_decreases_with_t(self, base_1min, figure_protocol):
+        ts = np.linspace(DAY, 30 * DAY, 10)
+        p = np.asarray(success_probability(figure_protocol, base_1min, 0.0, ts))
+        assert np.all(np.diff(p) <= 1e-15)
+
+    def test_success_increases_with_m(self, figure_protocol):
+        ps = []
+        for m in (30.0, 60.0, 300.0, 1800.0):
+            params = scenarios.BASE.parameters(M=m)
+            ps.append(success_probability(figure_protocol, params, 0.0, 10 * DAY))
+        assert all(b >= a for a, b in zip(ps, ps[1:]))
+
+
+class TestHelpers:
+    def test_risk_window_values(self, base_1min):
+        assert risk_window(DOUBLE_NBL, base_1min, 0.0) == pytest.approx(48.0)
+        assert risk_window(DOUBLE_BOF, base_1min, 0.0) == pytest.approx(8.0)
+
+    def test_fatal_complement(self, base_1min):
+        T = 10 * DAY
+        p = success_probability(DOUBLE_NBL, base_1min, 0.0, T)
+        q = fatal_failure_probability(DOUBLE_NBL, base_1min, 0.0, T)
+        assert p + q == pytest.approx(1.0)
+
+    def test_group_probability_first_order(self, base_1min):
+        T = 10 * DAY
+        lam = base_1min.lam
+        got = group_fatal_probability(DOUBLE_NBL, base_1min, 0.0, T)
+        assert got == pytest.approx(2 * lam**2 * T * 48.0, rel=1e-12)
+
+    def test_expected_fatal_count_links_to_success(self, base_1min):
+        # P_success ≈ exp(−E[#fatal]) when probabilities are small.
+        T = 10 * DAY
+        count = expected_fatal_count(DOUBLE_NBL, base_1min, 0.0, T)
+        p = success_probability(DOUBLE_NBL, base_1min, 0.0, T)
+        assert p == pytest.approx(math.exp(-count), rel=2e-3)
+
+    def test_t_array_broadcast(self, base_1min):
+        ts = np.linspace(DAY, 30 * DAY, 7)
+        out = success_probability(DOUBLE_NBL, base_1min, 0.0, ts)
+        assert np.asarray(out).shape == (7,)
+
+    def test_rejects_negative_t(self, base_1min):
+        with pytest.raises(ParameterError):
+            success_probability(DOUBLE_NBL, base_1min, 0.0, -1.0)
+        with pytest.raises(ParameterError):
+            success_probability_base(base_1min, -1.0)

@@ -1,0 +1,117 @@
+"""Risk Monte Carlo vs Eqs. (11)/(16), plus chain-semantics unit checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios, success_probability
+from repro.errors import ParameterError
+from repro.sim.riskmc import RiskMcConfig, run_risk_mc, simulate_group_fatal
+
+DAY = 86400.0
+
+
+class TestChainSemantics:
+    """Small, hand-checkable regimes for the group state machine."""
+
+    def test_no_failures_never_fatal(self):
+        rng = np.random.default_rng(0)
+        fatal = simulate_group_fatal(rng, group_size=2, lam=1e-12, risk=10.0,
+                                     T=100.0, replicas=1000)
+        assert not fatal.any()
+
+    def test_huge_risk_window_always_fatal_once_two_fail(self):
+        # Risk covering all of T: any replica where both nodes fail is fatal.
+        rng = np.random.default_rng(1)
+        lam, T = 0.05, 100.0  # λT = 5 ⇒ both fail almost surely
+        fatal = simulate_group_fatal(rng, group_size=2, lam=lam, risk=2 * T,
+                                     T=T, replicas=4000)
+        assert fatal.mean() > 0.95
+
+    def test_zero_risk_window_never_fatal(self):
+        rng = np.random.default_rng(2)
+        fatal = simulate_group_fatal(rng, group_size=2, lam=0.05, risk=0.0,
+                                     T=100.0, replicas=4000)
+        # Simultaneous failures have probability zero in continuous time.
+        assert not fatal.any()
+
+    def test_triple_needs_three(self):
+        # Huge window: fatal iff all three members fail within T.
+        rng = np.random.default_rng(3)
+        lam, T = 0.05, 100.0
+        fatal = simulate_group_fatal(rng, group_size=3, lam=lam, risk=2 * T,
+                                     T=T, replicas=4000)
+        p_all3 = (1 - np.exp(-lam * T)) ** 3
+        assert fatal.mean() == pytest.approx(p_all3, abs=0.03)
+
+    def test_double_first_order_rate(self):
+        # Small-probability regime (λ·Risk = 5e-3): p_fatal ≈ 2λ²T·Risk.
+        rng = np.random.default_rng(4)
+        lam, risk, T = 1e-4, 50.0, 10_000.0
+        fatal = simulate_group_fatal(rng, group_size=2, lam=lam, risk=risk,
+                                     T=T, replicas=300_000)
+        expected = 2 * lam**2 * T * risk  # = 1e-2
+        assert fatal.mean() == pytest.approx(expected, rel=0.15)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            simulate_group_fatal(rng, group_size=4, lam=1.0, risk=1.0, T=1.0,
+                                 replicas=10)
+        with pytest.raises(ParameterError):
+            simulate_group_fatal(rng, group_size=2, lam=0.0, risk=1.0, T=1.0,
+                                 replicas=10)
+
+    def test_event_cap(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            simulate_group_fatal(rng, group_size=2, lam=10.0, risk=1.0,
+                                 T=1000.0, replicas=10, max_events=64)
+
+
+class TestAgainstPaperFormulas:
+    @pytest.mark.parametrize("spec", [DOUBLE_NBL, DOUBLE_BOF, TRIPLE],
+                             ids=lambda s: s.key)
+    def test_success_probability(self, spec):
+        params = scenarios.BASE.parameters(M=60.0)
+        T = 10 * DAY
+        mc = run_risk_mc(RiskMcConfig(protocol=spec, params=params, T=T,
+                                      phi=0.0, replicas=600_000, seed=8))
+        model = success_probability(spec, params, 0.0, T)
+        lo, hi = mc.success_ci
+        # Wilson CI at the app level plus first-order model slack.
+        assert lo - 0.05 <= model <= hi + 0.05
+
+    def test_result_fields(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        mc = run_risk_mc(RiskMcConfig(protocol=DOUBLE_NBL, params=params,
+                                      T=DAY, phi=0.0, replicas=50_000, seed=1))
+        assert mc.risk_window == pytest.approx(48.0)
+        assert mc.lam == pytest.approx(params.lam)
+        assert 0.0 <= mc.group_fatal_rate <= 1.0
+        assert mc.success_ci[0] <= mc.success_probability <= mc.success_ci[1]
+
+    def test_reproducible(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        cfg = RiskMcConfig(protocol=DOUBLE_NBL, params=params, T=DAY,
+                           phi=0.0, replicas=20_000, seed=2)
+        assert run_risk_mc(cfg).group_fatal_rate == run_risk_mc(cfg).group_fatal_rate
+
+    def test_bof_safer_than_nbl_empirically(self):
+        params = scenarios.BASE.parameters(M=45.0)
+        T = 20 * DAY
+        kw = dict(params=params, T=T, phi=0.0, replicas=400_000, seed=3)
+        p_nbl = run_risk_mc(RiskMcConfig(protocol=DOUBLE_NBL, **kw))
+        p_bof = run_risk_mc(RiskMcConfig(protocol=DOUBLE_BOF, **kw))
+        assert p_bof.group_fatal_rate < p_nbl.group_fatal_rate
+
+    def test_config_validation(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        with pytest.raises(ParameterError):
+            RiskMcConfig(protocol=DOUBLE_NBL, params=params, T=0.0)
+        with pytest.raises(ParameterError):
+            RiskMcConfig(protocol=DOUBLE_NBL, params=params, T=1.0, replicas=0)
+        with pytest.raises(ParameterError):
+            RiskMcConfig(protocol=DOUBLE_NBL, params=params, T=1.0,
+                         confidence=1.5)

@@ -1,0 +1,163 @@
+"""RNG streams and failure distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.distributions import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Weibull,
+)
+from repro.sim.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_reproducible(self):
+        a = RngFactory(42).node(3).integers(1 << 40)
+        b = RngFactory(42).node(3).integers(1 << 40)
+        assert a == b
+
+    def test_streams_differ(self):
+        f = RngFactory(42)
+        draws = {f.node(i).integers(1 << 40) for i in range(50)}
+        assert len(draws) == 50
+
+    def test_domains_do_not_collide(self):
+        f = RngFactory(42)
+        assert f.node(0).integers(1 << 40) != f.replica(0).integers(1 << 40)
+
+    def test_stream_stability(self):
+        # Stream k is identical whether or not other streams exist.
+        f1 = RngFactory(7)
+        _ = [f1.node(i) for i in range(10)]
+        v1 = f1.node(9).integers(1 << 40)
+        v2 = RngFactory(7).node(9).integers(1 << 40)
+        assert v1 == v2
+
+    def test_replicas_iterator(self):
+        f = RngFactory(1)
+        gens = list(f.replicas(3))
+        assert len(gens) == 3
+
+    def test_child_factory_distinct(self):
+        f = RngFactory(5)
+        c0, c1 = f.child_factory(0), f.child_factory(1)
+        assert c0.node(0).integers(1 << 40) != c1.node(0).integers(1 << 40)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RngFactory(-1)
+        with pytest.raises(ParameterError):
+            RngFactory(1).node(-2)
+        with pytest.raises(ParameterError):
+            list(RngFactory(1).replicas(-1))
+
+    def test_none_seed_allowed(self):
+        assert RngFactory(None).seed is None
+
+
+class TestDistributionMeans:
+    """Every law hits its requested mean (law of large numbers check)."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(100.0),
+            Weibull(100.0, shape=0.7),
+            Weibull(100.0, shape=1.5),
+            LogNormal(100.0, sigma=1.0),
+            Gamma(100.0, shape=2.0),
+            Deterministic(100.0),
+        ],
+        ids=lambda d: type(d).__name__ + str(getattr(d, "shape", "")),
+    )
+    def test_sample_mean(self, dist):
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(100.0, rel=0.03)
+        assert dist.mean() == pytest.approx(100.0)
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(1)
+        for dist in (Exponential(10.0), Weibull(10.0, 0.5), LogNormal(10.0, 2.0)):
+            assert np.all(dist.sample(rng, size=10_000) > 0)
+
+    def test_weibull_shape1_is_exponential(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        w = Weibull(50.0, shape=1.0).sample(rng1, size=100_000)
+        e = Exponential(50.0).sample(rng2, size=100_000)
+        # Same family ⇒ same quantiles (loose check on the 90th percentile).
+        assert np.percentile(w, 90) == pytest.approx(np.percentile(e, 90), rel=0.05)
+
+
+class TestRescale:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(100.0),
+            Weibull(100.0, 0.7),
+            LogNormal(100.0, 1.0),
+            Gamma(100.0, 2.0),
+            Deterministic(100.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_rescale_changes_only_mean(self, dist):
+        scaled = dist.rescale(500.0)
+        assert scaled.mean() == pytest.approx(500.0)
+        assert type(scaled) is type(dist)
+
+    def test_empirical_rescale(self):
+        emp = Empirical([1.0, 2.0, 3.0])
+        scaled = emp.rescale(20.0)
+        assert scaled.mean() == pytest.approx(20.0)
+        np.testing.assert_allclose(scaled.data, [10.0, 20.0, 30.0])
+
+
+class TestEmpirical:
+    def test_bootstrap_support(self):
+        emp = Empirical([5.0, 7.0, 11.0])
+        rng = np.random.default_rng(0)
+        draws = emp.sample(rng, size=1000)
+        assert set(np.unique(draws)) <= {5.0, 7.0, 11.0}
+
+    def test_scalar_draw(self):
+        emp = Empirical([5.0])
+        assert emp.sample(np.random.default_rng(0)) == 5.0
+
+    def test_data_read_only(self):
+        emp = Empirical([1.0, 2.0])
+        with pytest.raises(ValueError):
+            emp.data[0] = 9.0
+
+    @pytest.mark.parametrize("bad", [[], [0.0], [-1.0], [np.nan]])
+    def test_validation(self, bad):
+        with pytest.raises(ParameterError):
+            Empirical(bad)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("mean", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_means(self, mean):
+        with pytest.raises(ParameterError):
+            Exponential(mean)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ParameterError):
+            Weibull(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            LogNormal(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            Gamma(1.0, -2.0)
+
+    def test_deterministic_no_variance(self):
+        d = Deterministic(5.0)
+        rng = np.random.default_rng(0)
+        assert np.all(d.sample(rng, size=10) == 5.0)
+        assert d.sample(rng) == 5.0

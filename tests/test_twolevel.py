@@ -1,0 +1,123 @@
+"""Two-level (buddy + global) checkpointing model (§VIII direction)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE, scenarios
+from repro.core.risk import group_fatal_probability
+from repro.core.twolevel import TwoLevelModel
+from repro.errors import InfeasibleModelError, ParameterError
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def harsh():
+    """High-failure Base platform where fatal events actually matter."""
+    return scenarios.BASE.parameters(M=60.0)
+
+
+def make(spec, params, C=600.0, **kw) -> TwoLevelModel:
+    return TwoLevelModel(spec, params, global_cost=C, **kw)
+
+
+class TestFatalHazard:
+    def test_rate_integrates_to_group_probability(self, harsh):
+        """λ_fatal·T ≈ (n/g)·p_group(T) — same first-order counting."""
+        model = make(DOUBLE_NBL, harsh)
+        T = DAY
+        rate = model.fatal_rate(0.0)
+        p_group = group_fatal_probability(DOUBLE_NBL, harsh, 0.0, T)
+        expected = (harsh.n / 2) * p_group
+        assert rate * T == pytest.approx(expected, rel=1e-9)
+
+    def test_triple_fatals_much_rarer(self, harsh):
+        nbl = make(DOUBLE_NBL, harsh).fatal_mtbf(0.0)
+        tri = make(TRIPLE, harsh).fatal_mtbf(0.0)
+        assert tri > 100 * nbl
+
+    def test_rate_grows_with_risk_window(self, harsh):
+        model = make(DOUBLE_NBL, harsh)
+        assert model.fatal_rate(0.0) > model.fatal_rate(4.0)  # θmax vs θmin
+
+
+class TestGlobalLevel:
+    def test_period_template(self, harsh):
+        model = make(DOUBLE_NBL, harsh, C=600.0)
+        m_fatal = model.fatal_mtbf(0.0)
+        expected = math.sqrt(2 * 600.0 * (m_fatal - model.D_g - model.R_g))
+        assert model.optimal_global_period(0.0) == pytest.approx(
+            expected, rel=1e-9)
+
+    def test_defaults(self, harsh):
+        model = make(DOUBLE_NBL, harsh, C=600.0)
+        assert model.D_g == harsh.D
+        assert model.R_g == 600.0  # read back what was written
+
+    def test_infinite_mtbf_means_no_level2(self):
+        # A platform so reliable fatals effectively never happen.
+        params = scenarios.BASE.parameters(M=30 * DAY)
+        model = make(TRIPLE, params)
+        assert model.global_waste(0.0) < 1e-6
+        assert model.optimal_global_period(0.0) > 1e6
+
+    def test_level2_saturation_raises(self):
+        # M = 1 s: fatal MTBF (n·M²/Risk ≈ 1296 s) below the ~30-min
+        # global recovery — stable storage cannot keep up.
+        params = scenarios.BASE.parameters(M=1.0)
+        model = make(DOUBLE_NBL, params, C=1800.0)
+        with pytest.raises(InfeasibleModelError):
+            model.optimal_global_period(4.0)
+
+
+class TestEvaluate:
+    def test_composition(self, harsh):
+        # phi = 4 keeps level 1 feasible even at M = 60 s (A = D+2R).
+        model = make(DOUBLE_NBL, harsh)
+        point = model.evaluate(4.0)
+        assert point.total_waste == pytest.approx(
+            1 - (1 - point.buddy_waste) * (1 - point.global_waste))
+        assert 0 < point.useful_fraction < 1
+
+    def test_triple_stack_beats_double_stack_at_low_phi(self):
+        """§VIII question: with the same safety net and good overlap, the
+        TRIPLE stack wastes less AND invokes level 2 orders of magnitude
+        less often."""
+        params = scenarios.BASE.parameters(M=600.0)
+        phi = 0.4
+        p_nbl = make(DOUBLE_NBL, params).evaluate(phi)
+        p_tri = make(TRIPLE, params).evaluate(phi)
+        assert p_tri.global_waste < 0.1 * p_nbl.global_waste
+        assert p_tri.global_period > p_nbl.global_period
+        assert p_tri.total_waste < p_nbl.total_waste
+
+    def test_double_stack_can_win_at_full_blocking(self, harsh):
+        """At phi = R the ordering flips: TRIPLE's level-1 premium (its
+        2phi fault-free cost, Fig. 5's 1.15 ratio) exceeds the level-2
+        bill that DOUBLE-NBL pays for its fatal failures."""
+        p_nbl = make(DOUBLE_NBL, harsh).evaluate(4.0)
+        p_tri = make(TRIPLE, harsh).evaluate(4.0)
+        assert p_nbl.global_waste > p_tri.global_waste  # NBL pays level 2...
+        assert p_nbl.total_waste < p_tri.total_waste    # ...and still wins
+
+    def test_safety_net_cost_is_modest_for_triple(self):
+        params = scenarios.BASE.parameters(M=600.0)
+        point = make(TRIPLE, params).evaluate(0.4)
+        # The net adds little on top of the buddy waste.
+        assert point.total_waste < point.buddy_waste + 0.02
+
+    def test_level1_infeasible_raises(self):
+        params = scenarios.BASE.parameters(M=15.0)
+        with pytest.raises(InfeasibleModelError):
+            make(DOUBLE_NBL, params).evaluate(0.0)
+
+    def test_validation(self, harsh):
+        with pytest.raises(ParameterError):
+            TwoLevelModel(DOUBLE_NBL, harsh, global_cost=0.0)
+        with pytest.raises(ParameterError):
+            TwoLevelModel(DOUBLE_NBL, harsh, global_cost=1.0,
+                          global_downtime=-1.0)

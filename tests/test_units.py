@@ -1,0 +1,162 @@
+"""Unit handling: time/size/rate parsing, formatting, MTBF conversions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import UnitParseError
+
+
+class TestParseTime:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0s", 0.0),
+            ("15s", 15.0),
+            ("1min", 60.0),
+            ("1.5 min", 90.0),
+            ("10 minutes", 600.0),
+            ("7h", 25200.0),
+            ("1 day", 86400.0),
+            ("2d", 172800.0),
+            ("1w", 604800.0),
+            ("1y", 365.25 * 86400.0),
+            ("1e3 s", 1000.0),
+        ],
+    )
+    def test_known_strings(self, text, expected):
+        assert units.parse_time(text) == pytest.approx(expected)
+
+    def test_bare_number_is_seconds(self):
+        assert units.parse_time(42) == 42.0
+        assert units.parse_time(3.5) == 3.5
+        assert units.parse_time("42") == 42.0
+
+    def test_case_insensitive_units(self):
+        assert units.parse_time("7H") == units.parse_time("7h")
+        assert units.parse_time("3 MIN") == 180.0
+
+    @pytest.mark.parametrize("bad", ["7 parsecs", "h7", "", "--3s", "1 2s", None, [1]])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitParseError):
+            units.parse_time(bad)
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitParseError):
+            units.parse_time("-5s")
+        with pytest.raises(UnitParseError):
+            units.parse_time(-1)
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(UnitParseError):
+            units.parse_time(float("nan"))
+        with pytest.raises(UnitParseError):
+            units.parse_time(float("inf"))
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0s"),
+            (15, "15s"),
+            (60, "1min"),
+            (90, "1.5min"),
+            (3600, "1h"),
+            (25200, "7h"),
+            (86400, "1d"),
+        ],
+    )
+    def test_round_values(self, seconds, expected):
+        assert units.format_time(seconds) == expected
+
+    def test_roundtrip(self):
+        for s in (1.0, 12.0, 59.0, 61.0, 3599.0, 90000.0, 1e6):
+            # format_time keeps 6 significant digits (display precision).
+            assert units.parse_time(units.format_time(s)) == pytest.approx(s, rel=1e-4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitParseError):
+            units.format_time(-1.0)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512MB", 512_000_000),
+            ("1GB", 10**9),
+            ("1GiB", 2**30),
+            ("64GB", 64 * 10**9),
+            ("0B", 0),
+            (123, 123),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_format(self):
+        assert units.format_size(512_000_000) == "512MB"
+        assert units.format_size(1000) == "1kB"
+        assert units.format_size(5) == "5B"
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(UnitParseError):
+            units.parse_size("12 XB")
+
+
+class TestRates:
+    def test_bytes_per_second(self):
+        assert units.parse_rate("1GB/s") == pytest.approx(1e9)
+        assert units.parse_rate("256MB/s") == pytest.approx(256e6)
+
+    def test_bits_per_second(self):
+        # Exa's local storage: 500 Gb/s = 62.5 GB/s.
+        assert units.parse_rate("500Gb/s") == pytest.approx(500e9 / 8)
+
+    def test_per_minute(self):
+        assert units.parse_rate("60MB/min") == pytest.approx(1e6)
+
+    def test_plain_number(self):
+        assert units.parse_rate(2.5e9) == 2.5e9
+
+    def test_format(self):
+        assert units.format_rate(1e9) == "1GB/s"
+
+    @pytest.mark.parametrize("bad", ["fast", "1GB", "1GB/parsec", None])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitParseError):
+            units.parse_rate(bad)
+
+
+class TestTransferAndMtbf:
+    def test_transfer_time_base_scenario(self):
+        # 512MB at ~128MB/s ≈ the paper's 4s remote upload.
+        assert units.transfer_time(units.parse_size("512MB"), 128e6) == pytest.approx(4.0)
+
+    def test_transfer_rejects_bad_rate(self):
+        with pytest.raises(UnitParseError):
+            units.transfer_time(1.0, 0.0)
+        with pytest.raises(UnitParseError):
+            units.transfer_time(-1.0, 1.0)
+
+    def test_mtbf_roundtrip(self):
+        m_platform = 600.0
+        n = 10368
+        m_node = units.per_node_mtbf(m_platform, n)
+        assert m_node == pytest.approx(600.0 * 10368)
+        assert units.platform_mtbf(m_node, n) == pytest.approx(m_platform)
+
+    def test_intro_example_50y_mtbf_million_nodes(self):
+        # §I: 50-year node MTBF on 1e6 nodes -> platform failure every ~26min.
+        m = units.platform_mtbf(50 * units.YEAR, 10**6)
+        assert 20 * units.MINUTE < m < 30 * units.MINUTE
+
+    def test_mtbf_validation(self):
+        with pytest.raises(UnitParseError):
+            units.per_node_mtbf(0.0, 10)
+        with pytest.raises(UnitParseError):
+            units.platform_mtbf(10.0, 0)

@@ -1,0 +1,73 @@
+"""The validation experiment (E7): model-vs-simulation checks pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro.errors import ParameterError
+from repro.experiments.validation import (
+    ValidationCheck,
+    validate_all,
+    validate_protocol,
+)
+
+
+class TestValidationChecks:
+    @pytest.mark.parametrize("spec", [DOUBLE_NBL, DOUBLE_BOF, TRIPLE],
+                             ids=lambda s: s.key)
+    def test_renewal_checks_pass(self, spec):
+        params = scenarios.BASE.parameters(M=600.0)
+        checks = validate_protocol(spec, params, phi=1.0,
+                                   renewal_replicas=8, renewal_periods=30_000,
+                                   seed=77)
+        assert len(checks) == 2
+        for check in checks:
+            assert check.passed, check
+
+    def test_risk_check_passes(self):
+        params = scenarios.BASE.parameters(M=60.0)
+        checks = validate_protocol(
+            DOUBLE_NBL, params, phi=0.0,
+            renewal_replicas=2, renewal_periods=5_000,
+            risk_T=5 * 86400.0, risk_replicas=120_000, seed=78,
+        )
+        risk_checks = [c for c in checks if "success" in c.name]
+        assert len(risk_checks) == 1
+        assert risk_checks[0].passed, risk_checks[0]
+
+    def test_des_check_runs(self):
+        params = scenarios.BASE.parameters(M=900.0, n=24)
+        checks = validate_protocol(
+            DOUBLE_NBL, params, phi=1.0,
+            renewal_replicas=2, renewal_periods=5_000,
+            des_replicas=4, des_work=2 * 3600.0, seed=79,
+        )
+        des_checks = [c for c in checks if "DES" in c.name]
+        assert len(des_checks) == 1
+        assert des_checks[0].passed, des_checks[0]
+
+    def test_infeasible_raises(self):
+        params = scenarios.BASE.parameters(M=15.0)
+        with pytest.raises(ParameterError):
+            validate_protocol(DOUBLE_NBL, params, phi=0.0)
+
+    def test_report_rendering(self):
+        params = scenarios.BASE.parameters(M=600.0)
+        report = validate_all(params, 1.0, protocols=(DOUBLE_NBL,),
+                              renewal_replicas=3, renewal_periods=5_000)
+        assert report.all_passed
+        text = report.render()
+        assert "PASS" in text and "double-nbl" in text
+
+    def test_check_verdict_logic(self):
+        good = ValidationCheck("x", "p", model_value=1.0, estimate=1.01,
+                               ci_low=0.99, ci_high=1.03, tolerance=0.0)
+        assert good.passed
+        bad = ValidationCheck("x", "p", model_value=2.0, estimate=1.0,
+                              ci_low=0.9, ci_high=1.1, tolerance=0.01)
+        assert not bad.passed
+        # Tolerance slack rescues a near miss.
+        near = ValidationCheck("x", "p", model_value=1.2, estimate=1.0,
+                               ci_low=0.9, ci_high=1.1, tolerance=0.1)
+        assert near.passed

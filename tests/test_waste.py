@@ -1,0 +1,145 @@
+"""Waste evaluation (Eqs. 1–5) and execution-time conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, Parameters, scenarios, waste
+from repro.core.waste import (
+    execution_time,
+    waste_at_optimum,
+    waste_breakdown,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def base_7h():
+    return scenarios.BASE.parameters(M="7h")
+
+
+class TestWasteValues:
+    def test_manual_double_nbl(self, base_7h):
+        # phi=0: c=2, A=48, P=300: hand computation of Eq. (4).
+        P = 300.0
+        F = 48.0 + P / 2
+        expected = 1 - (1 - F / 25200.0) * (1 - 2.0 / P)
+        assert waste(DOUBLE_NBL, base_7h, 0.0, P) == pytest.approx(expected)
+
+    def test_triple_ff_term_is_2phi(self, base_7h):
+        # TRIPLE: WASTEff = 2φ/P (§V-A).
+        bd = waste_breakdown(TRIPLE, base_7h, 1.0, 500.0)
+        assert float(np.asarray(bd.fault_free)) == pytest.approx(2.0 / 500.0)
+
+    def test_double_ff_term(self, base_7h):
+        bd = waste_breakdown(DOUBLE_NBL, base_7h, 1.0, 500.0)
+        assert float(np.asarray(bd.fault_free)) == pytest.approx(3.0 / 500.0)
+
+    def test_below_min_period_saturates(self, base_7h):
+        # P_min for NBL at phi=1 is 36.
+        assert waste(DOUBLE_NBL, base_7h, 1.0, 30.0) == 1.0
+
+    def test_registry_key_accepted(self, base_7h):
+        assert waste("double-nbl", base_7h, 1.0, 300.0) == waste(
+            DOUBLE_NBL, base_7h, 1.0, 300.0
+        )
+
+    def test_m_override_array(self, base_7h):
+        ms = np.array([60.0, 600.0, 25200.0])
+        out = waste(DOUBLE_NBL, base_7h, 1.0, 300.0, M=ms)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)  # waste decreases with MTBF
+
+    def test_rejects_nonpositive_m(self, base_7h):
+        with pytest.raises(ParameterError):
+            waste(DOUBLE_NBL, base_7h, 1.0, 300.0, M=0.0)
+
+
+class TestBreakdownConsistency:
+    @given(
+        phi=st.floats(min_value=0.0, max_value=4.0),
+        P=st.floats(min_value=50.0, max_value=5000.0),
+    )
+    @settings(max_examples=60)
+    def test_eq5_composition(self, phi, P):
+        params = scenarios.BASE.parameters(M="7h")
+        bd = waste_breakdown(DOUBLE_NBL, params, phi, P)
+        wff = float(np.asarray(bd.fault_free))
+        wf = float(np.asarray(bd.failure))
+        total = float(np.asarray(bd.total))
+        if P < 2.0 + 4.0 + 10 * (4.0 - phi):  # below P_min
+            assert total == 1.0
+        elif wff < 1 and wf < 1:
+            assert total == pytest.approx(wff + wf - wff * wf)
+
+
+class TestWasteAtOptimum:
+    def test_matches_paper_fig5_anchor(self, base_7h):
+        # Verified by hand in DESIGN.md: waste_nbl(phi=0) ≈ 0.01445.
+        w = float(np.asarray(waste_at_optimum(DOUBLE_NBL, base_7h, 0.0).total))
+        assert w == pytest.approx(0.014452, abs=2e-6)
+
+    def test_infeasible_mtbf(self):
+        params = scenarios.BASE.parameters(M=15)
+        bd = waste_at_optimum(DOUBLE_NBL, params, 0.0)
+        assert float(np.asarray(bd.total)) == 1.0
+        assert np.isnan(float(np.asarray(bd.period)))
+
+    def test_grid_broadcast(self, base_7h):
+        phis = np.linspace(0, 4, 5)[None, :]
+        ms = np.logspace(1, 5, 7)[:, None]
+        bd = waste_at_optimum(DOUBLE_NBL, base_7h, phis, M=ms)
+        assert np.asarray(bd.total).shape == (7, 5)
+
+    def test_waste_decreases_with_m(self, base_7h, figure_protocol):
+        ms = np.logspace(2, 5, 30)
+        w = np.asarray(waste_at_optimum(figure_protocol, base_7h, 1.0, M=ms).total)
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_optimum_no_worse_than_fixed_periods(self, base_7h, figure_protocol):
+        w_opt = float(np.asarray(waste_at_optimum(figure_protocol, base_7h, 1.0).total))
+        for P in (100.0, 300.0, 600.0, 2000.0):
+            assert w_opt <= waste(figure_protocol, base_7h, 1.0, P) + 1e-12
+
+
+class TestExecutionTime:
+    def test_eq3(self, base_7h):
+        t = execution_time(DOUBLE_NBL, base_7h, 0.0, t_base=1e6, P=300.0)
+        w = waste(DOUBLE_NBL, base_7h, 0.0, 300.0)
+        assert t == pytest.approx(1e6 / (1.0 - w))
+
+    def test_uses_optimum_by_default(self, base_7h):
+        t = execution_time(DOUBLE_NBL, base_7h, 0.0, t_base=1e6)
+        w = float(np.asarray(waste_at_optimum(DOUBLE_NBL, base_7h, 0.0).total))
+        assert t == pytest.approx(1e6 / (1.0 - w))
+
+    def test_saturated_is_infinite(self):
+        params = scenarios.BASE.parameters(M=15)
+        assert execution_time(DOUBLE_NBL, params, 0.0, t_base=100.0) == np.inf
+
+    def test_rejects_negative_base(self, base_7h):
+        with pytest.raises(ParameterError):
+            execution_time(DOUBLE_NBL, base_7h, 0.0, t_base=-1.0)
+
+
+class TestCrossProtocolFacts:
+    """Qualitative claims of §VI-A at the model level."""
+
+    def test_bof_never_beats_nbl_on_waste(self, base_7h):
+        phis = np.linspace(0, 4, 41)
+        w_bof = np.asarray(waste_at_optimum(DOUBLE_BOF, base_7h, phis).total)
+        w_nbl = np.asarray(waste_at_optimum(DOUBLE_NBL, base_7h, phis).total)
+        assert np.all(w_bof >= w_nbl - 1e-12)
+
+    def test_triple_wins_at_low_phi(self, base_7h):
+        w_tri = float(np.asarray(waste_at_optimum(TRIPLE, base_7h, 0.4).total))
+        w_nbl = float(np.asarray(waste_at_optimum(DOUBLE_NBL, base_7h, 0.4).total))
+        assert w_tri < 0.75 * w_nbl  # "much smaller waste" for phi/R <= 0.5
+
+    def test_triple_overhead_bounded_at_phi_r(self, base_7h):
+        # §VI-A: "limited to 15% more waste in the worst case".
+        w_tri = float(np.asarray(waste_at_optimum(TRIPLE, base_7h, 4.0).total))
+        w_nbl = float(np.asarray(waste_at_optimum(DOUBLE_NBL, base_7h, 4.0).total))
+        assert w_tri / w_nbl < 1.16
