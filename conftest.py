@@ -1,0 +1,34 @@
+"""Root pytest configuration: tier gating for slow / multi-process tests.
+
+Tier-1 (``pytest -x -q``) must stay fast, so tests marked ``slow`` or
+``campaign`` (multi-process campaign-engine runs, large grids) are skipped
+by default.  A full run enables them with::
+
+    pytest --run-slow
+
+Markers are registered in ``pytest.ini``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' or 'campaign'",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip = pytest.mark.skip(reason="slow/campaign test: pass --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords or "campaign" in item.keywords:
+            item.add_marker(skip)

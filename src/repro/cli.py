@@ -12,6 +12,14 @@ Commands
 ``optimum``
     Print optimal period / waste / risk for one configuration
     (``--protocol --scenario --M --phi``).
+``campaign``
+    Run a protocol × M × φ DES sweep through the parallel campaign
+    engine: ``--workers N`` shards grid cells across processes (output is
+    bit-identical to serial), ``--results FILE`` streams raw runs as JSON
+    Lines, and ``--resume`` finishes an interrupted sweep without
+    re-running completed cells.  Grids come from ``--preset`` (named
+    workloads such as ``exa-weibull``) or from an explicit
+    ``--scenario``/``--protocols``/``--M``/``--phi`` selection.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import sys
 import numpy as np
 
 from . import __version__
+from .errors import ReproError
 from .core.period import optimal_period
 from .core.protocols import PROTOCOLS, get_protocol
 from .core.risk import risk_window, success_probability
@@ -82,7 +91,137 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mission time for the risk constraint (e.g. '30d')")
     t.add_argument("--min-success", type=float, default=0.999,
                    help="success-probability floor (with --T)")
+
+    c = sub.add_parser(
+        "campaign",
+        help="run a protocol x M x phi DES sweep (parallel, resumable)",
+    )
+    c.add_argument("--preset", choices=sorted(scenarios.CAMPAIGN_PRESETS),
+                   default=None,
+                   help="named campaign workload; fixes the whole grid "
+                        "(only --replicas/--seed/--share-traces/--results "
+                        "may be combined with it)")
+    c.add_argument("--scenario", choices=sorted(scenarios.SCENARIOS),
+                   default=None,
+                   help="platform scenario (default base; not valid with "
+                        "--preset)")
+    c.add_argument("--protocols", default=None,
+                   help="comma-separated protocol keys (default "
+                        "'double-nbl,triple'; not valid with --preset)")
+    c.add_argument("--M", default=None,
+                   help="comma-separated MTBFs (default '10min,30min'; "
+                        "not valid with --preset)")
+    c.add_argument("--phi", default=None,
+                   help="comma-separated overheads phi [s] (default '1.0'; "
+                        "not valid with --preset)")
+    c.add_argument("--n", type=int, default=None,
+                   help="simulated node count; must be a multiple of "
+                        "every protocol's buddy-group size (default 72; "
+                        "not valid with --preset)")
+    c.add_argument("--work-target", default=None,
+                   help="application work per run (default '30min'; not "
+                        "valid with --preset)")
+    c.add_argument("--replicas", type=int, default=None,
+                   help="DES replicas per cell (default: preset's, else 4)")
+    c.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default 777)")
+    c.add_argument("--share-traces", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="replay one failure trace per (M, replica) across "
+                        "protocols (common random numbers); default off "
+                        "for explicit grids, per-preset otherwise — "
+                        "--no-share-traces forces independent replicas")
+    c.add_argument("--results", type=pathlib.Path, default=None,
+                   help="JSON Lines sink for every raw run")
+    c.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --results "
+                        "(requires --results)")
+    c.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = all cores; 1 = in-process "
+                        "serial, still bit-identical)")
+    c.add_argument("--chunk-size", type=int, default=None,
+                   help="grid cells per worker task (default: one "
+                        "(protocol, M) row)")
     return parser
+
+
+def _parse_values(text: str, parse) -> tuple[float, ...]:
+    return tuple(parse(tok) for tok in text.split(",") if tok.strip())
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        return _run_campaign_command(args)
+    except ReproError as exc:
+        # The engine composes actionable one-line refusals (config drift,
+        # foreign results files, bad grids) — surface them, not tracebacks.
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    from .sim.campaign import CampaignConfig, cells_table
+    from .sim.executor import execute_campaign
+
+    overrides: dict = {}
+    if args.replicas is not None:
+        overrides["replicas"] = args.replicas
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.results is not None:
+        overrides["results_path"] = args.results
+
+    if args.preset is not None:
+        # A preset fixes the whole grid: silently ignoring explicit grid
+        # flags would run a different sweep than the user asked for.
+        conflicts = [
+            flag for attr, flag in (
+                ("scenario", "--scenario"), ("protocols", "--protocols"),
+                ("M", "--M"), ("phi", "--phi"), ("n", "--n"),
+                ("work_target", "--work-target"),
+            ) if getattr(args, attr) is not None
+        ]
+        if conflicts:
+            print(f"--preset fixes the grid; drop {', '.join(conflicts)} "
+                  "or drop --preset", file=sys.stderr)
+            return 2
+        preset = scenarios.get_campaign_preset(args.preset)
+        if args.share_traces is not None:
+            overrides["share_traces"] = args.share_traces
+        config = preset.campaign_config(**overrides)
+    else:
+        scen = scenarios.get_scenario(args.scenario or "base")
+        m_text = args.M or "10min,30min"
+        n = 72 if args.n is None else args.n
+        protocols = tuple(
+            tok.strip() for tok in (args.protocols or "double-nbl,triple").split(",")
+            if tok.strip()
+        )
+        config = CampaignConfig(
+            protocols=protocols,
+            base_params=scen.parameters(M=m_text.split(",")[0], n=n),
+            m_values=_parse_values(m_text, parse_time),
+            phi_values=_parse_values(args.phi or "1.0", float),
+            work_target=parse_time(args.work_target or "30min"),
+            share_traces=bool(args.share_traces),
+            replicas=overrides.pop("replicas", 4),
+            **overrides,
+        )
+
+    if args.resume and config.results_path is None:
+        print("--resume requires --results", file=sys.stderr)
+        return 2
+    execution = execute_campaign(
+        config,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        resume=args.resume,
+    )
+    print(cells_table(execution.cells))
+    print(execution.report.describe())
+    if config.results_path is not None:
+        print(f"raw runs: {config.results_path}")
+    return 0
 
 
 def _cmd_experiment(key: str, args: argparse.Namespace) -> int:
@@ -193,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_optimum(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return _cmd_experiment(args.command, args)
 
 

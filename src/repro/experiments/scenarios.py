@@ -16,6 +16,13 @@ projection: 10⁶ nodes, 64 GB/core memory, 1 TB/s/node network and
 A :class:`Scenario` fixes everything except the MTBF ``M`` (which the
 figures sweep) and the overhead ``φ`` (a protocol tuning choice), so
 ``scenario.parameters(M=...)`` is the entry point everywhere.
+
+Beyond the paper's rows, this module also registers **campaign presets**
+(:class:`CampaignPreset`, ``CAMPAIGN_PRESETS``): named, fully specified
+protocol × M × φ sweeps — exascale-Weibull clustering, minutes-MTBF
+churn, slow-storage/large-φ — that feed the parallel campaign engine
+(``repro.sim.executor``), the ``campaign`` CLI subcommand and the
+failure-scenario test suite.
 """
 
 from __future__ import annotations
@@ -29,7 +36,16 @@ from ..core.parameters import Parameters
 from ..errors import ParameterError
 from ..units import DAY, HOUR, MINUTE, parse_time
 
-__all__ = ["Scenario", "BASE", "EXA", "SCENARIOS", "get_scenario"]
+__all__ = [
+    "Scenario",
+    "BASE",
+    "EXA",
+    "SCENARIOS",
+    "get_scenario",
+    "CampaignPreset",
+    "CAMPAIGN_PRESETS",
+    "get_campaign_preset",
+]
 
 
 @dataclass(frozen=True)
@@ -162,4 +178,161 @@ def get_scenario(key: str | Scenario) -> Scenario:
     except KeyError:
         raise ParameterError(
             f"unknown scenario {key!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+# ======================================================================
+# Campaign presets
+# ======================================================================
+@dataclass(frozen=True)
+class CampaignPreset:
+    """A named, ready-to-run campaign workload.
+
+    Where a :class:`Scenario` is one of the paper's Table I platform rows,
+    a preset is a complete *sweep*: platform parameters (possibly stressed
+    away from the paper's values), a protocol set, the M × φ grid, the
+    workload size, and optionally a non-exponential failure law.  Presets
+    feed the parallel campaign engine (``repro.sim.executor``) via
+    :meth:`campaign_config` and the ``campaign`` CLI subcommand, and the
+    failure-scenario test suite parametrises over all of them.
+
+    ``distribution`` carries only the *shape* of the failure law — its mean
+    is rescaled to each grid cell's node MTBF ``n·M`` by the injector.
+    """
+
+    key: str
+    description: str
+    scenario: str
+    protocols: tuple[str, ...]
+    m_values: tuple[float, ...]
+    phi_values: tuple[float, ...]
+    work_target: float
+    #: Simulated node count (DES-practical; replaces the scenario's n).
+    n: int
+    replicas: int = 4
+    share_traces: bool = True
+    #: Platform parameter overrides applied on top of the scenario.
+    param_overrides: dict[str, float] = field(default_factory=dict)
+    #: Failure-law shape ("weibull:k" style spec), None = exponential.
+    failure_law: str | None = None
+
+    def parameters(self) -> Parameters:
+        """Platform parameters at the first grid MTBF."""
+        base = get_scenario(self.scenario).parameters(
+            M=self.m_values[0], n=self.n
+        )
+        return base.with_updates(**self.param_overrides) if self.param_overrides else base
+
+    def distribution(self):
+        """Instantiate the failure law (None ⇒ exponential default)."""
+        if self.failure_law is None:
+            return None
+        from ..sim.distributions import Gamma, LogNormal, Weibull
+
+        kind, _, arg = self.failure_law.partition(":")
+        laws = {"weibull": Weibull, "lognormal": LogNormal, "gamma": Gamma}
+        if kind not in laws:
+            raise ParameterError(
+                f"unknown failure law {kind!r}; known: {sorted(laws)}"
+            )
+        try:
+            shape = float(arg)
+        except ValueError:
+            raise ParameterError(
+                f"failure_law {self.failure_law!r}: expected "
+                f"'{kind}:<shape>' with a numeric shape, got {arg!r}"
+            ) from None
+        # Mean 1.0 is a placeholder: the injector rescales to n·M per cell.
+        return laws[kind](1.0, shape)
+
+    def campaign_config(self, **overrides: Any):
+        """Build the :class:`repro.sim.campaign.CampaignConfig`.
+
+        Keyword overrides replace any config field (``replicas=2``,
+        ``results_path=...``, a trimmed ``m_values`` for quick tests...).
+        """
+        from ..sim.campaign import CampaignConfig
+
+        fields: dict[str, Any] = dict(
+            protocols=self.protocols,
+            base_params=self.parameters(),
+            m_values=self.m_values,
+            phi_values=self.phi_values,
+            work_target=self.work_target,
+            replicas=self.replicas,
+            share_traces=self.share_traces,
+            distribution=self.distribution(),
+        )
+        fields.update(overrides)
+        return CampaignConfig(**fields)
+
+
+#: Exascale platform under a Weibull infant-mortality law (shape 0.7):
+#: failures cluster, stressing the risk-window logic the paper's
+#: exponential analysis cannot see.  DES-practical 240-node scale
+#: (divisible by both buddy-group sizes).
+EXA_WEIBULL = CampaignPreset(
+    key="exa-weibull",
+    description=(
+        "Exa platform parameters at 240-node DES scale with Weibull "
+        "k=0.7 (infant-mortality) failures - clustered-failure stress"
+    ),
+    scenario="exa",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(1800.0, 3600.0, 7200.0),
+    phi_values=(15.0, 30.0, 60.0),
+    work_target=3600.0,
+    n=240,
+    failure_law="weibull:0.7",
+)
+
+#: Small MTBF relative to the workload: every run sees many failures and
+#: rollbacks, exercising recovery paths and fatal-failure accounting.
+HIGH_CHURN = CampaignPreset(
+    key="high-churn",
+    description=(
+        "Base platform at MTBFs of minutes: failure-dominated regime "
+        "with frequent rollbacks and non-trivial fatal-failure rates"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(120.0, 300.0, 600.0),
+    phi_values=(0.5, 2.0),
+    work_target=1800.0,
+    n=24,
+)
+
+#: Slow remote storage: δ and R inflated 4-7x over Base, swept up to the
+#: largest sensible overhead φ = R (the large-φ corner of Figs. 4/5).
+SLOW_STORAGE = CampaignPreset(
+    key="slow-storage",
+    description=(
+        "Base platform with slow storage (delta=8s, R=30s) swept to "
+        "phi=R - the large-overhead corner of the waste surfaces"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(900.0, 1800.0, 3600.0),
+    phi_values=(7.5, 15.0, 30.0),
+    work_target=3600.0,
+    n=36,
+    param_overrides={"delta": 8.0, "R": 30.0},
+)
+
+#: Registry of named campaign workloads by key.
+CAMPAIGN_PRESETS: dict[str, CampaignPreset] = {
+    p.key: p for p in (EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE)
+}
+
+
+def get_campaign_preset(key: str | CampaignPreset) -> CampaignPreset:
+    """Look up a campaign preset by key (idempotent on instances)."""
+    if isinstance(key, CampaignPreset):
+        return key
+    try:
+        return CAMPAIGN_PRESETS[key]
+    except KeyError:
+        raise ParameterError(
+            f"unknown campaign preset {key!r}; known: "
+            f"{sorted(CAMPAIGN_PRESETS)}"
         ) from None

@@ -32,6 +32,7 @@ __all__ = [
     "load_result",
     "save_results",
     "load_results",
+    "scan_results",
     "to_envelope",
     "from_envelope",
 ]
@@ -105,11 +106,16 @@ def from_envelope(envelope: dict) -> DesResult | MonteCarloSummary:
     if cls is None:
         raise ParameterError(f"unknown result kind {kind!r}")
     payload = _decode_payload(envelope.get("payload", {}))
-    if kind == "DesResult":
-        payload["fatal_group"] = tuple(payload.get("fatal_group", ()))
-    if kind == "MonteCarloSummary":
-        payload["success_ci"] = tuple(payload.get("success_ci", (0.0, 1.0)))
+    if not isinstance(payload, dict):
+        raise ParameterError(
+            f"corrupt {kind} payload: expected an object, "
+            f"got {type(payload).__name__}"
+        )
     try:
+        if kind == "DesResult":
+            payload["fatal_group"] = tuple(payload.get("fatal_group", ()))
+        if kind == "MonteCarloSummary":
+            payload["success_ci"] = tuple(payload.get("success_ci", (0.0, 1.0)))
         return cls(**payload)
     except TypeError as exc:
         raise ParameterError(f"corrupt {kind} payload: {exc}") from exc
@@ -144,6 +150,40 @@ def save_results(
             fh.write(dump_result(result) + "\n")
             count += 1
     return count
+
+
+def scan_results(
+    path: str | pathlib.Path,
+) -> Iterator[tuple[DesResult | MonteCarloSummary, int]]:
+    """Tolerantly stream the valid prefix of a JSON Lines results file.
+
+    Yields ``(result, end_offset)`` pairs, where ``end_offset`` is the byte
+    offset just past the record's newline — i.e. the length the file can be
+    truncated to while keeping every record seen so far.  Scanning stops
+    (without raising) at the first partial or corrupt line: that is exactly
+    the recovery behaviour an interrupted campaign needs
+    (:mod:`repro.sim.executor` resumes from the last intact record).
+
+    Contrast :func:`load_results`, which treats any bad line as an error.
+    """
+    path = pathlib.Path(path)
+    offset = 0
+    with path.open("rb") as fh:
+        for raw in fh:
+            end = offset + len(raw)
+            if not raw.endswith(b"\n"):
+                return  # partial trailing write (interrupted mid-record)
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                return
+            if line:
+                try:
+                    result = load_result(line)
+                except ParameterError:
+                    return
+                yield result, end
+            offset = end
 
 
 def load_results(path: str | pathlib.Path) -> Iterator[DesResult | MonteCarloSummary]:

@@ -17,7 +17,9 @@ Supporting modules: ``engine`` (event queue), ``rng`` (reproducible
 streams), ``distributions`` (failure laws), ``failures`` (injection),
 ``cluster``/``topology`` (nodes and buddy groups), ``network``/``storage``
 (parameter derivation from hardware characteristics), ``application``
-(workload model), ``results`` (result containers and statistics).
+(workload model), ``results`` (result containers and statistics),
+``campaign``/``executor`` (protocol × M × φ sweep grids and their
+parallel, resumable execution across worker processes).
 """
 
 from .distributions import (
@@ -34,6 +36,13 @@ from .results import DesResult, MonteCarloSummary
 from .des import DesConfig, run_des, run_des_batch
 from .renewal import RenewalConfig, run_renewal, run_renewal_batch
 from .riskmc import RiskMcConfig, run_risk_mc
+from .campaign import CampaignCell, CampaignConfig, run_campaign
+from .executor import (
+    CampaignExecution,
+    ExecutionReport,
+    execute_campaign,
+    run_campaign_parallel,
+)
 
 __all__ = [
     "FailureDistribution",
@@ -54,4 +63,11 @@ __all__ = [
     "run_renewal_batch",
     "RiskMcConfig",
     "run_risk_mc",
+    "CampaignConfig",
+    "CampaignCell",
+    "run_campaign",
+    "CampaignExecution",
+    "ExecutionReport",
+    "execute_campaign",
+    "run_campaign_parallel",
 ]

@@ -5,6 +5,13 @@ overheads × replicas — collects per-cell summaries, and (optionally)
 persists every raw run as JSON Lines via :mod:`repro.io` so expensive
 sweeps survive interruption and can be re-analysed offline.
 
+This module defines the campaign *description* (:class:`CampaignConfig`,
+:class:`CampaignCell`, validation); execution lives in
+:mod:`repro.sim.executor`, which shards the grid across worker processes
+and can resume a partially written results file.  :func:`run_campaign`
+remains the serial-compatible API: it delegates to the executor with one
+in-process worker and returns exactly what it always has.
+
 Common-random-numbers support: with ``share_traces=True`` each
 (M, replica) cell pre-generates one failure trace and replays it for
 *every protocol*, so protocol differences are not drowned in sampling
@@ -14,6 +21,8 @@ comparisons.
 
 from __future__ import annotations
 
+import math
+import numbers
 import pathlib
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -23,12 +32,16 @@ import numpy as np
 from ..core.parameters import Parameters
 from ..core.protocols import ProtocolSpec, get_protocol
 from ..errors import ParameterError
-from .des import DesConfig, run_des
-from .failures import FailureInjector, generate_trace
+from .distributions import FailureDistribution
 from .results import DesResult, MonteCarloSummary
-from .rng import RngFactory
 
-__all__ = ["CampaignConfig", "CampaignCell", "run_campaign"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignCell",
+    "run_campaign",
+    "validate_campaign",
+    "cells_table",
+]
 
 
 @dataclass(frozen=True)
@@ -47,16 +60,69 @@ class CampaignConfig:
     #: Optional JSON Lines sink for every raw run.
     results_path: str | pathlib.Path | None = None
     max_time: float | None = None
+    #: Node failure law; ``None`` = exponential at the node MTBF ``n·M``.
+    distribution: FailureDistribution | None = None
 
     def __post_init__(self) -> None:
-        if not self.protocols:
-            raise ParameterError("need at least one protocol")
-        if not self.m_values or not self.phi_values:
-            raise ParameterError("need at least one M and one phi value")
-        if self.replicas < 1:
-            raise ParameterError("replicas must be >= 1")
-        if self.work_target <= 0:
-            raise ParameterError("work_target must be > 0")
+        validate_campaign(self)
+
+
+def _check_axis(name: str, values: Sequence[float], *, positive: bool) -> None:
+    if not values:
+        raise ParameterError(f"need at least one {name} value")
+    seen: set[float] = set()
+    for v in values:
+        v = float(v)
+        if not math.isfinite(v) or v < 0 or (positive and v == 0):
+            bound = "> 0" if positive else ">= 0"
+            raise ParameterError(
+                f"{name} values must be finite and {bound}, got {v!r}"
+            )
+        if v in seen:
+            raise ParameterError(
+                f"duplicate {name} value {v!r}: grid axes must be unique "
+                "(duplicates would silently reuse one shared trace and "
+                "waste replicas)"
+            )
+        seen.add(v)
+
+
+def validate_campaign(config: CampaignConfig) -> None:
+    """Reject ill-formed campaign grids with actionable messages.
+
+    Called by :class:`CampaignConfig` on construction *and* by every
+    execution entry point, so configs built through other paths (e.g.
+    deserialised or duck-typed) fail loudly instead of producing an empty
+    or half-meaningless sweep.
+    """
+    if not config.protocols:
+        raise ParameterError("need at least one protocol")
+    keys = [get_protocol(spec).key for spec in config.protocols]
+    if len(set(keys)) != len(keys):
+        raise ParameterError(f"duplicate protocols in campaign: {keys}")
+    _check_axis("M", config.m_values, positive=True)
+    _check_axis("phi", config.phi_values, positive=False)
+    if (not isinstance(config.replicas, numbers.Integral)
+            or isinstance(config.replicas, bool) or config.replicas < 1):
+        raise ParameterError(
+            f"replicas must be an integer >= 1, got {config.replicas!r} "
+            "(a campaign with no replicas has no cells to run)"
+        )
+    if not math.isfinite(config.work_target) or config.work_target <= 0:
+        raise ParameterError(
+            f"work_target must be finite and > 0, got {config.work_target!r}"
+        )
+    if (not isinstance(config.seed, numbers.Integral)
+            or isinstance(config.seed, bool) or config.seed < 0):
+        raise ParameterError(
+            f"seed must be a non-negative integer, got {config.seed!r}"
+        )
+    if config.max_time is not None and (
+        not math.isfinite(config.max_time) or config.max_time <= 0
+    ):
+        raise ParameterError(
+            f"max_time must be finite and > 0, got {config.max_time!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -78,68 +144,19 @@ class CampaignCell:
         return self.summary.success_rate
 
 
-def _trace_for(params: Parameters, horizon: float, seed: int):
-    factory = RngFactory(seed)
-    injector = FailureInjector.from_platform_mtbf(
-        params.n, params.M, factory
-    )
-    return generate_trace(injector, horizon)
-
-
 def run_campaign(config: CampaignConfig) -> list[CampaignCell]:
-    """Execute the sweep; returns one :class:`CampaignCell` per grid cell.
+    """Execute the sweep serially; returns one :class:`CampaignCell` per
+    grid cell.
 
     Cells are evaluated protocol-major so shared traces are generated once
-    per (M, replica) and reused across protocols.
+    per (M, replica) and reused across protocols.  For multi-core and
+    resumable execution use :func:`repro.sim.executor.run_campaign_parallel`
+    (bit-identical output) — this function is the serial-compatible wrapper
+    around the same engine.
     """
-    from .. import io as repro_io
+    from .executor import execute_campaign
 
-    sink = None
-    if config.results_path is not None:
-        sink = pathlib.Path(config.results_path)
-        sink.parent.mkdir(parents=True, exist_ok=True)
-        sink.write_text("")  # truncate: a campaign owns its file
-
-    horizon = config.max_time or 200.0 * config.work_target
-    traces: dict[tuple[float, int], object] = {}
-    if config.share_traces:
-        for mi, m in enumerate(config.m_values):
-            params = config.base_params.with_updates(M=float(m))
-            for r in range(config.replicas):
-                traces[(m, r)] = _trace_for(
-                    params, horizon, config.seed + 7919 * r + 104729 * mi
-                )
-
-    cells: list[CampaignCell] = []
-    for spec in config.protocols:
-        spec = get_protocol(spec)
-        for m in config.m_values:
-            params = config.base_params.with_updates(M=float(m))
-            for phi in config.phi_values:
-                results = []
-                for r in range(config.replicas):
-                    cfg = DesConfig(
-                        protocol=spec,
-                        params=params,
-                        phi=float(phi),
-                        work_target=config.work_target,
-                        seed=config.seed + 1000003 * r,
-                        trace=traces.get((m, r)),
-                        max_time=config.max_time,
-                    )
-                    results.append(run_des(cfg))
-                if sink is not None:
-                    repro_io.save_results(results, sink, append=True)
-                summary = MonteCarloSummary.from_samples(
-                    [res.waste for res in results],
-                    successes=sum(res.succeeded for res in results),
-                    meta={"protocol": spec.key, "M": float(m), "phi": float(phi)},
-                )
-                cells.append(CampaignCell(
-                    protocol=spec.key, M=float(m), phi=float(phi),
-                    summary=summary, results=tuple(results),
-                ))
-    return cells
+    return list(execute_campaign(config, workers=1).cells)
 
 
 def cells_table(cells: Sequence[CampaignCell]) -> str:

@@ -55,6 +55,12 @@ class FailureDistribution(ABC):
             f"{type(self).__name__} does not support rescaling"
         )
 
+    def fingerprint(self) -> dict:
+        """JSON-safe identifying state (campaign manifests compare these
+        to refuse resuming a sweep under a different failure law).
+        Subclasses with shape parameters must extend it."""
+        return {"kind": type(self).__name__, "mean": self.mean()}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(mean={self.mean():g})"
 
@@ -112,6 +118,9 @@ class Weibull(FailureDistribution):
     def rescale(self, new_mean: float) -> "Weibull":
         return Weibull(new_mean, self.shape)
 
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "shape": self.shape}
+
 
 class LogNormal(FailureDistribution):
     """Log-normal law with the requested mean and log-space std ``sigma``."""
@@ -133,6 +142,9 @@ class LogNormal(FailureDistribution):
     def rescale(self, new_mean: float) -> "LogNormal":
         return LogNormal(new_mean, self.sigma)
 
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "sigma": self.sigma}
+
 
 class Gamma(FailureDistribution):
     """Gamma law with shape ``k`` and the requested mean (scale = mean/k)."""
@@ -152,6 +164,9 @@ class Gamma(FailureDistribution):
 
     def rescale(self, new_mean: float) -> "Gamma":
         return Gamma(new_mean, self.shape)
+
+    def fingerprint(self) -> dict:
+        return {**super().fingerprint(), "shape": self.shape}
 
 
 class Deterministic(FailureDistribution):
@@ -197,6 +212,13 @@ class Empirical(FailureDistribution):
     def rescale(self, new_mean: float) -> "Empirical":
         new_mean = _check_mean(new_mean)
         return Empirical(self._data * (new_mean / self._mean))
+
+    def fingerprint(self) -> dict:
+        import hashlib
+
+        digest = hashlib.sha256(self._data.tobytes()).hexdigest()[:16]
+        return {**super().fingerprint(), "n_samples": int(self._data.size),
+                "data_sha256": digest}
 
     @property
     def data(self) -> np.ndarray:

@@ -1,0 +1,534 @@
+"""Parallel, resumable execution engine for simulation campaigns.
+
+:mod:`repro.sim.campaign` defines *what* a campaign is (a protocol × M × φ
+grid of DES runs); this module decides *how* to execute one:
+
+* **Sharding** — the grid is flattened into a deterministic, serial-order
+  list of :class:`CellPlan` entries (protocol-major, then M, then φ) and
+  split into chunks of whole cells.
+* **Parallelism** — chunks run across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`, ``workers`` of them).
+  Every replica seed and shared failure trace is derived from the campaign
+  seed and the cell's grid coordinates alone, never from execution order,
+  so the parallel output is **bit-identical** to the serial path.
+* **Streaming** — as cells complete, their raw :class:`~repro.sim.results.
+  DesResult` replicas are appended to the campaign's JSON Lines sink via
+  :mod:`repro.io` in grid order (out-of-order chunks are buffered), which
+  keeps the results file an exact prefix of the serial file at all times.
+* **Resume** — ``resume=True`` scans an existing results file, keeps every
+  complete cell whose identity matches the grid, truncates any partial
+  trailing cell, and only executes the remainder.  Interrupting a campaign
+  therefore costs at most one chunk of re-execution.  A sidecar manifest
+  (``<results>.manifest``) fingerprints the full configuration so resuming
+  under drifted settings (different seed, workload, failure law...) is
+  refused instead of silently mixing two campaigns; every intact record is
+  additionally identity-checked against the grid.
+
+Entry points
+------------
+:func:`execute_campaign` runs a :class:`~repro.sim.campaign.CampaignConfig`
+and returns a :class:`CampaignExecution` (cells + an
+:class:`ExecutionReport` with skip/run counts and timings).
+:func:`run_campaign_parallel` is the convenience wrapper returning just the
+cells; ``repro.sim.campaign.run_campaign`` delegates here with one
+in-process worker, so the serial API is unchanged.
+
+Example
+-------
+>>> from repro import DOUBLE_NBL, TRIPLE, scenarios
+>>> from repro.sim.campaign import CampaignConfig
+>>> from repro.sim.executor import run_campaign_parallel
+>>> cfg = CampaignConfig(
+...     protocols=(DOUBLE_NBL, TRIPLE),
+...     base_params=scenarios.BASE.parameters(M=600.0, n=12),
+...     m_values=(600.0,), phi_values=(1.0,), work_target=900.0,
+...     replicas=2)
+>>> cells = run_campaign_parallel(cfg, workers=2)   # doctest: +SKIP
+>>> len(cells)                                      # doctest: +SKIP
+2
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .campaign import CampaignCell, CampaignConfig, validate_campaign
+from .des import DesConfig, run_des
+from .failures import FailureInjector, generate_trace
+from .results import DesResult, MonteCarloSummary
+from .rng import RngFactory
+
+__all__ = [
+    "CellPlan",
+    "ExecutionReport",
+    "CampaignExecution",
+    "plan_cells",
+    "execute_campaign",
+    "run_campaign_parallel",
+]
+
+#: Seed stride between replicas (kept identical to the historical serial
+#: path so old campaigns replay bit-for-bit).
+_REPLICA_SEED_STRIDE = 1000003
+#: Seed offsets of the shared-trace streams: seed + 7919·r + 104729·mi.
+_TRACE_REPLICA_STRIDE = 7919
+_TRACE_M_STRIDE = 104729
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One grid cell in deterministic execution order.
+
+    ``index`` is the cell's position in the serial iteration (protocol-
+    major, then M, then φ); all seeds derive from the grid coordinates, so
+    a plan can be executed by any worker at any time with identical output.
+    ``effective_phi`` is the overhead the protocol actually runs at (e.g.
+    DOUBLE-BLOCKING pins φ = θmin) — it is what lands in result metadata
+    and is used to validate cells when resuming.
+    """
+
+    index: int
+    protocol: str
+    m_index: int
+    M: float
+    phi: float
+    effective_phi: float
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one :func:`execute_campaign` call actually did."""
+
+    cells_total: int
+    cells_skipped: int
+    cells_run: int
+    workers: int
+    chunk_size: int
+    elapsed: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.cells_run}/{self.cells_total} cells run "
+            f"({self.cells_skipped} resumed), workers={self.workers}, "
+            f"chunk={self.chunk_size}, {self.elapsed:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignExecution:
+    """Cells plus the execution report."""
+
+    cells: tuple[CampaignCell, ...]
+    report: ExecutionReport = field(repr=False)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_cells(config: CampaignConfig) -> list[CellPlan]:
+    """Flatten the campaign grid into serial-order cell plans."""
+    from ..core.protocols import get_protocol
+
+    validate_campaign(config)
+    plans: list[CellPlan] = []
+    index = 0
+    for spec in config.protocols:
+        spec = get_protocol(spec)
+        if spec.group_size and config.base_params.n % spec.group_size:
+            raise ParameterError(
+                f"params.n={config.base_params.n} must be a multiple of "
+                f"{spec.key}'s group size {spec.group_size} "
+                "(fail fast: every grid cell of this protocol would die)"
+            )
+        for mi, m in enumerate(config.m_values):
+            params = config.base_params.with_updates(M=float(m))
+            seen_eff: dict[float, float] = {}
+            for phi in config.phi_values:
+                eff = float(np.asarray(spec.effective_phi(params, float(phi))))
+                if eff in seen_eff:
+                    raise ParameterError(
+                        f"{spec.key} pins phi={phi:g} and "
+                        f"phi={seen_eff[eff]:g} to the same effective "
+                        f"overhead {eff:g} at M={float(m):g}: the cells "
+                        "would be bit-identical duplicates, wasting "
+                        "replicas (sweep phi on a non-blocking protocol "
+                        "or drop the redundant values)"
+                    )
+                seen_eff[eff] = float(phi)
+                plans.append(CellPlan(
+                    index=index, protocol=spec.key, m_index=mi,
+                    M=float(m), phi=float(phi), effective_phi=eff,
+                ))
+                index += 1
+    return plans
+
+
+def _replica_seed(config: CampaignConfig, replica: int) -> int:
+    # int() so numpy-integer campaign seeds work with RngFactory.
+    return int(config.seed) + _REPLICA_SEED_STRIDE * replica
+
+
+def _trace_seed(config: CampaignConfig, m_index: int, replica: int) -> int:
+    return (int(config.seed) + _TRACE_REPLICA_STRIDE * replica
+            + _TRACE_M_STRIDE * m_index)
+
+
+def _horizon(config: CampaignConfig) -> float:
+    return config.max_time or 200.0 * config.work_target
+
+
+def _cell_trace(config: CampaignConfig, plan: CellPlan, replica: int):
+    """Regenerate the shared failure trace of (m_index, replica).
+
+    The trace is a pure function of the campaign seed and the grid
+    coordinates, so workers rebuild it locally instead of shipping
+    potentially-huge arrays through the process pool.
+    """
+    params = config.base_params.with_updates(M=plan.M)
+    factory = RngFactory(_trace_seed(config, plan.m_index, replica))
+    injector = FailureInjector.from_platform_mtbf(
+        params.n, params.M, factory, config.distribution
+    )
+    return generate_trace(injector, _horizon(config))
+
+
+def run_cell(
+    config: CampaignConfig,
+    plan: CellPlan,
+    trace_cache: dict | None = None,
+) -> list[DesResult]:
+    """Execute every replica of one grid cell (any process, any order)."""
+    from ..core.protocols import get_protocol
+
+    spec = get_protocol(plan.protocol)
+    params = config.base_params.with_updates(M=plan.M)
+    results: list[DesResult] = []
+    for r in range(config.replicas):
+        trace = None
+        if config.share_traces:
+            key = (plan.m_index, r)
+            if trace_cache is not None and key in trace_cache:
+                trace = trace_cache[key]
+            else:
+                trace = _cell_trace(config, plan, r)
+                if trace_cache is not None:
+                    trace_cache[key] = trace
+        cfg = DesConfig(
+            protocol=spec,
+            params=params,
+            phi=plan.phi,
+            work_target=config.work_target,
+            seed=_replica_seed(config, r),
+            trace=trace,
+            distribution=config.distribution,
+            max_time=config.max_time,
+        )
+        results.append(run_des(cfg))
+    return results
+
+
+def _make_cell(plan: CellPlan, results: Sequence[DesResult]) -> CampaignCell:
+    summary = MonteCarloSummary.from_samples(
+        [res.waste for res in results],
+        successes=sum(res.succeeded for res in results),
+        meta={"protocol": plan.protocol, "M": plan.M, "phi": plan.phi},
+    )
+    return CampaignCell(
+        protocol=plan.protocol, M=plan.M, phi=plan.phi,
+        summary=summary, results=tuple(results),
+    )
+
+
+def _execute_chunk(
+    config: CampaignConfig, plans: list[CellPlan]
+) -> list[list[DesResult]]:
+    """Worker entry point: run a chunk of cells, sharing traces within it."""
+    trace_cache: dict = {}
+    return [run_cell(config, plan, trace_cache) for plan in plans]
+
+
+# ----------------------------------------------------------------------
+# Campaign manifest
+# ----------------------------------------------------------------------
+def _manifest_path(sink: pathlib.Path) -> pathlib.Path:
+    return sink.with_name(sink.name + ".manifest")
+
+
+def _campaign_fingerprint(config: CampaignConfig) -> dict:
+    """Everything that determines a campaign's output, as plain JSON.
+
+    Stored next to the results file so resume can refuse a config drift
+    that per-record metadata cannot reveal (``work_target``,
+    ``share_traces``, the failure law, platform parameters...).
+    """
+    from ..core.protocols import get_protocol
+
+    dist = config.distribution
+    dist_fp = dist.fingerprint() if dist is not None else None
+    return {
+        "format": "repro-campaign-manifest",
+        "version": 1,
+        "protocols": [get_protocol(s).key for s in config.protocols],
+        "params": config.base_params.describe(),
+        "m_values": [float(m) for m in config.m_values],
+        "phi_values": [float(p) for p in config.phi_values],
+        "work_target": config.work_target,
+        "replicas": int(config.replicas),
+        "seed": int(config.seed),
+        "share_traces": config.share_traces,
+        "max_time": config.max_time,
+        "distribution": dist_fp,
+    }
+
+
+def _write_manifest(config: CampaignConfig, sink: pathlib.Path) -> None:
+    import json
+
+    _manifest_path(sink).write_text(
+        json.dumps(_campaign_fingerprint(config), sort_keys=True) + "\n"
+    )
+
+
+def _check_manifest(config: CampaignConfig, sink: pathlib.Path) -> bool:
+    """Refuse to resume when the stored fingerprint disagrees.
+
+    Returns whether a matching manifest was found.  A missing or
+    unreadable manifest (pre-manifest file, hand-copied results) returns
+    False and resume falls back to the per-record checks only.
+    """
+    import json
+
+    path = _manifest_path(sink)
+    if not path.exists():
+        return False
+    try:
+        stored = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    current = _campaign_fingerprint(config)
+    if stored != current:
+        drift = sorted(
+            k for k in current
+            if stored.get(k) != current[k]
+        ) or sorted(set(stored) ^ set(current))
+        raise ParameterError(
+            f"{path}: campaign configuration changed since the results "
+            f"file was written (differs in: {', '.join(drift)}); refusing "
+            "to resume — rerun without resume to start over, or restore "
+            "the original configuration"
+        )
+    return True
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+def _resume_scan(
+    config: CampaignConfig,
+    plans: list[CellPlan],
+    sink: pathlib.Path,
+    trusted: bool,
+) -> tuple[list[CampaignCell], int]:
+    """Recover completed cells from a partial results file.
+
+    Returns the recovered cells (a prefix of the grid) and truncates the
+    file to the end of the last complete cell, so appends continue cleanly.
+    A file whose records do not match the grid (different protocols, M
+    values or overheads) raises :class:`ParameterError` rather than
+    silently mixing campaigns.
+    """
+    from .. import io as repro_io
+
+    loaded: list[DesResult] = []
+    offsets: list[int] = []
+    for result, end in repro_io.scan_results(sink):
+        if not isinstance(result, DesResult):
+            raise ParameterError(
+                f"{sink}: cannot resume: found a "
+                f"{type(result).__name__} record where raw DES runs were "
+                "expected"
+            )
+        loaded.append(result)
+        offsets.append(end)
+
+    # A non-empty file with no intact records could be *anything* (a
+    # pointed-at notes file, a results file corrupted from byte 0).
+    # Unless our own manifest vouches for it (``trusted`` — e.g. a
+    # campaign interrupted mid-first-record), refuse rather than wipe it.
+    if not loaded and not trusted and sink.stat().st_size > 0:
+        raise ParameterError(
+            f"{sink}: no intact campaign records found; refusing to "
+            "resume over a file this campaign cannot have written "
+            "(delete it, or rerun without resume to start over)"
+        )
+
+    # Every intact record — including a partial trailing cell about to be
+    # truncated — must match the grid *and* the campaign seed before this
+    # file is touched, so a foreign file is refused rather than destroyed
+    # and resuming under changed settings cannot mix two campaigns.
+    if len(loaded) > len(plans) * config.replicas:
+        raise ParameterError(
+            f"{sink}: holds {len(loaded)} records but the campaign grid "
+            f"only produces {len(plans) * config.replicas}; refusing to "
+            "resume a different campaign's file"
+        )
+    for pos, res in enumerate(loaded):
+        plan = plans[pos // config.replicas]
+        meta = res.meta
+        expected_seed = _replica_seed(config, pos % config.replicas)
+        if (meta.get("protocol") != plan.protocol
+                or float(meta.get("M", float("nan"))) != plan.M
+                or float(meta.get("phi", float("nan"))) != plan.effective_phi
+                or meta.get("seed") != expected_seed
+                or meta.get("n") != config.base_params.n
+                or res.work_target != config.work_target):
+            raise ParameterError(
+                f"{sink}: record {pos} holds "
+                f"({meta.get('protocol')}, M={meta.get('M')}, "
+                f"phi={meta.get('phi')}, seed={meta.get('seed')}, "
+                f"n={meta.get('n')}, work_target={res.work_target}) but "
+                f"the campaign grid expects ({plan.protocol}, M={plan.M}, "
+                f"phi={plan.effective_phi}, seed={expected_seed}, "
+                f"n={config.base_params.n}, "
+                f"work_target={config.work_target}); "
+                "refusing to resume a different campaign's file"
+            )
+
+    n_cells = len(loaded) // config.replicas
+    cells = [
+        _make_cell(
+            plans[i],
+            loaded[i * config.replicas:(i + 1) * config.replicas],
+        )
+        for i in range(n_cells)
+    ]
+
+    keep = offsets[n_cells * config.replicas - 1] if n_cells else 0
+    with sink.open("r+b") as fh:
+        fh.truncate(keep)
+    return cells, n_cells
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_campaign(
+    config: CampaignConfig,
+    *,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    resume: bool = False,
+    on_cell: Callable[[CampaignCell], None] | None = None,
+) -> CampaignExecution:
+    """Run (or finish) a campaign; the workhorse behind every campaign API.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` executes in-process (no pool — identical to
+        the historical serial path); ``None`` or ``0`` uses
+        ``os.cpu_count()``.
+    chunk_size:
+        Cells per worker task.  Default: one (protocol, M) row — i.e.
+        ``len(config.phi_values)`` cells — so shared failure traces are
+        generated once per chunk.
+    resume:
+        Recover completed cells from ``config.results_path`` instead of
+        truncating it.  Requires a results path.
+    on_cell:
+        Optional progress callback, invoked in grid order per fresh cell.
+    """
+    start = time.perf_counter()
+    plans = plan_cells(config)
+
+    # Validate every argument before touching the sink: an invalid
+    # workers/chunk_size must not cost an existing results file.
+    if resume and config.results_path is None:
+        raise ParameterError("resume=True requires config.results_path")
+    if workers is None or workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    if chunk_size is None:
+        chunk_size = len(config.phi_values)
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    sink: pathlib.Path | None = None
+    if config.results_path is not None:
+        sink = pathlib.Path(config.results_path)
+        sink.parent.mkdir(parents=True, exist_ok=True)
+
+    done: list[CampaignCell] = []
+    n_skipped = 0
+    if sink is not None:
+        if resume and sink.exists():
+            trusted = _check_manifest(config, sink)
+            done, n_skipped = _resume_scan(config, plans, sink, trusted)
+        else:
+            sink.write_text("")  # truncate: a campaign owns its file
+        _write_manifest(config, sink)
+
+    todo = plans[n_skipped:]
+    chunks = [todo[i:i + chunk_size] for i in range(0, len(todo), chunk_size)]
+    fresh: list[CampaignCell] = []
+
+    def _emit(plans_chunk: list[CellPlan], chunk_results: list[list[DesResult]]):
+        from .. import io as repro_io
+
+        for plan, results in zip(plans_chunk, chunk_results):
+            if sink is not None:
+                repro_io.save_results(results, sink, append=True)
+            cell = _make_cell(plan, results)
+            fresh.append(cell)
+            if on_cell is not None:
+                on_cell(cell)
+
+    if workers == 1 or not chunks:
+        # One cache across all chunks: the in-process path regenerates
+        # each shared (m, replica) trace exactly once, like the old
+        # serial implementation.
+        trace_cache: dict = {}
+        for chunk in chunks:
+            _emit(chunk, [run_cell(config, plan, trace_cache) for plan in chunk])
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_chunk, config, c) for c in chunks]
+            # Consume in submission order so the sink stays an exact
+            # prefix of the serial file even while chunks finish OOO.
+            for chunk, future in zip(chunks, futures):
+                _emit(chunk, future.result())
+
+    report = ExecutionReport(
+        cells_total=len(plans),
+        cells_skipped=n_skipped,
+        cells_run=len(fresh),
+        workers=workers,
+        chunk_size=chunk_size,
+        elapsed=time.perf_counter() - start,
+    )
+    return CampaignExecution(cells=tuple(done + fresh), report=report)
+
+
+def run_campaign_parallel(
+    config: CampaignConfig,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    resume: bool = False,
+) -> list[CampaignCell]:
+    """Like :func:`repro.sim.campaign.run_campaign`, but sharded across
+    worker processes (default: all cores).  Output is bit-identical to the
+    serial path."""
+    execution = execute_campaign(
+        config, workers=workers, chunk_size=chunk_size, resume=resume
+    )
+    return list(execution.cells)

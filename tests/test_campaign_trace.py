@@ -154,9 +154,22 @@ class TestCampaign:
         "override",
         [
             dict(protocols=()),
+            dict(protocols=(DOUBLE_NBL, "double-nbl")),  # duplicate protocol
             dict(m_values=()),
+            dict(m_values=(600.0, 600.0)),  # duplicate grid point
+            dict(m_values=(float("nan"),)),
+            dict(m_values=(-600.0,)),
+            dict(m_values=(0.0,)),
+            dict(phi_values=()),
+            dict(phi_values=(1.0, 1.0)),
+            dict(phi_values=(-1.0,)),
+            dict(phi_values=(float("inf"),)),
             dict(replicas=0),
+            dict(replicas=-3),
             dict(work_target=0.0),
+            dict(work_target=float("inf")),
+            dict(seed=-1),
+            dict(max_time=0.0),
         ],
     )
     def test_validation(self, override):
@@ -170,3 +183,76 @@ class TestCampaign:
         base.update(override)
         with pytest.raises(ParameterError):
             CampaignConfig(**base)
+
+    def test_numpy_integers_accepted(self, tmp_path):
+        """Grid scalars routinely come from numpy; integral numpy types
+        must validate and run (seeds are coerced for the RNG)."""
+        cfg = CampaignConfig(
+            protocols=(DOUBLE_NBL,),
+            base_params=scenarios.BASE.parameters(M=600.0, n=12),
+            m_values=(600.0,),
+            phi_values=(1.0,),
+            work_target=900.0,
+            replicas=np.int64(2),
+            seed=np.int64(11),
+            results_path=tmp_path / "np.jsonl",
+        )
+        cells = run_campaign(cfg)
+        assert len(cells) == 1 and len(cells[0].results) == 2
+        assert cells[0].results[0].meta["seed"] == 11
+
+    def test_run_campaign_revalidates_duck_typed_config(self):
+        """Configs built around __post_init__ (object.__new__, stubs...)
+        must still fail loudly at execution time, not run a zero-replica
+        sweep to an empty answer."""
+        config = object.__new__(CampaignConfig)
+        for name, value in dict(
+            protocols=(DOUBLE_NBL,),
+            base_params=scenarios.BASE.parameters(M=600.0, n=12),
+            m_values=(600.0,),
+            phi_values=(1.0,),
+            work_target=900.0,
+            replicas=0,  # invalid, snuck past construction
+            seed=7,
+            share_traces=False,
+            results_path=None,
+            max_time=None,
+            distribution=None,
+        ).items():
+            object.__setattr__(config, name, value)
+        with pytest.raises(ParameterError, match="replicas"):
+            run_campaign(config)
+
+    def test_campaign_with_failure_distribution(self):
+        """The distribution field reaches every injector (incl. traces)."""
+        from repro.sim.distributions import Weibull
+
+        cfg = CampaignConfig(
+            protocols=(DOUBLE_NBL,),
+            base_params=scenarios.BASE.parameters(M=300.0, n=12),
+            m_values=(300.0,),
+            phi_values=(1.0,),
+            work_target=900.0,
+            replicas=2,
+            share_traces=True,
+            distribution=Weibull(1.0, 0.7),
+            seed=11,
+        )
+        cells = run_campaign(cfg)
+        assert len(cells) == 1
+        exp_cells = run_campaign(
+            CampaignConfig(
+                protocols=(DOUBLE_NBL,),
+                base_params=scenarios.BASE.parameters(M=300.0, n=12),
+                m_values=(300.0,),
+                phi_values=(1.0,),
+                work_target=900.0,
+                replicas=2,
+                share_traces=True,
+                seed=11,
+            )
+        )
+        # A different law must change the sampled failure history.
+        weibull_ms = [r.makespan for r in cells[0].results]
+        exp_ms = [r.makespan for r in exp_cells[0].results]
+        assert weibull_ms != exp_ms

@@ -89,3 +89,98 @@ class TestCommands:
     def test_intro_command(self, capsys):
         assert main(["intro"]) == 0
         assert "0.8" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    #: Small 2-protocol × 2-M grid that runs in well under a second.
+    QUICK = [
+        "campaign", "--protocols", "double-nbl,triple", "--M", "300,600",
+        "--phi", "1.0", "--n", "12", "--work-target", "15min",
+        "--replicas", "2", "--seed", "99",
+    ]
+
+    def test_quick_grid(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "campaign results" in out
+        assert "4/4 cells run" in out and "workers=1" in out
+
+    def test_protocols_tolerate_spaces_and_trailing_commas(self, capsys):
+        assert main([
+            "campaign", "--protocols", "double-nbl, triple,", "--M", "300",
+            "--phi", "1.0", "--n", "12", "--work-target", "10min",
+            "--replicas", "2",
+        ]) == 0
+        assert "2/2 cells run" in capsys.readouterr().out
+
+    def test_parses_human_units(self, capsys):
+        assert main([
+            "campaign", "--protocols", "double-nbl", "--M", "5min,10min",
+            "--phi", "0.5,1.0", "--n", "12", "--work-target", "10min",
+            "--replicas", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 cells run" in out
+
+    def test_results_and_resume(self, capsys, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        args = self.QUICK + ["--results", str(path)]
+        assert main(args) == 0
+        full = path.read_bytes()
+        capsys.readouterr()
+
+        # Simulate an interruption: drop the last two records.
+        path.write_bytes(b"".join(full.splitlines(keepends=True)[:-2]))
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1/4 cells run (3 resumed)" in out
+        assert path.read_bytes() == full
+
+    def test_resume_requires_results(self, capsys):
+        assert main(self.QUICK + ["--resume"]) == 2
+        assert "--resume requires --results" in capsys.readouterr().err
+
+    def test_preset_selection(self, capsys):
+        assert main([
+            "campaign", "--preset", "high-churn", "--replicas", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "18/18 cells run" in out  # 3 protocols × 3 M × 2 phi
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--preset", "nope"])
+
+    def test_preset_rejects_conflicting_grid_flags(self, capsys):
+        rc = main(["campaign", "--preset", "high-churn", "--M", "60"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--preset fixes the grid" in err and "--M" in err
+
+    def test_engine_refusals_print_cleanly(self, capsys):
+        """ParameterErrors from the engine become one-line stderr
+        messages with exit 2, not tracebacks."""
+        rc = main(["campaign", "--M", "300,300", "--n", "12",
+                   "--replicas", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ") and "duplicate M value" in err
+
+    def test_share_traces_is_tristate(self):
+        parser = build_parser()
+        assert parser.parse_args(["campaign"]).share_traces is None
+        assert parser.parse_args(
+            ["campaign", "--share-traces"]).share_traces is True
+        assert parser.parse_args(
+            ["campaign", "--no-share-traces"]).share_traces is False
+
+    def test_preset_can_disable_shared_traces(self, capsys):
+        assert main(["campaign", "--preset", "high-churn", "--replicas", "1",
+                     "--no-share-traces"]) == 0
+        assert "18/18 cells run" in capsys.readouterr().out
+
+    def test_help_documents_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--help"])
+        out = capsys.readouterr().out
+        assert "--workers" in out and "--resume" in out and "--preset" in out

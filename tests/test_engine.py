@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import Engine
@@ -142,3 +143,68 @@ class TestRunControl:
         assert eng.peek_time() == 4.0
         Engine.cancel(ev)
         assert eng.peek_time() is None
+
+
+#: A coarse time grid so random schedules collide often — the interesting
+#: case for tie-breaking is many events at the identical timestamp.
+_tick = st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0])
+
+
+class TestDeterminismProperties:
+    """Property-based guarantees the simulators lean on.
+
+    Bit-reproducibility of every DES (and therefore of the parallel
+    campaign engine) rests on two engine facts: same-timestamp events fire
+    in scheduling order, and cancellation is a safe idempotent no-op.
+    """
+
+    @given(times=st.lists(_tick, min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_same_timestamp_fires_in_scheduling_order(self, times):
+        eng = Engine()
+        fired = []
+        for i, t in enumerate(times):
+            eng.schedule(t, lambda e, ev, i=i: fired.append((ev.time, i)))
+        eng.run()
+        # Stable sort of (time, scheduling index) == actual firing order.
+        assert fired == sorted(
+            ((t, i) for i, t in enumerate(times)),
+            key=lambda pair: pair[0],
+        )
+
+    @given(times=st.lists(_tick, min_size=1, max_size=30), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_cancel_is_safe_and_exact(self, times, data):
+        """Cancelling any subset (with repeats) removes exactly that subset."""
+        eng = Engine()
+        fired = []
+        events = [
+            eng.schedule(t, lambda e, ev, i=i: fired.append(i))
+            for i, t in enumerate(times)
+        ]
+        doomed = data.draw(st.lists(
+            st.integers(0, len(events) - 1), max_size=len(events) * 2
+        ))
+        for idx in doomed:
+            Engine.cancel(events[idx])  # duplicates: idempotent no-op
+        eng.run()
+        survivors = [i for i in range(len(events)) if i not in set(doomed)]
+        assert sorted(fired) == survivors
+        assert eng.executed == len(survivors)
+
+    @given(times=st.lists(_tick, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_cancel_after_firing_is_a_noop(self, times):
+        eng = Engine()
+        events = [eng.schedule(t, lambda e, ev: None) for t in times]
+        eng.run()
+        executed = eng.executed
+        for ev in events:
+            Engine.cancel(ev)  # already fired: must not corrupt anything
+            Engine.cancel(ev)
+        assert eng.executed == executed == len(times)
+        assert eng.pending() == 0
+        # The engine remains usable after post-hoc cancels.
+        eng.schedule(eng.now + 1.0, lambda e, ev: None)
+        eng.run()
+        assert eng.executed == executed + 1

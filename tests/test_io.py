@@ -13,6 +13,7 @@ from repro.io import (
     load_result,
     load_results,
     save_results,
+    scan_results,
     to_envelope,
 )
 from repro.sim.results import DesResult, MonteCarloSummary
@@ -130,3 +131,58 @@ class TestValidation:
     def test_rejects_bad_json(self):
         with pytest.raises(ParameterError):
             load_result("{nope")
+
+
+class TestScanResults:
+    """Tolerant prefix scanning (the campaign-resume recovery primitive)."""
+
+    def test_yields_offsets_usable_for_truncation(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        save_results([sample_des(), sample_des(failures=9)], path)
+        scanned = list(scan_results(path))
+        assert len(scanned) == 2
+        (first, off1), (second, off2) = scanned
+        assert first.failures == 7 and second.failures == 9
+        assert path.read_bytes()[:off1].endswith(b"\n")
+        assert off2 == path.stat().st_size
+
+    def test_stops_at_partial_trailing_record(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        save_results([sample_des()], path)
+        full = path.read_bytes()
+        path.write_bytes(full + full[: len(full) // 2])  # torn second write
+        scanned = list(scan_results(path))
+        assert len(scanned) == 1
+        assert scanned[0][1] == len(full)
+
+    def test_stops_at_corrupt_line_without_raising(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(dump_result(sample_des()) + "\n{broken}\n"
+                        + dump_result(sample_des()) + "\n")
+        scanned = list(scan_results(path))
+        assert len(scanned) == 1  # nothing after the corruption is trusted
+
+    def test_stops_at_valid_json_with_corrupt_payload(self, tmp_path):
+        """Bit-flipped payloads that still parse as JSON must not escape
+        as AttributeError — they end the scan like any corruption."""
+        import json
+
+        path = tmp_path / "runs.jsonl"
+        bad = json.dumps({"format": "repro-results", "version": 1,
+                          "kind": "DesResult", "payload": "oops"})
+        path.write_text(dump_result(sample_des()) + "\n" + bad + "\n")
+        scanned = list(scan_results(path))
+        assert len(scanned) == 1
+        with pytest.raises(ParameterError, match="payload"):
+            load_result(bad)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("\n" + dump_result(sample_des()) + "\n\n")
+        results = [r for r, _ in scan_results(path)]
+        assert len(results) == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(scan_results(path)) == []
