@@ -1,0 +1,88 @@
+"""Ordered vs framed result sinks under a deliberately skewed grid.
+
+Not a paper artefact — this measures the head-of-line effect the framed
+sink exists to remove.  The grid is skewed on purpose: one M row sits in
+the failure-dominated regime (M = 2 min ⇒ constant rollbacks, slow DES)
+while the others are calm and fast.  Under the ordered sink, every record
+waits for the slow row before it may be written; under the framed sink,
+fast cells land on disk the moment they complete.
+
+Reported metrics (per sink mode, identical grid, 2 workers):
+
+* wall-clock of the whole campaign (similar by construction — the same
+  108 DES runs execute either way);
+* per-cell *emission latency* — how long after campaign start each cell
+  reached the sink — whose mean/median collapse under the framed sink;
+* time until half the cells were durable on disk.
+
+Correctness is asserted, timing is reported: the two files must hold the
+identical record multiset, and the framed file must resume-scan cleanly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
+from repro import io as repro_io
+from repro.sim.campaign import CampaignConfig
+from repro.sim.executor import execute_campaign
+
+
+def _skewed_grid(tmp_path, name: str) -> CampaignConfig:
+    """3 protocols × 3 M × 2 φ; the M=120 s row dominates the runtime."""
+    return CampaignConfig(
+        protocols=(DOUBLE_NBL, DOUBLE_BOF, TRIPLE),
+        base_params=scenarios.BASE.parameters(M=600.0, n=24),
+        m_values=(120.0, 3600.0, 7200.0),
+        phi_values=(0.5, 2.0),
+        work_target=1800.0,
+        replicas=6,
+        seed=20260729,
+        share_traces=True,
+        results_path=tmp_path / f"{name}.jsonl",
+    )
+
+
+def _run(tmp_path, name: str, sink: str):
+    emit_times: list[float] = []
+    start = time.perf_counter()
+    execution = execute_campaign(
+        _skewed_grid(tmp_path, name),
+        workers=2,
+        chunk_size=1,
+        sink=sink,
+        on_cell=lambda cell: emit_times.append(time.perf_counter() - start),
+    )
+    elapsed = time.perf_counter() - start
+    return execution, elapsed, sorted(emit_times)
+
+
+def _record_set(path):
+    return sorted(
+        repro_io.dump_result(r) for r in repro_io.iter_campaign_runs(path)
+    )
+
+
+def test_framed_sink_removes_head_of_line_blocking(tmp_path, record):
+    ordered, t_ordered, lat_ordered = _run(tmp_path, "ordered", "ordered")
+    framed, t_framed, lat_framed = _run(tmp_path, "framed", "framed")
+
+    assert ordered.report.cells_run == framed.report.cells_run == 18
+    assert _record_set(tmp_path / "ordered.jsonl") == \
+        _record_set(tmp_path / "framed.jsonl")
+    # The framed file resume-scans cleanly end to end.
+    frames = list(repro_io.scan_frames(tmp_path / "framed.jsonl"))
+    assert [f.seq for f, _ in frames] == list(range(18 * 6))
+
+    half = len(lat_ordered) // 2
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    record("Sink modes under a skewed grid (slow M=2min row, 2 workers)", [
+        "grid: 3 protocols x 3 M x 2 phi x 6 replicas = 108 DES runs",
+        f"wall-clock        ordered {t_ordered:6.2f}s   framed {t_framed:6.2f}s",
+        f"mean emit latency ordered {mean(lat_ordered):6.2f}s   "
+        f"framed {mean(lat_framed):6.2f}s",
+        f"half-grid durable ordered {lat_ordered[half]:6.2f}s   "
+        f"framed {lat_framed[half]:6.2f}s",
+        "(identical record multisets; framed frames contiguous 0..107)",
+    ])

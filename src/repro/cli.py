@@ -20,6 +20,15 @@ Commands
     re-running completed cells.  Grids come from ``--preset`` (named
     workloads such as ``exa-weibull``) or from an explicit
     ``--scenario``/``--protocols``/``--M``/``--phi`` selection.
+    ``--sink framed`` switches the results file to out-of-order framed
+    records (cells land the moment they finish — no head-of-line wait on
+    slow cells), and ``--adaptive-ci TOL`` stops each cell early once its
+    mean-waste confidence interval is tight enough.
+``report``
+    Re-render analyses offline: ``--from-campaign FILE`` reads a
+    campaign's persisted JSON Lines (either sink format) and prints waste
+    tables, per-protocol waste surfaces and protocol-ratio tables with
+    zero re-simulation.
 """
 
 from __future__ import annotations
@@ -142,6 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--chunk-size", type=int, default=None,
                    help="grid cells per worker task (default: one "
                         "(protocol, M) row)")
+    c.add_argument("--sink", choices=("ordered", "framed"),
+                   default="ordered",
+                   help="results-file format: 'ordered' keeps grid order "
+                        "(byte-identical to serial); 'framed' appends "
+                        "each cell the moment it completes (no "
+                        "head-of-line blocking, still resumable)")
+    c.add_argument("--adaptive-ci", type=float, default=None,
+                   metavar="TOL",
+                   help="stop each cell early once the 95%% CI half-width "
+                        "of its mean waste is <= TOL (runs at most "
+                        "--replicas; deterministic; with --results "
+                        "requires --sink framed)")
+
+    r = sub.add_parser(
+        "report",
+        help="render analyses from persisted results (no re-simulation)",
+    )
+    r.add_argument("--from-campaign", type=pathlib.Path, required=True,
+                   metavar="FILE",
+                   help="campaign JSON Lines results file (either sink "
+                        "format) to render waste and ratio tables from")
     return parser
 
 
@@ -211,16 +241,36 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     if args.resume and config.results_path is None:
         print("--resume requires --results", file=sys.stderr)
         return 2
+    controller = None
+    if args.adaptive_ci is not None:
+        from .sim.adaptive import AdaptiveCI
+
+        controller = AdaptiveCI(
+            max_replicas=config.replicas, tolerance=args.adaptive_ci
+        )
     execution = execute_campaign(
         config,
         workers=args.workers,
         chunk_size=args.chunk_size,
         resume=args.resume,
+        sink=args.sink,
+        controller=controller,
     )
     print(cells_table(execution.cells))
     print(execution.report.describe())
     if config.results_path is not None:
         print(f"raw runs: {config.results_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import campaign_report
+
+    try:
+        print(campaign_report(args.from_campaign), end="")
+    except (OSError, ReproError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -334,6 +384,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return _cmd_experiment(args.command, args)
 
 

@@ -5,11 +5,18 @@ context the same information is delivered as (a) machine-readable grids
 (CSV) and (b) terminal-friendly ASCII renderings used by the CLI and the
 benchmark harnesses, so "regenerate Figure 7b" prints something a human
 can compare against the paper at a glance.
+
+Campaign reports (:func:`campaign_report`) render the same artefacts —
+waste tables, waste surfaces, protocol-ratio tables — straight from a
+campaign's persisted JSON Lines results (either sink format), so an
+expensive sweep is analysed offline with **zero re-simulation**:
+``repro-checkpoint report --from-campaign results.jsonl``.
 """
 
 from __future__ import annotations
 
 import io
+import pathlib
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -24,6 +31,8 @@ __all__ = [
     "grid_csv",
     "gnuplot_surface_script",
     "format_m_axis",
+    "campaign_cells_from_file",
+    "campaign_report",
 ]
 
 #: Shade ramp for heat maps, light to dark.
@@ -199,3 +208,145 @@ def gnuplot_surface_script(
 def format_m_axis(m_values: np.ndarray) -> list[str]:
     """Human labels for an MTBF axis (``60 -> '1min'``)."""
     return [format_time(float(m)) for m in np.asarray(m_values).ravel()]
+
+
+# ----------------------------------------------------------------------
+# Campaign reports (from persisted JSON Lines, zero re-simulation)
+# ----------------------------------------------------------------------
+def campaign_cells_from_file(path):
+    """Reconstruct per-cell summaries from a campaign results file.
+
+    Accepts both sink formats (plain grid-order records and out-of-order
+    frames — :func:`repro.io.iter_campaign_runs` decides per line), groups
+    the raw runs by their recorded (protocol, M, φ) identity, and rebuilds
+    one :class:`~repro.sim.campaign.CampaignCell` per group, protocol-major
+    in first-seen protocol order with M and φ ascending — the campaign
+    grid order, whatever order the records landed in.
+    """
+    from .. import io as repro_io
+    from ..sim.campaign import CampaignCell
+    from ..sim.results import MonteCarloSummary
+
+    groups: dict[tuple[str, float, float], list] = {}
+    protocol_order: dict[str, int] = {}
+    for position, (cell_index, run) in enumerate(
+        repro_io.scan_campaign_runs(path)
+    ):
+        meta = run.meta
+        protocol = meta.get("protocol")
+        if (not isinstance(protocol, str) or "M" not in meta
+                or "phi" not in meta):
+            raise ParameterError(
+                f"{path}: record without (protocol, M, phi) identity "
+                "metadata; not a campaign results file"
+            )
+        key = (protocol, float(meta["M"]), float(meta["phi"]))
+        # Protocols sort by their earliest *grid* position — the frame's
+        # cell index when available, else the line position (plain files
+        # are written in grid order).  First-seen order would depend on
+        # cell completion order for parallel framed campaigns, making two
+        # reports of the same campaign disagree.
+        rank = position if cell_index is None else cell_index
+        protocol_order[protocol] = min(
+            protocol_order.get(protocol, rank), rank
+        )
+        groups.setdefault(key, []).append(run)
+
+    if not groups:
+        raise ParameterError(f"{path}: no campaign records found")
+
+    cells = []
+    for key in sorted(
+        groups, key=lambda k: (protocol_order[k[0]], k[1], k[2])
+    ):
+        protocol, m, phi = key
+        runs = groups[key]
+        summary = MonteCarloSummary.from_samples(
+            [r.waste for r in runs],
+            successes=sum(r.succeeded for r in runs),
+            meta={"protocol": protocol, "M": m, "phi": phi},
+        )
+        cells.append(CampaignCell(
+            protocol=protocol, M=m, phi=phi,
+            summary=summary, results=tuple(runs),
+        ))
+    return cells
+
+
+def campaign_report(path) -> str:
+    """Render a campaign's persisted results as tables and surfaces.
+
+    Sections: a per-cell waste table (with replica counts and CI
+    half-widths — adaptive campaigns show their uneven budgets here), a
+    waste surface per protocol when the grid spans both axes, and a
+    protocol-ratio table against the first protocol in the file (the
+    paper's double-vs-triple comparison, from disk).
+    """
+    path = pathlib.Path(path)
+    cells = campaign_cells_from_file(path)
+
+    out = io.StringIO()
+    rows = []
+    for c in cells:
+        s = c.summary
+        half = (s.ci_high - s.ci_low) / 2.0
+        rows.append([
+            c.protocol, c.M, c.phi, s.n_replicas,
+            c.mean_waste, half, c.success_rate,
+        ])
+    out.write(ascii_table(
+        ["protocol", "M", "phi", "replicas", "mean waste", "ci half-width",
+         "success rate"],
+        rows,
+        title=f"=== campaign results ({path.name}, "
+              f"{sum(len(c.results) for c in cells)} runs, no re-simulation) ===",
+    ))
+
+    protocols = list(dict.fromkeys(c.protocol for c in cells))
+    m_values = sorted({c.M for c in cells})
+    phi_values = sorted({c.phi for c in cells})
+    by_key = {(c.protocol, c.M, c.phi): c for c in cells}
+
+    if len(m_values) >= 2 and len(phi_values) >= 2:
+        col_labels = [f"{p:g}" for p in phi_values]
+        for protocol in protocols:
+            grid = np.full((len(m_values), len(phi_values)), np.nan)
+            for i, m in enumerate(m_values):
+                for j, phi in enumerate(phi_values):
+                    cell = by_key.get((protocol, m, phi))
+                    if cell is not None:
+                        grid[i, j] = cell.mean_waste
+            out.write("\n")
+            out.write(ascii_heatmap(
+                grid, format_m_axis(np.asarray(m_values)), col_labels,
+                title=f"--- mean waste surface: {protocol} "
+                      "(rows M, cols phi) ---",
+            ))
+
+    if len(protocols) >= 2:
+        base = protocols[0]
+        headers = ["M", "phi"] + [f"{p}/{base}" for p in protocols[1:]]
+        ratio_rows = []
+        for m in m_values:
+            for phi in phi_values:
+                base_cell = by_key.get((base, m, phi))
+                if base_cell is None:
+                    continue
+                base_waste = base_cell.mean_waste
+                row: list[object] = [m, phi]
+                for p in protocols[1:]:
+                    cell = by_key.get((p, m, phi))
+                    if cell is None or not np.isfinite(base_waste) \
+                            or base_waste <= 0:
+                        row.append(float("nan"))
+                    else:
+                        row.append(cell.mean_waste / base_waste)
+                ratio_rows.append(row)
+        if ratio_rows:
+            out.write("\n")
+            out.write(ascii_table(
+                headers, ratio_rows,
+                title=f"--- waste ratios vs {base} "
+                      "(>1: costlier than baseline) ---",
+            ))
+    return out.getvalue()

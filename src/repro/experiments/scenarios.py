@@ -20,7 +20,8 @@ figures sweep) and the overhead ``φ`` (a protocol tuning choice), so
 Beyond the paper's rows, this module also registers **campaign presets**
 (:class:`CampaignPreset`, ``CAMPAIGN_PRESETS``): named, fully specified
 protocol × M × φ sweeps — exascale-Weibull clustering, minutes-MTBF
-churn, slow-storage/large-φ — that feed the parallel campaign engine
+churn, slow-storage/large-φ, Weibull wear-out, heterogeneous-MTBF
+mixtures — that feed the parallel campaign engine
 (``repro.sim.executor``), the ``campaign`` CLI subcommand and the
 failure-scenario test suite.
 """
@@ -224,16 +225,46 @@ class CampaignPreset:
         return base.with_updates(**self.param_overrides) if self.param_overrides else base
 
     def distribution(self):
-        """Instantiate the failure law (None ⇒ exponential default)."""
+        """Instantiate the failure law (None ⇒ exponential default).
+
+        Two spec grammars are understood:
+
+        * ``"<kind>:<shape>"`` — a shaped law (``"weibull:0.7"``,
+          ``"lognormal:1.5"``, ``"gamma:2"``);
+        * ``"hyperexp:<w>@<m>,<w>@<m>,..."`` — a mixture of exponentials
+          with weights ``w`` and *relative* means ``m`` (heterogeneous-
+          MTBF platform; the injector rescales the overall mean per cell,
+          so only the ratios of the ``m`` matter).
+        """
         if self.failure_law is None:
             return None
-        from ..sim.distributions import Gamma, LogNormal, Weibull
+        from ..sim.distributions import Exponential, Gamma, LogNormal, Mixture, Weibull
 
         kind, _, arg = self.failure_law.partition(":")
+        if kind == "hyperexp":
+            pairs: list[tuple[float, float]] = []
+            for token in arg.split(","):
+                weight, sep, rel_mean = token.partition("@")
+                try:
+                    if not sep:
+                        raise ValueError
+                    pairs.append((float(weight), float(rel_mean)))
+                except ValueError:
+                    raise ParameterError(
+                        f"failure_law {self.failure_law!r}: expected "
+                        "'hyperexp:<weight>@<mean>,<weight>@<mean>,...' "
+                        f"with numeric entries, got {token!r}"
+                    ) from None
+            # Mixture validates counts/positivity; rescaled to n·M per cell.
+            return Mixture(
+                [Exponential(mean) for _, mean in pairs],
+                [weight for weight, _ in pairs],
+            )
         laws = {"weibull": Weibull, "lognormal": LogNormal, "gamma": Gamma}
         if kind not in laws:
             raise ParameterError(
-                f"unknown failure law {kind!r}; known: {sorted(laws)}"
+                f"unknown failure law {kind!r}; known: "
+                f"{sorted(laws) + ['hyperexp']}"
             )
         try:
             shape = float(arg)
@@ -319,9 +350,52 @@ SLOW_STORAGE = CampaignPreset(
     param_overrides={"delta": 8.0, "R": 30.0},
 )
 
+#: Weibull wear-out (k>1): an *increasing* hazard — the longer a node has
+#: run since its last replacement, the likelier it fails.  Arrivals are
+#: more regular than Poisson (CV < 1), the opposite stress to
+#: ``exa-weibull``'s clustering, probing whether the paper's
+#: exponential-based period tuning stays near-optimal under ageing fleets.
+WEIBULL_WEAROUT = CampaignPreset(
+    key="weibull-wearout",
+    description=(
+        "Base platform under Weibull k=2 (wear-out) failures - "
+        "regular, ageing-driven arrivals (CV<1) instead of Poisson"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(600.0, 1800.0, 3600.0),
+    phi_values=(1.0, 2.0),
+    work_target=3600.0,
+    n=24,
+    failure_law="weibull:2.0",
+)
+
+#: Heterogeneous-MTBF platform: 20 % of failure draws come from a fragile
+#: sub-population at a quarter of the average node MTBF (hyperexponential
+#: mixture, CV > 1).  The platform MTBF the model sees is unchanged, but
+#: failures concentrate — the regime where buddy protocols lose multiple
+#: replicas of the same group in quick succession.
+HETERO_MTBF = CampaignPreset(
+    key="hetero-mtbf",
+    description=(
+        "Base platform with a heterogeneous-MTBF failure law: 20% of "
+        "failure draws from a fragile sub-population at 1/4 the average "
+        "MTBF (hyperexponential mixture, CV>1)"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(600.0, 1800.0, 3600.0),
+    phi_values=(1.0, 2.0),
+    work_target=3600.0,
+    n=24,
+    failure_law="hyperexp:0.2@0.25,0.8@1.1875",
+)
+
 #: Registry of named campaign workloads by key.
 CAMPAIGN_PRESETS: dict[str, CampaignPreset] = {
-    p.key: p for p in (EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE)
+    p.key: p for p in (
+        EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE, WEIBULL_WEAROUT, HETERO_MTBF
+    )
 }
 
 

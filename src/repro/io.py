@@ -7,6 +7,17 @@ serialises the library's result types to a stable JSON envelope::
     {"format": "repro-results", "version": 1,
      "kind": "DesResult", "payload": {...}}
 
+and, for out-of-order campaign sinks, a *framed* variant that wraps the
+same payload with the record's provenance — which grid cell produced it,
+which replica it is, and a contiguous file-wide sequence number::
+
+    {"format": "repro-frames", "version": 1,
+     "cell": 7, "replica": 0, "seq": 21, "payload": {...}}
+
+Frames let records land in any cell order while still supporting exact
+resume: :func:`scan_frames` reconstructs per-cell completion from the
+framing alone (see :mod:`repro.sim.sinks`).
+
 Guarantees:
 
 * round-trips are lossless for every field, including ``nan``/``inf``
@@ -14,7 +25,12 @@ Guarantees:
 * files written by older library versions either load or fail loudly —
   never silently mis-parse;
 * batches are streamed as JSON Lines (one envelope per line), so a
-  campaign can append results as runs finish.
+  campaign can append results as runs finish;
+* the tolerant scanners (:func:`scan_results`, :func:`scan_frames`)
+  forgive exactly one kind of damage — a torn *trailing* write — and
+  raise, with the byte offset, on structurally invalid records that sit
+  mid-file in front of further data (that is corruption, not an
+  interrupted append).
 """
 
 from __future__ import annotations
@@ -22,7 +38,8 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-from typing import Any, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import ParameterError
 from .sim.results import DesResult, MonteCarloSummary
@@ -35,9 +52,16 @@ __all__ = [
     "scan_results",
     "to_envelope",
     "from_envelope",
+    "ResultFrame",
+    "dump_frame",
+    "load_frame",
+    "scan_frames",
+    "scan_campaign_runs",
+    "iter_campaign_runs",
 ]
 
 _FORMAT = "repro-results"
+_FRAME_FORMAT = "repro-frames"
 _VERSION = 1
 _KINDS = {"DesResult": DesResult, "MonteCarloSummary": MonteCarloSummary}
 
@@ -152,21 +176,30 @@ def save_results(
     return count
 
 
-def scan_results(
-    path: str | pathlib.Path,
-) -> Iterator[tuple[DesResult | MonteCarloSummary, int]]:
-    """Tolerantly stream the valid prefix of a JSON Lines results file.
+def _scan_envelopes(
+    path: pathlib.Path,
+    decode: Callable[[dict], Any],
+    expected_format: str | None = None,
+) -> Iterator[tuple[Any, int]]:
+    """Shared tolerant-prefix scanner behind :func:`scan_results` and
+    :func:`scan_frames`.
 
-    Yields ``(result, end_offset)`` pairs, where ``end_offset`` is the byte
-    offset just past the record's newline — i.e. the length the file can be
-    truncated to while keeping every record seen so far.  Scanning stops
-    (without raising) at the first partial or corrupt line: that is exactly
-    the recovery behaviour an interrupted campaign needs
-    (:mod:`repro.sim.executor` resumes from the last intact record).
+    ``decode`` turns one parsed JSON object into a record (raising
+    :class:`ParameterError` on structural corruption).  Three failure
+    modes are distinguished:
 
-    Contrast :func:`load_results`, which treats any bad line as an error.
+    * a line that is not even JSON, or the file's **last** line failing to
+      decode — a torn trailing write; the scan ends silently and resume
+      re-executes from there;
+    * an intact record of the *other* known envelope format (a results
+      file scanned as frames or vice versa, named by ``expected_format``)
+      — a sink-mode mismatch, reported as such wherever it sits, since a
+      torn write can never produce a whole foreign-format record;
+    * a line that parses as JSON but fails record checks **with further
+      data behind it** — mid-file corruption an append can never produce;
+      raises with the record's byte offset so the damage can be inspected
+      (and is never silently "resumed over").
     """
-    path = pathlib.Path(path)
     offset = 0
     with path.open("rb") as fh:
         for raw in fh:
@@ -179,11 +212,56 @@ def scan_results(
                 return
             if line:
                 try:
-                    result = load_result(line)
-                except ParameterError:
-                    return
-                yield result, end
+                    envelope = json.loads(line)
+                except json.JSONDecodeError:
+                    return  # torn/binary garbage: treat as truncation point
+                try:
+                    record = decode(envelope)
+                except ParameterError as exc:
+                    fmt = envelope.get("format") \
+                        if isinstance(envelope, dict) else None
+                    if (expected_format is not None
+                            and fmt in (_FORMAT, _FRAME_FORMAT)
+                            and fmt != expected_format):
+                        raise ParameterError(
+                            f"{path}: holds {fmt!r} records where "
+                            f"{expected_format!r} records were expected; "
+                            "was this file written with the other sink "
+                            "mode?"
+                        ) from exc
+                    if fh.read(1):
+                        raise ParameterError(
+                            f"{path}: corrupt record at byte offset "
+                            f"{offset} with intact data after it ({exc}); "
+                            "this is mid-file damage, not an interrupted "
+                            "append - refusing to scan past it"
+                        ) from exc
+                    return  # torn trailing record: normal truncation point
+                yield record, end
             offset = end
+
+
+def scan_results(
+    path: str | pathlib.Path,
+) -> Iterator[tuple[DesResult | MonteCarloSummary, int]]:
+    """Tolerantly stream the valid prefix of a JSON Lines results file.
+
+    Yields ``(result, end_offset)`` pairs, where ``end_offset`` is the byte
+    offset just past the record's newline — i.e. the length the file can be
+    truncated to while keeping every record seen so far.  Scanning stops
+    (without raising) at a torn *trailing* write: a non-JSON line, or a
+    final line that parses but fails record checks — exactly the recovery
+    behaviour an interrupted campaign needs (:mod:`repro.sim.sinks`
+    resumes from the last intact record).  A JSON-parseable record that
+    fails those checks *mid-file* — with intact data after it — raises
+    instead, surfacing the byte offset: appends cannot produce that shape,
+    so it is corruption that must not be silently truncated away.
+
+    Contrast :func:`load_results`, which treats any bad line as an error.
+    """
+    yield from _scan_envelopes(
+        pathlib.Path(path), from_envelope, expected_format=_FORMAT
+    )
 
 
 def load_results(path: str | pathlib.Path) -> Iterator[DesResult | MonteCarloSummary]:
@@ -198,3 +276,142 @@ def load_results(path: str | pathlib.Path) -> Iterator[DesResult | MonteCarloSum
                 yield load_result(line)
             except ParameterError as exc:
                 raise ParameterError(f"{path}:{lineno}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Framed records (out-of-order campaign sinks)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResultFrame:
+    """One framed record: a result plus its campaign provenance.
+
+    ``cell`` is the grid-cell index in the campaign's deterministic plan
+    order, ``replica`` the replica index within that cell, and ``seq`` the
+    file-wide write sequence (0, 1, 2, ... with no gaps) — the invariant a
+    resume scan checks to tell "interrupted append" from "foreign file".
+    """
+
+    cell: int
+    replica: int
+    seq: int
+    result: DesResult | MonteCarloSummary
+
+
+def frame_envelope(
+    result: DesResult | MonteCarloSummary, *, cell: int, replica: int, seq: int
+) -> dict:
+    """Wrap a result in the framed envelope (as a plain dict)."""
+    for name, value in (("cell", cell), ("replica", replica), ("seq", seq)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ParameterError(
+                f"frame {name} must be a non-negative integer, got {value!r}"
+            )
+    return {
+        "format": _FRAME_FORMAT,
+        "version": _VERSION,
+        "cell": cell,
+        "replica": replica,
+        "seq": seq,
+        "payload": to_envelope(result),
+    }
+
+
+def frame_from_envelope(envelope: dict) -> ResultFrame:
+    """Reconstruct a :class:`ResultFrame`; validates format and framing."""
+    if not isinstance(envelope, dict) or envelope.get("format") != _FRAME_FORMAT:
+        raise ParameterError("not a repro-frames envelope")
+    if envelope.get("version") != _VERSION:
+        raise ParameterError(
+            f"unsupported frames version {envelope.get('version')!r} "
+            f"(this library reads version {_VERSION})"
+        )
+    fields = {}
+    for name in ("cell", "replica", "seq"):
+        value = envelope.get(name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ParameterError(
+                f"corrupt frame: {name} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        fields[name] = value
+    return ResultFrame(result=from_envelope(envelope.get("payload")), **fields)
+
+
+def dump_frame(
+    result: DesResult | MonteCarloSummary, *, cell: int, replica: int, seq: int
+) -> str:
+    """One framed result as a compact JSON string."""
+    return json.dumps(
+        frame_envelope(result, cell=cell, replica=replica, seq=seq),
+        sort_keys=True,
+    )
+
+
+def load_frame(text: str) -> ResultFrame:
+    """Inverse of :func:`dump_frame`."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"invalid JSON: {exc}") from exc
+    return frame_from_envelope(envelope)
+
+
+def scan_frames(
+    path: str | pathlib.Path,
+) -> Iterator[tuple[ResultFrame, int]]:
+    """Tolerantly stream the valid prefix of a framed JSON Lines file.
+
+    The framed twin of :func:`scan_results`: yields ``(frame,
+    end_offset)`` pairs, ends silently at a torn trailing write, and
+    raises (with the byte offset) on mid-file corruption or a sink-mode
+    mismatch.
+    """
+    yield from _scan_envelopes(
+        pathlib.Path(path), frame_from_envelope,
+        expected_format=_FRAME_FORMAT,
+    )
+
+
+def _campaign_entry(envelope: Any) -> tuple[int | None, DesResult | MonteCarloSummary]:
+    """Decode either campaign record shape into ``(cell_index, result)``.
+
+    ``cell_index`` is the frame's grid-cell index, or ``None`` for plain
+    (ordered-sink) records, whose file position *is* grid order.
+    """
+    if isinstance(envelope, dict) and envelope.get("format") == _FRAME_FORMAT:
+        frame = frame_from_envelope(envelope)
+        return frame.cell, frame.result
+    return None, from_envelope(envelope)
+
+
+def scan_campaign_runs(
+    path: str | pathlib.Path,
+) -> Iterator[tuple[int | None, DesResult]]:
+    """Stream ``(cell_index, run)`` pairs out of a campaign results file.
+
+    Accepts both sink formats — plain result envelopes (the ordered sink,
+    ``cell_index=None``) and framed envelopes (the out-of-order sink) —
+    deciding per line, so offline analyses (``repro-checkpoint report
+    --from-campaign``) never need to know how a campaign was executed.
+    Tolerant like the resume scanners: a torn *trailing* write ends the
+    stream silently (an interrupted campaign's file is analysable as-is),
+    while mid-file corruption raises.  Any *intact* record that is not a
+    :class:`DesResult` raises wherever it sits: a campaign sink only ever
+    holds raw runs, so anything else means the wrong file was pointed at.
+    """
+    path = pathlib.Path(path)
+    for (cell, result), _ in _scan_envelopes(path, _campaign_entry):
+        if not isinstance(result, DesResult):
+            raise ParameterError(
+                f"{path}: expected raw DES runs but found a "
+                f"{type(result).__name__} record; this is not a campaign "
+                "results file"
+            )
+        yield cell, result
+
+
+def iter_campaign_runs(path: str | pathlib.Path) -> Iterator[DesResult]:
+    """The raw DES runs of a campaign file (:func:`scan_campaign_runs`
+    without the cell indices)."""
+    for _, run in scan_campaign_runs(path):
+        yield run

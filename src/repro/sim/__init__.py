@@ -13,13 +13,46 @@ Three tiers, by increasing speed and decreasing granularity:
     Vectorised Monte Carlo of pair/triple fatal failures; validates the
     success-probability formulas (Eqs. 11, 16).
 
+Campaign architecture
+---------------------
+Protocol × M × φ sweeps run through a layered subsystem, each layer
+replaceable without touching the others:
+
+``campaign``  (what)
+    The declarative grid: :class:`~repro.sim.campaign.CampaignConfig`,
+    validation, and the serial-compatible ``run_campaign`` API.
+``executor``  (orchestration)
+    :func:`~repro.sim.executor.execute_campaign` plans the grid into
+    deterministic cell chunks, recovers finished cells on resume
+    (manifest + per-record identity checks), then streams backend output
+    into the sink and aggregates :class:`~repro.sim.campaign.CampaignCell`
+    summaries.
+``backends``  (where cells run)
+    :class:`~repro.sim.backends.CampaignBackend` implementations —
+    in-process :class:`~repro.sim.backends.SerialBackend`, multi-process
+    :class:`~repro.sim.backends.ProcessPoolBackend` — yield chunk results
+    in *completion* order.  All seeds derive from grid coordinates, so any
+    backend produces identical results; a multi-machine work-stealing
+    backend is the designed-for extension point.
+``sinks``  (how results persist)
+    :class:`~repro.sim.sinks.OrderedJsonlSink` keeps the results file a
+    byte-exact prefix of the serial file; the out-of-order
+    :class:`~repro.sim.sinks.FramedJsonlSink` appends each cell the
+    moment it completes (per-record cell/replica/sequence framing —
+    no head-of-line blocking) and still resumes from arbitrary
+    truncation.
+``adaptive``  (how many replicas)
+    :class:`~repro.sim.adaptive.ReplicaController` stopping rules:
+    :class:`~repro.sim.adaptive.FixedReplicas` (default, bit-identical to
+    serial) or :class:`~repro.sim.adaptive.AdaptiveCI`, which ends a cell
+    once its mean-waste CI half-width meets a tolerance — deterministic
+    given the seed schedule, so adaptive campaigns resume exactly.
+
 Supporting modules: ``engine`` (event queue), ``rng`` (reproducible
 streams), ``distributions`` (failure laws), ``failures`` (injection),
 ``cluster``/``topology`` (nodes and buddy groups), ``network``/``storage``
 (parameter derivation from hardware characteristics), ``application``
-(workload model), ``results`` (result containers and statistics),
-``campaign``/``executor`` (protocol × M × φ sweep grids and their
-parallel, resumable execution across worker processes).
+(workload model), ``results`` (result containers and statistics).
 """
 
 from .distributions import (
@@ -29,6 +62,7 @@ from .distributions import (
     FailureDistribution,
     Gamma,
     LogNormal,
+    Mixture,
     Weibull,
 )
 from .rng import RngFactory
@@ -37,6 +71,9 @@ from .des import DesConfig, run_des, run_des_batch
 from .renewal import RenewalConfig, run_renewal, run_renewal_batch
 from .riskmc import RiskMcConfig, run_risk_mc
 from .campaign import CampaignCell, CampaignConfig, run_campaign
+from .adaptive import AdaptiveCI, FixedReplicas, ReplicaController
+from .backends import CampaignBackend, ProcessPoolBackend, SerialBackend
+from .sinks import FramedJsonlSink, OrderedJsonlSink, ResultSink
 from .executor import (
     CampaignExecution,
     ExecutionReport,
@@ -52,6 +89,7 @@ __all__ = [
     "Gamma",
     "Deterministic",
     "Empirical",
+    "Mixture",
     "RngFactory",
     "DesResult",
     "MonteCarloSummary",
@@ -66,6 +104,15 @@ __all__ = [
     "CampaignConfig",
     "CampaignCell",
     "run_campaign",
+    "ReplicaController",
+    "FixedReplicas",
+    "AdaptiveCI",
+    "CampaignBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultSink",
+    "OrderedJsonlSink",
+    "FramedJsonlSink",
     "CampaignExecution",
     "ExecutionReport",
     "execute_campaign",

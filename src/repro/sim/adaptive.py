@@ -1,0 +1,158 @@
+"""Adaptive replica control: stop a grid cell once its CI is tight.
+
+A campaign spends its budget replica by replica, but cells converge at
+very different rates: a low-variance cell (large MTBF, few failures) may
+pin its mean waste down after a handful of runs while a churn-dominated
+cell needs every replica it can get.  A :class:`ReplicaController` decides
+*per cell* how many replicas actually run:
+
+* :class:`FixedReplicas` — always run the configured count; the default,
+  and the bit-identical-to-serial path.
+* :class:`AdaptiveCI` — run replicas in batches and stop as soon as the
+  Student-t confidence-interval half-width of the mean waste falls below
+  a tolerance (never before ``min_replicas``, never past ``max_replicas``).
+
+Determinism
+-----------
+Replica seeds are a pure function of the campaign seed and the grid
+coordinates (:mod:`repro.sim.backends`), so the waste samples a controller
+sees — and therefore its stopping decision — depend only on the
+configuration, never on execution order or worker count.  That is what
+makes adaptive campaigns resumable: :func:`stop_count` replays the
+decision sequence over recorded samples, letting a resume scan tell a
+finished cell from an interrupted one without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+from .results import ci_half_width
+
+__all__ = [
+    "ReplicaController",
+    "FixedReplicas",
+    "AdaptiveCI",
+    "ci_half_width",
+    "stop_count",
+]
+
+
+class ReplicaController(ABC):
+    """Per-cell stopping rule over the replica waste samples seen so far.
+
+    The executor runs a cell's replicas in seed order (replica 0, 1, ...)
+    and calls :meth:`should_stop` after each one with every waste sample
+    collected so far; the first ``True`` ends the cell.  Implementations
+    must be pure functions of the sample sequence so parallel and resumed
+    executions reach identical decisions, and must be picklable (they
+    cross the process-pool boundary).
+    """
+
+    #: Hard ceiling on replicas per cell (the campaign's ``replicas``).
+    max_replicas: int
+
+    @abstractmethod
+    def should_stop(self, wastes: Sequence[float]) -> bool:
+        """Stop after the ``len(wastes)`` replicas whose wastes these are?"""
+
+    def fingerprint(self) -> dict | None:
+        """JSON-safe identity for campaign manifests (``None`` = the
+        default fixed-count rule, so pre-adaptive manifests stay valid)."""
+        return None
+
+
+@dataclass(frozen=True)
+class FixedReplicas(ReplicaController):
+    """Run exactly ``max_replicas`` replicas — the historical behaviour."""
+
+    max_replicas: int
+
+    def __post_init__(self) -> None:
+        if self.max_replicas < 1:
+            raise ParameterError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+
+    def should_stop(self, wastes: Sequence[float]) -> bool:
+        return len(wastes) >= self.max_replicas
+
+
+@dataclass(frozen=True)
+class AdaptiveCI(ReplicaController):
+    """Stop once the mean-waste CI half-width is at most ``tolerance``.
+
+    The check runs at batch boundaries only (``min_replicas``,
+    ``min_replicas + batch``, ...) so replicas are committed in chunks —
+    checking after every single replica would make the early decisions
+    hypersensitive to the first few samples.
+    """
+
+    max_replicas: int
+    #: Absolute half-width target on the mean waste (waste lives in [0, 1]).
+    tolerance: float
+    min_replicas: int = 3
+    batch: int = 2
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.max_replicas < 1:
+            raise ParameterError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+        if not math.isfinite(self.tolerance) or self.tolerance <= 0:
+            raise ParameterError(
+                f"tolerance must be finite and > 0, got {self.tolerance!r}"
+            )
+        if self.min_replicas < 2:
+            raise ParameterError(
+                f"min_replicas must be >= 2 (one sample has no CI), "
+                f"got {self.min_replicas}"
+            )
+        if self.batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {self.batch}")
+        if not 0 < self.confidence < 1:
+            raise ParameterError(
+                f"confidence must lie in (0, 1), got {self.confidence!r}"
+            )
+
+    def should_stop(self, wastes: Sequence[float]) -> bool:
+        n = len(wastes)
+        if n >= self.max_replicas:
+            return True
+        if n < self.min_replicas or (n - self.min_replicas) % self.batch:
+            return False
+        return ci_half_width(wastes, self.confidence) <= self.tolerance
+
+    def fingerprint(self) -> dict:
+        return {
+            "kind": "AdaptiveCI",
+            "max_replicas": int(self.max_replicas),
+            "tolerance": float(self.tolerance),
+            "min_replicas": int(self.min_replicas),
+            "batch": int(self.batch),
+            "confidence": float(self.confidence),
+        }
+
+
+def stop_count(
+    controller: ReplicaController, wastes: Sequence[float]
+) -> int | None:
+    """Replay the controller over recorded samples: where would it stop?
+
+    Returns the replica count at which ``controller`` first says stop, or
+    ``None`` if it would keep running past ``len(wastes)``.  Resume scans
+    use this to classify a recovered cell: ``stop_count == len(wastes)``
+    means the cell finished exactly there; fewer recorded samples mean an
+    interrupted cell; *more* recorded samples than the rule would ever run
+    mean the file was written under a different configuration.
+    """
+    wastes = list(wastes)
+    for n in range(1, len(wastes) + 1):
+        if controller.should_stop(wastes[:n]):
+            return n
+    return None

@@ -1,0 +1,222 @@
+"""Campaign execution backends: where grid cells actually run.
+
+:mod:`repro.sim.executor` plans a campaign as chunks of grid cells and
+delegates the raw computation to a :class:`CampaignBackend`:
+
+* :class:`SerialBackend` — in-process, one shared-trace cache across the
+  whole grid; reproduces the historical serial execution exactly.
+* :class:`ProcessPoolBackend` — chunks across worker processes, yielded
+  in *completion* order so a slow cell never blocks downstream handling
+  of finished ones (sinks that need grid order re-buffer themselves).
+
+The interface is deliberately narrow — ``execute(config, chunks,
+controller)`` yielding ``(chunk_index, per-cell results)`` — so a future
+multi-machine work-stealing backend can slot in without touching the
+executor, the sinks or any caller: every replica seed and shared failure
+trace is derived from the campaign seed and the cell's grid coordinates
+alone (:func:`replica_seed`, :func:`trace_seed`), never from execution
+order or worker identity, which makes any chunk executable by any worker
+at any time with identical output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from ..errors import ParameterError
+from .adaptive import ReplicaController
+from .campaign import CampaignConfig
+from .des import DesConfig, run_des
+from .failures import FailureInjector, generate_trace
+from .results import DesResult
+from .rng import RngFactory
+
+__all__ = [
+    "CampaignBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "replica_seed",
+    "trace_seed",
+    "run_cell",
+]
+
+#: Seed stride between replicas (kept identical to the historical serial
+#: path so old campaigns replay bit-for-bit).
+_REPLICA_SEED_STRIDE = 1000003
+#: Seed offsets of the shared-trace streams: seed + 7919·r + 104729·mi.
+_TRACE_REPLICA_STRIDE = 7919
+_TRACE_M_STRIDE = 104729
+
+
+def replica_seed(config: CampaignConfig, replica: int) -> int:
+    """The DES seed of replica ``replica`` in any cell of ``config``."""
+    # int() so numpy-integer campaign seeds work with RngFactory.
+    return int(config.seed) + _REPLICA_SEED_STRIDE * replica
+
+
+def trace_seed(config: CampaignConfig, m_index: int, replica: int) -> int:
+    """The shared-failure-trace seed of grid row ``m_index``."""
+    return (int(config.seed) + _TRACE_REPLICA_STRIDE * replica
+            + _TRACE_M_STRIDE * m_index)
+
+
+def _horizon(config: CampaignConfig) -> float:
+    return config.max_time or 200.0 * config.work_target
+
+
+def _cell_trace(config: CampaignConfig, plan, replica: int):
+    """Regenerate the shared failure trace of (m_index, replica).
+
+    The trace is a pure function of the campaign seed and the grid
+    coordinates, so workers rebuild it locally instead of shipping
+    potentially-huge arrays through the process pool.
+    """
+    params = config.base_params.with_updates(M=plan.M)
+    factory = RngFactory(trace_seed(config, plan.m_index, replica))
+    injector = FailureInjector.from_platform_mtbf(
+        params.n, params.M, factory, config.distribution
+    )
+    return generate_trace(injector, _horizon(config))
+
+
+def run_cell(
+    config: CampaignConfig,
+    plan,
+    controller: ReplicaController,
+    trace_cache: dict | None = None,
+) -> list[DesResult]:
+    """Execute one grid cell's replicas (any process, any order).
+
+    Replicas run in seed order; after each one the ``controller`` is
+    consulted with every waste sample so far and the first stop ends the
+    cell.  A :class:`~repro.sim.adaptive.FixedReplicas` controller makes
+    this exactly the historical fixed-count loop.
+    """
+    from ..core.protocols import get_protocol
+
+    spec = get_protocol(plan.protocol)
+    params = config.base_params.with_updates(M=plan.M)
+    results: list[DesResult] = []
+    wastes: list[float] = []
+    for r in range(controller.max_replicas):
+        trace = None
+        if config.share_traces:
+            key = (plan.m_index, r)
+            if trace_cache is not None and key in trace_cache:
+                trace = trace_cache[key]
+            else:
+                trace = _cell_trace(config, plan, r)
+                if trace_cache is not None:
+                    trace_cache[key] = trace
+        cfg = DesConfig(
+            protocol=spec,
+            params=params,
+            phi=plan.phi,
+            work_target=config.work_target,
+            seed=replica_seed(config, r),
+            trace=trace,
+            distribution=config.distribution,
+            max_time=config.max_time,
+        )
+        result = run_des(cfg)
+        results.append(result)
+        wastes.append(result.waste)
+        if controller.should_stop(wastes):
+            break
+    return results
+
+
+def _execute_chunk(
+    config: CampaignConfig,
+    plans: list,
+    controller: ReplicaController,
+) -> list[list[DesResult]]:
+    """Worker entry point: run a chunk of cells, sharing traces within it."""
+    trace_cache: dict = {}
+    return [run_cell(config, plan, controller, trace_cache) for plan in plans]
+
+
+class CampaignBackend(ABC):
+    """Executes planned chunks of grid cells and streams their results.
+
+    Implementations yield ``(chunk_index, results)`` pairs where
+    ``results[i]`` holds the replica results of ``chunks[chunk_index][i]``.
+    Pairs may arrive in **any order** — consumers that need grid order
+    (the ordered sink) buffer out-of-order chunks themselves.  Every chunk
+    must be yielded exactly once.
+    """
+
+    @abstractmethod
+    def execute(
+        self,
+        config: CampaignConfig,
+        chunks: Sequence[list],
+        controller: ReplicaController,
+    ) -> Iterator[tuple[int, list[list[DesResult]]]]:
+        """Run every chunk, yielding per-chunk results as they complete."""
+
+
+class SerialBackend(CampaignBackend):
+    """In-process execution, chunks in submission order.
+
+    One trace cache spans the whole campaign, so each shared
+    (m_index, replica) failure trace is generated exactly once — like the
+    historical serial implementation.
+    """
+
+    def execute(self, config, chunks, controller):
+        trace_cache: dict = {}
+        for index, chunk in enumerate(chunks):
+            yield index, [
+                run_cell(config, plan, controller, trace_cache)
+                for plan in chunk
+            ]
+
+
+def _resolve_workers(workers: int | None) -> int:
+    """``None``/``0`` mean every core; anything else passes through."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+class ProcessPoolBackend(CampaignBackend):
+    """Chunks across worker processes, yielded in completion order.
+
+    Workers regenerate shared traces locally (per chunk), trading a little
+    recomputation for never pickling trace arrays.  Because results carry
+    their chunk index, consumers needing grid order can re-sequence them,
+    while out-of-order sinks stream a slow chunk's neighbours immediately.
+    """
+
+    def __init__(self, workers: int | None = None):
+        workers = _resolve_workers(workers)
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def execute(self, config, chunks, controller):
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers
+        ) as pool:
+            futures = {
+                pool.submit(_execute_chunk, config, chunk, controller): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+
+
+def make_backend(workers: int | None) -> CampaignBackend:
+    """The backend for a worker count (``1`` = in-process serial;
+    ``None``/``0`` = every core, in-process if that resolves to one)."""
+    if workers is not None and workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    backend = ProcessPoolBackend(workers)  # single resolution/validation site
+    if backend.workers == 1:
+        return SerialBackend()
+    return backend

@@ -13,6 +13,10 @@ its risk analysis assumes exponential arrivals.  The literature it cites
 * :class:`Deterministic` — fixed spacing, handy in unit tests.
 * :class:`Empirical` — resamples recorded inter-arrival times (trace
   bootstrap).
+* :class:`Mixture` — weighted mixture of other laws.  A mixture of
+  exponentials (hyperexponential) models a *heterogeneous* platform where
+  a fraction of the fleet is markedly less reliable than the rest —
+  over-dispersed arrivals (CV > 1) at a controlled overall MTBF.
 
 Every distribution is parameterised by its **mean** (the node MTBF) so
 protocol comparisons hold the first moment fixed while varying the shape.
@@ -35,6 +39,7 @@ __all__ = [
     "Gamma",
     "Deterministic",
     "Empirical",
+    "Mixture",
 ]
 
 
@@ -226,3 +231,84 @@ class Empirical(FailureDistribution):
         view = self._data.view()
         view.flags.writeable = False
         return view
+
+
+class Mixture(FailureDistribution):
+    """Weighted mixture of failure laws: each draw picks one component.
+
+    The textbook heterogeneous-platform model is a mixture of
+    exponentials (hyperexponential): e.g. 20 % of draws from a component
+    with a quarter of the fleet-average MTBF captures a fragile
+    sub-population without changing the platform MTBF the paper's model
+    sees.  :meth:`rescale` scales every component mean by the same factor,
+    preserving the *relative* heterogeneity while the injector pins the
+    overall mean to each grid cell's node MTBF.
+    """
+
+    def __init__(self, components, weights):
+        components = tuple(components)
+        if len(components) < 2:
+            raise ParameterError(
+                "a mixture needs at least two components (one component "
+                "is just that distribution)"
+            )
+        for comp in components:
+            if not isinstance(comp, FailureDistribution):
+                raise ParameterError(
+                    f"mixture components must be FailureDistributions, "
+                    f"got {type(comp).__name__}"
+                )
+        w = np.asarray(list(weights), dtype=float)
+        if w.shape != (len(components),):
+            raise ParameterError(
+                f"need one weight per component, got {w.size} weights "
+                f"for {len(components)} components"
+            )
+        if np.any(~np.isfinite(w)) or np.any(w <= 0):
+            raise ParameterError(
+                f"mixture weights must be finite and > 0, got {list(w)}"
+            )
+        self.components = components
+        self.weights = w / w.sum()
+        self._mean = float(
+            sum(wi * c.mean() for wi, c in zip(self.weights, components))
+        )
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng, size=()):
+        k = len(self.components)
+        if size == ():
+            idx = int(rng.choice(k, p=self.weights))
+            return float(self.components[idx].sample(rng))
+        choice = rng.choice(k, size=size, p=self.weights)
+        out = np.empty(size, dtype=float)
+        # Fixed component order keeps the RNG consumption deterministic.
+        for i, comp in enumerate(self.components):
+            mask = choice == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = np.asarray(comp.sample(rng, (count,)))
+        return out
+
+    def rescale(self, new_mean: float) -> "Mixture":
+        new_mean = _check_mean(new_mean)
+        factor = new_mean / self._mean
+        return Mixture(
+            [c.rescale(c.mean() * factor) for c in self.components],
+            self.weights,
+        )
+
+    def fingerprint(self) -> dict:
+        return {
+            **super().fingerprint(),
+            "weights": [float(w) for w in self.weights],
+            "components": [c.fingerprint() for c in self.components],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{w:.3g}*{c!r}" for w, c in zip(self.weights, self.components)
+        )
+        return f"Mixture({parts})"

@@ -1,34 +1,42 @@
-"""Parallel, resumable execution engine for simulation campaigns.
+"""Campaign orchestration: plan, recover, execute, stream, summarise.
 
 :mod:`repro.sim.campaign` defines *what* a campaign is (a protocol × M × φ
-grid of DES runs); this module decides *how* to execute one:
+grid of DES runs); this module wires together the three layers that decide
+*how* one executes:
 
-* **Sharding** — the grid is flattened into a deterministic, serial-order
+* **Planning** — the grid is flattened into a deterministic, serial-order
   list of :class:`CellPlan` entries (protocol-major, then M, then φ) and
-  split into chunks of whole cells.
-* **Parallelism** — chunks run across worker processes
-  (:class:`concurrent.futures.ProcessPoolExecutor`, ``workers`` of them).
-  Every replica seed and shared failure trace is derived from the campaign
-  seed and the cell's grid coordinates alone, never from execution order,
-  so the parallel output is **bit-identical** to the serial path.
-* **Streaming** — as cells complete, their raw :class:`~repro.sim.results.
-  DesResult` replicas are appended to the campaign's JSON Lines sink via
-  :mod:`repro.io` in grid order (out-of-order chunks are buffered), which
-  keeps the results file an exact prefix of the serial file at all times.
-* **Resume** — ``resume=True`` scans an existing results file, keeps every
-  complete cell whose identity matches the grid, truncates any partial
-  trailing cell, and only executes the remainder.  Interrupting a campaign
-  therefore costs at most one chunk of re-execution.  A sidecar manifest
-  (``<results>.manifest``) fingerprints the full configuration so resuming
-  under drifted settings (different seed, workload, failure law...) is
-  refused instead of silently mixing two campaigns; every intact record is
-  additionally identity-checked against the grid.
+  split into chunks of whole cells.  Every replica seed and shared failure
+  trace derives from the campaign seed and the cell's grid coordinates
+  alone (:mod:`repro.sim.backends`), never from execution order.
+* **Backends** (:mod:`repro.sim.backends`) — a
+  :class:`~repro.sim.backends.CampaignBackend` runs the chunks:
+  in-process (:class:`~repro.sim.backends.SerialBackend`) or across
+  worker processes (:class:`~repro.sim.backends.ProcessPoolBackend`),
+  yielding chunks in completion order.
+* **Sinks** (:mod:`repro.sim.sinks`) — finished cells stream to a
+  :class:`~repro.sim.sinks.ResultSink`: the in-order JSONL sink (the
+  results file stays an exact byte prefix of the serial file) or the
+  out-of-order *framed* sink (records land the moment a cell finishes; no
+  head-of-line blocking).  Both support ``resume=True``: an existing file
+  is scanned, identity-checked against the grid, truncated past the last
+  complete cell, and only the remainder executes.  A sidecar manifest
+  (``<results>.manifest``) fingerprints the full configuration — including
+  the sink mode and any adaptive-replica settings — so resuming under
+  drifted settings is refused instead of silently mixing two campaigns.
+* **Replica control** (:mod:`repro.sim.adaptive`) — a
+  :class:`~repro.sim.adaptive.ReplicaController` decides per cell how
+  many replicas actually run.  The default
+  :class:`~repro.sim.adaptive.FixedReplicas` preserves bit-identity with
+  the historical serial path; :class:`~repro.sim.adaptive.AdaptiveCI`
+  stops converged cells early (framed sink required, since the record
+  count per cell varies).
 
 Entry points
 ------------
 :func:`execute_campaign` runs a :class:`~repro.sim.campaign.CampaignConfig`
 and returns a :class:`CampaignExecution` (cells + an
-:class:`ExecutionReport` with skip/run counts and timings).
+:class:`ExecutionReport` with skip/run/replica counts and timings).
 :func:`run_campaign_parallel` is the convenience wrapper returning just the
 cells; ``repro.sim.campaign.run_campaign`` delegates here with one
 in-process worker, so the serial API is unchanged.
@@ -50,8 +58,6 @@ Example
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
 import pathlib
 import time
 from dataclasses import dataclass, field
@@ -60,11 +66,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import ParameterError
+from .adaptive import FixedReplicas, ReplicaController
+from .backends import CampaignBackend, make_backend, run_cell  # noqa: F401 - run_cell re-exported
 from .campaign import CampaignCell, CampaignConfig, validate_campaign
-from .des import DesConfig, run_des
-from .failures import FailureInjector, generate_trace
 from .results import DesResult, MonteCarloSummary
-from .rng import RngFactory
+from .sinks import OrderedJsonlSink, ResultSink, make_sink
 
 __all__ = [
     "CellPlan",
@@ -74,13 +80,6 @@ __all__ = [
     "execute_campaign",
     "run_campaign_parallel",
 ]
-
-#: Seed stride between replicas (kept identical to the historical serial
-#: path so old campaigns replay bit-for-bit).
-_REPLICA_SEED_STRIDE = 1000003
-#: Seed offsets of the shared-trace streams: seed + 7919·r + 104729·mi.
-_TRACE_REPLICA_STRIDE = 7919
-_TRACE_M_STRIDE = 104729
 
 
 @dataclass(frozen=True)
@@ -113,12 +112,17 @@ class ExecutionReport:
     workers: int
     chunk_size: int
     elapsed: float
+    #: DES replicas actually executed (adaptive control may run fewer
+    #: than ``cells_run × config.replicas``).
+    replicas_run: int = 0
+    sink: str = "ordered"
 
     def describe(self) -> str:
         return (
             f"{self.cells_run}/{self.cells_total} cells run "
             f"({self.cells_skipped} resumed), workers={self.workers}, "
-            f"chunk={self.chunk_size}, {self.elapsed:.2f}s"
+            f"chunk={self.chunk_size}, sink={self.sink}, "
+            f"replicas={self.replicas_run}, {self.elapsed:.2f}s"
         )
 
 
@@ -171,70 +175,6 @@ def plan_cells(config: CampaignConfig) -> list[CellPlan]:
     return plans
 
 
-def _replica_seed(config: CampaignConfig, replica: int) -> int:
-    # int() so numpy-integer campaign seeds work with RngFactory.
-    return int(config.seed) + _REPLICA_SEED_STRIDE * replica
-
-
-def _trace_seed(config: CampaignConfig, m_index: int, replica: int) -> int:
-    return (int(config.seed) + _TRACE_REPLICA_STRIDE * replica
-            + _TRACE_M_STRIDE * m_index)
-
-
-def _horizon(config: CampaignConfig) -> float:
-    return config.max_time or 200.0 * config.work_target
-
-
-def _cell_trace(config: CampaignConfig, plan: CellPlan, replica: int):
-    """Regenerate the shared failure trace of (m_index, replica).
-
-    The trace is a pure function of the campaign seed and the grid
-    coordinates, so workers rebuild it locally instead of shipping
-    potentially-huge arrays through the process pool.
-    """
-    params = config.base_params.with_updates(M=plan.M)
-    factory = RngFactory(_trace_seed(config, plan.m_index, replica))
-    injector = FailureInjector.from_platform_mtbf(
-        params.n, params.M, factory, config.distribution
-    )
-    return generate_trace(injector, _horizon(config))
-
-
-def run_cell(
-    config: CampaignConfig,
-    plan: CellPlan,
-    trace_cache: dict | None = None,
-) -> list[DesResult]:
-    """Execute every replica of one grid cell (any process, any order)."""
-    from ..core.protocols import get_protocol
-
-    spec = get_protocol(plan.protocol)
-    params = config.base_params.with_updates(M=plan.M)
-    results: list[DesResult] = []
-    for r in range(config.replicas):
-        trace = None
-        if config.share_traces:
-            key = (plan.m_index, r)
-            if trace_cache is not None and key in trace_cache:
-                trace = trace_cache[key]
-            else:
-                trace = _cell_trace(config, plan, r)
-                if trace_cache is not None:
-                    trace_cache[key] = trace
-        cfg = DesConfig(
-            protocol=spec,
-            params=params,
-            phi=plan.phi,
-            work_target=config.work_target,
-            seed=_replica_seed(config, r),
-            trace=trace,
-            distribution=config.distribution,
-            max_time=config.max_time,
-        )
-        results.append(run_des(cfg))
-    return results
-
-
 def _make_cell(plan: CellPlan, results: Sequence[DesResult]) -> CampaignCell:
     summary = MonteCarloSummary.from_samples(
         [res.waste for res in results],
@@ -247,14 +187,6 @@ def _make_cell(plan: CellPlan, results: Sequence[DesResult]) -> CampaignCell:
     )
 
 
-def _execute_chunk(
-    config: CampaignConfig, plans: list[CellPlan]
-) -> list[list[DesResult]]:
-    """Worker entry point: run a chunk of cells, sharing traces within it."""
-    trace_cache: dict = {}
-    return [run_cell(config, plan, trace_cache) for plan in plans]
-
-
 # ----------------------------------------------------------------------
 # Campaign manifest
 # ----------------------------------------------------------------------
@@ -262,12 +194,15 @@ def _manifest_path(sink: pathlib.Path) -> pathlib.Path:
     return sink.with_name(sink.name + ".manifest")
 
 
-def _campaign_fingerprint(config: CampaignConfig) -> dict:
+def _campaign_fingerprint(
+    config: CampaignConfig, sink_mode: str, controller: ReplicaController
+) -> dict:
     """Everything that determines a campaign's output, as plain JSON.
 
     Stored next to the results file so resume can refuse a config drift
     that per-record metadata cannot reveal (``work_target``,
-    ``share_traces``, the failure law, platform parameters...).
+    ``share_traces``, the failure law, the sink format, adaptive-replica
+    settings, platform parameters...).
     """
     from ..core.protocols import get_protocol
 
@@ -286,23 +221,40 @@ def _campaign_fingerprint(config: CampaignConfig) -> dict:
         "share_traces": config.share_traces,
         "max_time": config.max_time,
         "distribution": dist_fp,
+        "sink": sink_mode,
+        "adaptive": controller.fingerprint(),
     }
 
 
-def _write_manifest(config: CampaignConfig, sink: pathlib.Path) -> None:
+def _write_manifest(
+    config: CampaignConfig,
+    sink: pathlib.Path,
+    sink_mode: str,
+    controller: ReplicaController,
+) -> None:
     import json
 
     _manifest_path(sink).write_text(
-        json.dumps(_campaign_fingerprint(config), sort_keys=True) + "\n"
+        json.dumps(
+            _campaign_fingerprint(config, sink_mode, controller),
+            sort_keys=True,
+        ) + "\n"
     )
 
 
-def _check_manifest(config: CampaignConfig, sink: pathlib.Path) -> bool:
+def _check_manifest(
+    config: CampaignConfig,
+    sink: pathlib.Path,
+    sink_mode: str,
+    controller: ReplicaController,
+) -> bool:
     """Refuse to resume when the stored fingerprint disagrees.
 
     Returns whether a matching manifest was found.  A missing or
     unreadable manifest (pre-manifest file, hand-copied results) returns
-    False and resume falls back to the per-record checks only.
+    False and resume falls back to the per-record checks only.  Manifests
+    written before the sink/adaptive keys existed default to the ordered
+    fixed-replica configuration those campaigns necessarily ran.
     """
     import json
 
@@ -313,11 +265,14 @@ def _check_manifest(config: CampaignConfig, sink: pathlib.Path) -> bool:
         stored = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return False
-    current = _campaign_fingerprint(config)
+    if isinstance(stored, dict):
+        stored.setdefault("sink", "ordered")
+        stored.setdefault("adaptive", None)
+    current = _campaign_fingerprint(config, sink_mode, controller)
     if stored != current:
         drift = sorted(
             k for k in current
-            if stored.get(k) != current[k]
+            if not isinstance(stored, dict) or stored.get(k) != current[k]
         ) or sorted(set(stored) ^ set(current))
         raise ParameterError(
             f"{path}: campaign configuration changed since the results "
@@ -326,95 +281,6 @@ def _check_manifest(config: CampaignConfig, sink: pathlib.Path) -> bool:
             "the original configuration"
         )
     return True
-
-
-# ----------------------------------------------------------------------
-# Resume
-# ----------------------------------------------------------------------
-def _resume_scan(
-    config: CampaignConfig,
-    plans: list[CellPlan],
-    sink: pathlib.Path,
-    trusted: bool,
-) -> tuple[list[CampaignCell], int]:
-    """Recover completed cells from a partial results file.
-
-    Returns the recovered cells (a prefix of the grid) and truncates the
-    file to the end of the last complete cell, so appends continue cleanly.
-    A file whose records do not match the grid (different protocols, M
-    values or overheads) raises :class:`ParameterError` rather than
-    silently mixing campaigns.
-    """
-    from .. import io as repro_io
-
-    loaded: list[DesResult] = []
-    offsets: list[int] = []
-    for result, end in repro_io.scan_results(sink):
-        if not isinstance(result, DesResult):
-            raise ParameterError(
-                f"{sink}: cannot resume: found a "
-                f"{type(result).__name__} record where raw DES runs were "
-                "expected"
-            )
-        loaded.append(result)
-        offsets.append(end)
-
-    # A non-empty file with no intact records could be *anything* (a
-    # pointed-at notes file, a results file corrupted from byte 0).
-    # Unless our own manifest vouches for it (``trusted`` — e.g. a
-    # campaign interrupted mid-first-record), refuse rather than wipe it.
-    if not loaded and not trusted and sink.stat().st_size > 0:
-        raise ParameterError(
-            f"{sink}: no intact campaign records found; refusing to "
-            "resume over a file this campaign cannot have written "
-            "(delete it, or rerun without resume to start over)"
-        )
-
-    # Every intact record — including a partial trailing cell about to be
-    # truncated — must match the grid *and* the campaign seed before this
-    # file is touched, so a foreign file is refused rather than destroyed
-    # and resuming under changed settings cannot mix two campaigns.
-    if len(loaded) > len(plans) * config.replicas:
-        raise ParameterError(
-            f"{sink}: holds {len(loaded)} records but the campaign grid "
-            f"only produces {len(plans) * config.replicas}; refusing to "
-            "resume a different campaign's file"
-        )
-    for pos, res in enumerate(loaded):
-        plan = plans[pos // config.replicas]
-        meta = res.meta
-        expected_seed = _replica_seed(config, pos % config.replicas)
-        if (meta.get("protocol") != plan.protocol
-                or float(meta.get("M", float("nan"))) != plan.M
-                or float(meta.get("phi", float("nan"))) != plan.effective_phi
-                or meta.get("seed") != expected_seed
-                or meta.get("n") != config.base_params.n
-                or res.work_target != config.work_target):
-            raise ParameterError(
-                f"{sink}: record {pos} holds "
-                f"({meta.get('protocol')}, M={meta.get('M')}, "
-                f"phi={meta.get('phi')}, seed={meta.get('seed')}, "
-                f"n={meta.get('n')}, work_target={res.work_target}) but "
-                f"the campaign grid expects ({plan.protocol}, M={plan.M}, "
-                f"phi={plan.effective_phi}, seed={expected_seed}, "
-                f"n={config.base_params.n}, "
-                f"work_target={config.work_target}); "
-                "refusing to resume a different campaign's file"
-            )
-
-    n_cells = len(loaded) // config.replicas
-    cells = [
-        _make_cell(
-            plans[i],
-            loaded[i * config.replicas:(i + 1) * config.replicas],
-        )
-        for i in range(n_cells)
-    ]
-
-    keep = offsets[n_cells * config.replicas - 1] if n_cells else 0
-    with sink.open("r+b") as fh:
-        fh.truncate(keep)
-    return cells, n_cells
 
 
 # ----------------------------------------------------------------------
@@ -427,6 +293,9 @@ def execute_campaign(
     chunk_size: int | None = None,
     resume: bool = False,
     on_cell: Callable[[CampaignCell], None] | None = None,
+    sink: str = "ordered",
+    controller: ReplicaController | None = None,
+    backend: CampaignBackend | None = None,
 ) -> CampaignExecution:
     """Run (or finish) a campaign; the workhorse behind every campaign API.
 
@@ -435,7 +304,7 @@ def execute_campaign(
     workers:
         Process count.  ``1`` executes in-process (no pool — identical to
         the historical serial path); ``None`` or ``0`` uses
-        ``os.cpu_count()``.
+        ``os.cpu_count()``.  Ignored when ``backend`` is given.
     chunk_size:
         Cells per worker task.  Default: one (protocol, M) row — i.e.
         ``len(config.phi_values)`` cells — so shared failure traces are
@@ -444,78 +313,113 @@ def execute_campaign(
         Recover completed cells from ``config.results_path`` instead of
         truncating it.  Requires a results path.
     on_cell:
-        Optional progress callback, invoked in grid order per fresh cell.
+        Optional progress callback, invoked per fresh cell in emission
+        order: grid order under the ordered sink, completion order under
+        the framed sink.
+    sink:
+        Results-file format: ``"ordered"`` (grid-order records, byte-
+        identical to serial — the default) or ``"framed"`` (records land
+        as cells complete; no head-of-line blocking).
+    controller:
+        Per-cell replica stopping rule; default runs every replica
+        (:class:`~repro.sim.adaptive.FixedReplicas`).  Adaptive control
+        requires the framed sink when results are persisted.
+    backend:
+        Explicit :class:`~repro.sim.backends.CampaignBackend`; default is
+        built from ``workers``.
     """
     start = time.perf_counter()
     plans = plan_cells(config)
 
     # Validate every argument before touching the sink: an invalid
-    # workers/chunk_size must not cost an existing results file.
+    # workers/chunk_size/sink-mode must not cost an existing results file.
     if resume and config.results_path is None:
         raise ParameterError("resume=True requires config.results_path")
-    if workers is None or workers == 0:
-        workers = os.cpu_count() or 1
-    if workers < 0:
-        raise ParameterError(f"workers must be >= 0, got {workers}")
+    if backend is None:
+        backend = make_backend(workers)
+    resolved_workers = getattr(backend, "workers", 1)
     if chunk_size is None:
         chunk_size = len(config.phi_values)
     if chunk_size < 1:
         raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if controller is None:
+        controller = FixedReplicas(config.replicas)
+    if controller.max_replicas != config.replicas:
+        raise ParameterError(
+            f"controller.max_replicas={controller.max_replicas} must equal "
+            f"config.replicas={config.replicas}: the campaign's replica "
+            "budget is the single source of truth for the per-cell ceiling"
+        )
+    sink_obj = make_sink(sink, config.results_path)
+    if controller.fingerprint() is not None and isinstance(
+        sink_obj, OrderedJsonlSink
+    ):
+        raise ParameterError(
+            "adaptive replica control varies the record count per cell, "
+            "which the ordered sink's positional resume cannot represent; "
+            "persist adaptive campaigns with sink='framed'"
+        )
 
-    sink: pathlib.Path | None = None
+    done_results: dict[int, list[DesResult]] = {}
     if config.results_path is not None:
-        sink = pathlib.Path(config.results_path)
-        sink.parent.mkdir(parents=True, exist_ok=True)
-
-    done: list[CampaignCell] = []
-    n_skipped = 0
-    if sink is not None:
-        if resume and sink.exists():
-            trusted = _check_manifest(config, sink)
-            done, n_skipped = _resume_scan(config, plans, sink, trusted)
+        path = pathlib.Path(config.results_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and path.exists():
+            trusted = _check_manifest(config, path, sink, controller)
+            done_results = sink_obj.recover(config, plans, controller, trusted)
         else:
-            sink.write_text("")  # truncate: a campaign owns its file
-        _write_manifest(config, sink)
+            sink_obj.begin()
+        _write_manifest(config, path, sink, controller)
 
-    todo = plans[n_skipped:]
+    todo = [p for p in plans if p.index not in done_results]
     chunks = [todo[i:i + chunk_size] for i in range(0, len(todo), chunk_size)]
-    fresh: list[CampaignCell] = []
+    fresh: dict[int, CampaignCell] = {}
+    replicas_run = 0
 
     def _emit(plans_chunk: list[CellPlan], chunk_results: list[list[DesResult]]):
-        from .. import io as repro_io
-
+        nonlocal replicas_run
         for plan, results in zip(plans_chunk, chunk_results):
-            if sink is not None:
-                repro_io.save_results(results, sink, append=True)
+            sink_obj.emit(plan, results)
+            replicas_run += len(results)
             cell = _make_cell(plan, results)
-            fresh.append(cell)
+            fresh[plan.index] = cell
             if on_cell is not None:
                 on_cell(cell)
 
-    if workers == 1 or not chunks:
-        # One cache across all chunks: the in-process path regenerates
-        # each shared (m, replica) trace exactly once, like the old
-        # serial implementation.
-        trace_cache: dict = {}
-        for chunk in chunks:
-            _emit(chunk, [run_cell(config, plan, trace_cache) for plan in chunk])
-    else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_execute_chunk, config, c) for c in chunks]
-            # Consume in submission order so the sink stays an exact
-            # prefix of the serial file even while chunks finish OOO.
-            for chunk, future in zip(chunks, futures):
-                _emit(chunk, future.result())
+    if chunks:
+        if sink_obj.ordered:
+            # Re-sequence completion-order chunks so the sink sees strict
+            # grid order (the results file stays an exact prefix of the
+            # serial file at all times).
+            pending: dict[int, list[list[DesResult]]] = {}
+            next_expected = 0
+            for index, chunk_results in backend.execute(config, chunks, controller):
+                pending[index] = chunk_results
+                while next_expected in pending:
+                    _emit(chunks[next_expected], pending.pop(next_expected))
+                    next_expected += 1
+        else:
+            for index, chunk_results in backend.execute(config, chunks, controller):
+                _emit(chunks[index], chunk_results)
 
+    done_cells = {
+        index: _make_cell(plans[index], results)
+        for index, results in done_results.items()
+    }
+    cells = tuple(
+        (done_cells | fresh)[plan.index] for plan in plans
+    )
     report = ExecutionReport(
         cells_total=len(plans),
-        cells_skipped=n_skipped,
+        cells_skipped=len(done_cells),
         cells_run=len(fresh),
-        workers=workers,
+        workers=resolved_workers,
         chunk_size=chunk_size,
         elapsed=time.perf_counter() - start,
+        replicas_run=replicas_run,
+        sink=sink,
     )
-    return CampaignExecution(cells=tuple(done + fresh), report=report)
+    return CampaignExecution(cells=cells, report=report)
 
 
 def run_campaign_parallel(
@@ -524,11 +428,16 @@ def run_campaign_parallel(
     workers: int | None = None,
     chunk_size: int | None = None,
     resume: bool = False,
+    sink: str = "ordered",
+    controller: ReplicaController | None = None,
 ) -> list[CampaignCell]:
     """Like :func:`repro.sim.campaign.run_campaign`, but sharded across
-    worker processes (default: all cores).  Output is bit-identical to the
-    serial path."""
+    worker processes (default: all cores).  With the defaults — ordered
+    sink, fixed replicas — output is bit-identical to the serial path;
+    ``sink="framed"`` changes the results-file format (not the cells) and
+    an adaptive ``controller`` may run fewer replicas per cell."""
     execution = execute_campaign(
-        config, workers=workers, chunk_size=chunk_size, resume=resume
+        config, workers=workers, chunk_size=chunk_size, resume=resume,
+        sink=sink, controller=controller,
     )
     return list(execution.cells)

@@ -16,7 +16,7 @@ from scipy import stats as sps
 
 from ..errors import ParameterError
 
-__all__ = ["DesResult", "MonteCarloSummary", "wilson_interval"]
+__all__ = ["DesResult", "MonteCarloSummary", "wilson_interval", "ci_half_width"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,29 @@ def wilson_interval(
     return (float(lo), float(hi))
 
 
+def ci_half_width(samples: Sequence[float], confidence: float = 0.95) -> float:
+    """Student-t CI half-width of the mean over the finite samples.
+
+    NaNs (unfinished runs) are excluded, exactly as
+    :meth:`MonteCarloSummary.from_samples` excludes them from the mean —
+    this is the single definition both the summaries and the adaptive
+    replica controller (:mod:`repro.sim.adaptive`) rely on.  Returns
+    ``inf`` until two finite samples exist: an undetermined interval must
+    never satisfy a tolerance check.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size < 2:
+        return float("inf")
+    std = float(finite.std(ddof=1))
+    if std == 0.0:
+        return 0.0
+    return float(
+        sps.t.ppf(0.5 + confidence / 2.0, df=finite.size - 1)
+        * std / np.sqrt(finite.size)
+    )
+
+
 @dataclass(frozen=True)
 class MonteCarloSummary:
     """Aggregate of many replicas of one configuration."""
@@ -120,12 +143,9 @@ class MonteCarloSummary:
         n_success = n_ok if successes is None else successes
         mean = float(finite.mean()) if n_ok else float("nan")
         std = float(finite.std(ddof=1)) if n_ok > 1 else 0.0
-        if n_ok > 1 and std > 0:
-            half = float(
-                sps.t.ppf(0.5 + confidence / 2.0, df=n_ok - 1) * std / np.sqrt(n_ok)
-            )
-        else:
-            half = 0.0
+        half = ci_half_width(arr, confidence)
+        if not np.isfinite(half):
+            half = 0.0  # < 2 finite samples: degenerate point interval
         rate = n_success / n_total
         return cls(
             n_replicas=n_total,

@@ -184,3 +184,101 @@ class TestCampaignCommand:
             build_parser().parse_args(["campaign", "--help"])
         out = capsys.readouterr().out
         assert "--workers" in out and "--resume" in out and "--preset" in out
+        assert "--sink" in out and "--adaptive-ci" in out
+
+    def test_framed_sink_and_resume(self, capsys, tmp_path):
+        path = tmp_path / "framed.jsonl"
+        args = self.QUICK + ["--results", str(path), "--sink", "framed"]
+        assert main(args) == 0
+        assert "sink=framed" in capsys.readouterr().out
+        full = path.read_bytes()
+
+        # Tear the last cell mid-frame; resume completes it exactly.
+        path.write_bytes(full[: len(full) - len(full.split(b"\n")[-2]) // 2])
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1/4 cells run (3 resumed)" in out
+        assert path.read_bytes() == full
+
+    def test_adaptive_ci_runs_and_reports_budget(self, capsys):
+        import re
+
+        assert main(self.QUICK + ["--replicas", "6", "--adaptive-ci", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 cells run" in out
+        # A loose tolerance stops cells before the 6-replica ceiling; the
+        # floor is min_replicas(3) per cell.
+        replicas = int(re.search(r"replicas=(\d+)", out).group(1))
+        assert 4 * 3 <= replicas < 4 * 6
+
+    def test_adaptive_with_ordered_results_refused(self, capsys, tmp_path):
+        rc = main(self.QUICK + ["--adaptive-ci", "0.01", "--results",
+                                str(tmp_path / "r.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ") and "framed" in err
+
+
+class TestReportCommand:
+    def _campaign(self, tmp_path, extra=()):
+        path = tmp_path / "campaign.jsonl"
+        assert main([
+            "campaign", "--protocols", "double-nbl,triple", "--M", "300,600",
+            "--phi", "0.5,2.0", "--n", "12", "--work-target", "15min",
+            "--replicas", "2", "--seed", "99", "--results", str(path),
+            *extra,
+        ]) == 0
+        return path
+
+    @pytest.mark.parametrize("sink", ["ordered", "framed"])
+    def test_renders_from_either_sink_format(self, capsys, tmp_path, sink):
+        path = self._campaign(tmp_path, ["--sink", sink])
+        capsys.readouterr()
+        assert main(["report", "--from-campaign", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no re-simulation" in out and "16 runs" in out
+        assert "waste ratios vs double-nbl" in out
+        assert "mean waste surface: triple" in out
+
+    def test_missing_file_is_a_clean_error(self, capsys, tmp_path):
+        rc = main(["report", "--from-campaign", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "report: " in capsys.readouterr().err
+
+    def test_non_campaign_file_is_a_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("not a results file\n")
+        rc = main(["report", "--from-campaign", str(path)])
+        assert rc == 2
+        assert "report: " in capsys.readouterr().err
+
+    def test_requires_source_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_order_follows_grid_not_completion(self, capsys, tmp_path):
+        """Framed files record cells in completion order; the report must
+        render grid order (by cell index), so two reports of the same
+        parallel campaign can never disagree on the ratio baseline."""
+        from repro.io import dump_frame
+        from repro.sim.results import DesResult
+
+        def run(protocol, m):
+            return DesResult(
+                status="completed", makespan=1100.0, work_target=1000.0,
+                work_done=1000.0, failures=1, rollbacks=1, work_lost=10.0,
+                commits=5, risk_time=1.0,
+                meta={"protocol": protocol, "M": m, "phi": 1.0},
+            )
+
+        path = tmp_path / "ooo.jsonl"
+        # Cell 2 (triple) completed before cell 0 (double-nbl).
+        path.write_text(
+            dump_frame(run("triple", 300.0), cell=2, replica=0, seq=0) + "\n"
+            + dump_frame(run("double-nbl", 300.0), cell=0, replica=0, seq=1) + "\n"
+            + dump_frame(run("double-nbl", 600.0), cell=1, replica=0, seq=2) + "\n"
+        )
+        assert main(["report", "--from-campaign", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "waste ratios vs double-nbl" in out
+        assert out.index("double-nbl") < out.index("triple")

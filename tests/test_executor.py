@@ -15,7 +15,7 @@ import pytest
 from repro import DOUBLE_BLOCKING, DOUBLE_NBL, TRIPLE, scenarios
 from repro import io as repro_io
 from repro.errors import ParameterError
-from repro.sim import executor
+from repro.sim import backends
 from repro.sim.campaign import CampaignConfig, run_campaign
 from repro.sim.executor import (
     execute_campaign,
@@ -135,9 +135,9 @@ class TestResume:
         path.write_bytes(b"\n".join(lines[:6]) + b"\n" + lines[6][:25])
 
         calls = []
-        real_run_des = executor.run_des
+        real_run_des = backends.run_des
         monkeypatch.setattr(
-            executor, "run_des", lambda cfg: calls.append(cfg) or real_run_des(cfg)
+            backends, "run_des", lambda cfg: calls.append(cfg) or real_run_des(cfg)
         )
         execution = execute_campaign(make_config(path), workers=1, resume=True)
         assert execution.report.cells_skipped == 1
@@ -324,11 +324,43 @@ class TestResume:
         assert path.read_bytes() == full
 
 
+class TestBackendInjection:
+    def test_custom_backend_is_used(self, tmp_path):
+        """The executor is backend-agnostic: anything honouring the
+        CampaignBackend contract (chunks in any order, each exactly once)
+        produces identical cells and — under the ordered sink — identical
+        bytes, because the executor re-sequences emissions itself."""
+        from repro.sim.backends import CampaignBackend, SerialBackend
+
+        class ReversedBackend(CampaignBackend):
+            """Completes chunks in reverse submission order."""
+
+            def execute(self, config, chunks, controller):
+                inner = SerialBackend()
+                yield from reversed(list(inner.execute(config, chunks, controller)))
+
+        a, b = tmp_path / "serial.jsonl", tmp_path / "reversed.jsonl"
+        serial = execute_campaign(make_config(a), workers=1)
+        rev = execute_campaign(
+            make_config(b), backend=ReversedBackend(), chunk_size=1
+        )
+        assert canonical(serial.cells) == canonical(rev.cells)
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestReport:
     def test_describe(self, tmp_path):
         execution = execute_campaign(make_config(), workers=1)
         text = execution.report.describe()
         assert "6/6 cells run" in text and "workers=1" in text
+        assert "sink=ordered" in text and "replicas=24" in text
+
+    def test_replica_budget_counts_fresh_work_only(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = execute_campaign(make_config(path), workers=1)
+        assert full.report.replicas_run == 24
+        resumed = execute_campaign(make_config(path), workers=1, resume=True)
+        assert resumed.report.replicas_run == 0
 
     def test_on_cell_callback_order(self):
         seen = []

@@ -140,6 +140,57 @@ class TestPresetDefinitions:
         assert isinstance(dist, Weibull)
         assert dist.shape == pytest.approx(0.7)
 
+    def test_wearout_preset_has_increasing_hazard(self):
+        from repro.sim.distributions import Weibull
+
+        dist = get_campaign_preset("weibull-wearout").campaign_config().distribution
+        assert isinstance(dist, Weibull)
+        assert dist.shape > 1.0  # k>1 = wear-out, not infant mortality
+
+    def test_hetero_preset_is_an_exponential_mixture(self):
+        from repro.sim.distributions import Exponential, Mixture
+
+        dist = get_campaign_preset("hetero-mtbf").campaign_config().distribution
+        assert isinstance(dist, Mixture)
+        assert all(isinstance(c, Exponential) for c in dist.components)
+        # Fragile minority: the low-MTBF component carries the small weight.
+        means = [c.mean() for c in dist.components]
+        weights = list(dist.weights)
+        assert weights[means.index(min(means))] < 0.5
+
+    def test_new_presets_round_trip_through_config(self):
+        """Preset -> config -> manifest fingerprint is stable and complete
+        (what resume compares): rebuilding the preset gives an identical
+        fingerprint, and the failure law survives with its shape."""
+        from repro.sim.adaptive import FixedReplicas
+        from repro.sim.executor import _campaign_fingerprint
+
+        for key in ("weibull-wearout", "hetero-mtbf"):
+            preset = get_campaign_preset(key)
+            fp1 = _campaign_fingerprint(
+                preset.campaign_config(), "ordered",
+                FixedReplicas(preset.replicas),
+            )
+            fp2 = _campaign_fingerprint(
+                get_campaign_preset(key).campaign_config(), "ordered",
+                FixedReplicas(preset.replicas),
+            )
+            assert fp1 == fp2
+            assert fp1["distribution"] is not None
+
+    @pytest.mark.parametrize("bad_law", [
+        "hyperexp", "hyperexp:", "hyperexp:0.5", "hyperexp:0.5@abc",
+        "hyperexp:0.5@1,@2",
+    ])
+    def test_malformed_hyperexp_spec_raises(self, bad_law):
+        from dataclasses import replace
+
+        from repro.errors import ParameterError
+
+        preset = replace(get_campaign_preset("hetero-mtbf"), failure_law=bad_law)
+        with pytest.raises(ParameterError, match="hyperexp"):
+            preset.distribution()
+
     def test_unknown_preset_raises(self):
         from repro.errors import ParameterError
 

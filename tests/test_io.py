@@ -8,11 +8,15 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.io import (
+    dump_frame,
     dump_result,
     from_envelope,
+    iter_campaign_runs,
+    load_frame,
     load_result,
     load_results,
     save_results,
+    scan_frames,
     scan_results,
     to_envelope,
 )
@@ -186,3 +190,153 @@ class TestScanResults:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert list(scan_results(path)) == []
+
+    def test_rejects_midfile_corrupt_record_with_offset(self, tmp_path):
+        """A JSON-parseable record failing identity checks *mid-file* —
+        with intact data behind it — is corruption no append can produce:
+        it must raise (with the byte offset), never silently truncate the
+        intact tail away."""
+        import json
+
+        path = tmp_path / "runs.jsonl"
+        first = dump_result(sample_des()) + "\n"
+        bad = json.dumps({"format": "repro-results", "version": 1,
+                          "kind": "DesResult", "payload": "oops"}) + "\n"
+        path.write_text(first + bad + dump_result(sample_des()) + "\n")
+        with pytest.raises(ParameterError, match=rf"byte offset {len(first)}"):
+            list(scan_results(path))
+
+    def test_midfile_wrong_format_also_rejected(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(dump_result(sample_des()) + "\n"
+                        + '{"format": "something-else"}' + "\n"
+                        + dump_result(sample_des()) + "\n")
+        with pytest.raises(ParameterError, match="byte offset"):
+            list(scan_results(path))
+
+    def test_trailing_corrupt_record_still_tolerated(self, tmp_path):
+        """The same damaged record at the *end* of the file is a torn
+        trailing write — the scan ends silently there (resume re-runs)."""
+        import json
+
+        path = tmp_path / "runs.jsonl"
+        bad = json.dumps({"format": "repro-results", "version": 1,
+                          "kind": "DesResult", "payload": "oops"})
+        path.write_text(dump_result(sample_des()) + "\n" + bad + "\n")
+        assert len(list(scan_results(path))) == 1
+
+
+class TestFrames:
+    """Framed envelopes: the out-of-order sink's record format."""
+
+    def test_round_trip(self):
+        original = sample_des()
+        frame = load_frame(dump_frame(original, cell=7, replica=2, seq=30))
+        assert (frame.cell, frame.replica, frame.seq) == (7, 2, 30)
+        assert isinstance(frame.result, DesResult)
+        assert frame.result.makespan == original.makespan
+
+    def test_summary_payloads_frame_too(self):
+        frame = load_frame(dump_frame(sample_summary(), cell=0, replica=0,
+                                      seq=0))
+        assert isinstance(frame.result, MonteCarloSummary)
+
+    @pytest.mark.parametrize("field,value", [
+        ("cell", -1), ("replica", -2), ("seq", None), ("cell", 1.5),
+        ("seq", True),
+    ])
+    def test_rejects_bad_framing(self, field, value):
+        import json
+
+        env = json.loads(dump_frame(sample_des(), cell=0, replica=0, seq=0))
+        env[field] = value
+        with pytest.raises(ParameterError, match=field):
+            load_frame(json.dumps(env))
+
+    def test_rejects_plain_result_envelope(self):
+        with pytest.raises(ParameterError, match="repro-frames"):
+            load_frame(dump_result(sample_des()))
+
+    def test_dump_rejects_bad_framing(self):
+        with pytest.raises(ParameterError, match="cell"):
+            dump_frame(sample_des(), cell=-1, replica=0, seq=0)
+
+    def test_scan_frames_offsets_and_truncation(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        lines = [dump_frame(sample_des(failures=i), cell=0, replica=i, seq=i)
+                 for i in range(3)]
+        full = "\n".join(lines) + "\n"
+        path.write_text(full + lines[0][:20])  # torn fourth frame
+        scanned = list(scan_frames(path))
+        assert [f.replica for f, _ in scanned] == [0, 1, 2]
+        assert scanned[-1][1] == len(full.encode())
+
+    def test_scan_frames_rejects_midfile_corruption(self, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        good = dump_frame(sample_des(), cell=0, replica=0, seq=0)
+        path.write_text(good + "\n" + '{"format": "repro-frames"}' + "\n"
+                        + good + "\n")
+        with pytest.raises(ParameterError, match="byte offset"):
+            list(scan_frames(path))
+
+    def test_sink_mode_mismatch_is_named_not_called_corruption(self, tmp_path):
+        """Scanning one sink format's file with the other scanner is a
+        mode mismatch — the intact file must not be diagnosed as damage."""
+        plain, framed = tmp_path / "p.jsonl", tmp_path / "f.jsonl"
+        save_results([sample_des()], plain)
+        framed.write_text(
+            dump_frame(sample_des(), cell=0, replica=0, seq=0) + "\n"
+        )
+        with pytest.raises(ParameterError, match="other sink mode"):
+            list(scan_results(framed))
+        with pytest.raises(ParameterError, match="other sink mode"):
+            list(scan_frames(plain))
+
+
+class TestIterCampaignRuns:
+    def test_reads_plain_and_framed(self, tmp_path):
+        plain, framed = tmp_path / "p.jsonl", tmp_path / "f.jsonl"
+        runs = [sample_des(failures=i) for i in range(3)]
+        save_results(runs, plain)
+        framed.write_text("".join(
+            dump_frame(r, cell=0, replica=i, seq=i) + "\n"
+            for i, r in enumerate(runs)
+        ))
+        for path in (plain, framed):
+            loaded = list(iter_campaign_runs(path))
+            assert [r.failures for r in loaded] == [0, 1, 2]
+
+    def test_rejects_summary_records_anywhere(self, tmp_path):
+        """A summary record means the wrong file — even as the last
+        intact record, it must not be silently dropped."""
+        path = tmp_path / "mixed.jsonl"
+        save_results([sample_des(), sample_summary()], path)
+        with pytest.raises(ParameterError, match="not a campaign results"):
+            list(iter_campaign_runs(path))
+
+    def test_tolerates_torn_trailing_write(self, tmp_path):
+        """An interrupted campaign's file is analysable as-is: the intact
+        prefix streams, the torn tail is ignored (like the resume scans)."""
+        path = tmp_path / "p.jsonl"
+        good = dump_result(sample_des())
+        path.write_text(good + "\n" + good[:30])
+        assert len(list(iter_campaign_runs(path))) == 1
+
+    def test_rejects_midfile_corruption(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text(dump_result(sample_des()) + "\n"
+                        + '{"format": "something-else"}' + "\n"
+                        + dump_result(sample_des()) + "\n")
+        with pytest.raises(ParameterError, match="byte offset"):
+            list(iter_campaign_runs(path))
+
+    def test_cell_indices_surface_for_frames_only(self, tmp_path):
+        from repro.io import scan_campaign_runs
+
+        plain, framed = tmp_path / "p.jsonl", tmp_path / "f.jsonl"
+        save_results([sample_des()], plain)
+        framed.write_text(
+            dump_frame(sample_des(), cell=5, replica=0, seq=0) + "\n"
+        )
+        assert [c for c, _ in scan_campaign_runs(plain)] == [None]
+        assert [c for c, _ in scan_campaign_runs(framed)] == [5]

@@ -68,16 +68,30 @@ def test_renewal_optimum_exceeds_paper_optimum(params, f):
     k=st.sampled_from([2, 3, 4, 6]),
 )
 def test_kbuddy_success_monotone_in_k(params, f, t_days, k):
-    """More buddies never hurt the success probability."""
+    """More buddies never hurt the success probability — within the
+    model's validity domain.
+
+    The group-fatal formula is the paper-style first-order asymptotic
+    ``k!·λᵏ·T·Riskᵏ⁻¹``, whose expansion parameter is ``λ·Risk``.  The
+    k-ordering is a theorem of the model only where that parameter is
+    small; once a platform is failure-dominated enough that ``λ·Risk``
+    is O(1), the formula saturates toward its [0, 1] clip and a clipped
+    k+1 term can undershoot an unclipped k term — not a property of
+    k-buddying, just the asymptotics leaving their domain.  Such draws
+    are filtered; the probability-bounds check still applies everywhere.
+    """
     phi = f * params.R
     T = t_days * 86400.0
-    p_k = KBuddyModel(k).success_probability(params, phi, T)
-    p_k1 = KBuddyModel(k + 2 if k == 4 else k + 1).success_probability(
-        params, phi, T
-    ) if params.n % (k + 2 if k == 4 else k + 1) == 0 else None
+    k_next = k + 2 if k == 4 else k + 1
+    model_k, model_next = KBuddyModel(k), KBuddyModel(k_next)
+    p_k = model_k.success_probability(params, phi, T)
     assert 0.0 <= p_k <= 1.0
-    if p_k1 is not None:
-        assert p_k1 >= p_k - 1e-12
+    if params.n % k_next != 0:
+        return
+    risk_next = float(np.asarray(model_next.risk_window(params, phi)))
+    assume(params.lam * risk_next <= 0.02)
+    p_k1 = model_next.success_probability(params, phi, T)
+    assert p_k1 >= p_k - 1e-12
 
 
 @settings(max_examples=80)

@@ -12,6 +12,7 @@ from repro.sim.distributions import (
     Exponential,
     Gamma,
     LogNormal,
+    Mixture,
     Weibull,
 )
 from repro.sim.rng import RngFactory
@@ -140,6 +141,65 @@ class TestEmpirical:
     def test_validation(self, bad):
         with pytest.raises(ParameterError):
             Empirical(bad)
+
+
+class TestMixture:
+    """Hyperexponential-style mixtures (heterogeneous-MTBF platforms)."""
+
+    def hyperexp(self) -> Mixture:
+        # 20% fragile nodes at 1/4 the fleet MTBF, balanced to mean 100.
+        return Mixture(
+            [Exponential(25.0), Exponential(118.75)], [0.2, 0.8]
+        )
+
+    def test_mean_is_weighted(self):
+        assert self.hyperexp().mean() == pytest.approx(100.0)
+
+    def test_sample_mean(self):
+        rng = np.random.default_rng(0)
+        samples = self.hyperexp().sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(100.0, rel=0.03)
+        assert np.all(samples > 0)
+
+    def test_overdispersed_vs_exponential(self):
+        """The defining property of heterogeneity: CV > 1."""
+        rng = np.random.default_rng(1)
+        samples = self.hyperexp().sample(rng, size=200_000)
+        cv = samples.std() / samples.mean()
+        assert cv > 1.05
+
+    def test_scalar_draw(self):
+        value = self.hyperexp().sample(np.random.default_rng(2))
+        assert isinstance(value, float) and value > 0
+
+    def test_rescale_preserves_heterogeneity(self):
+        scaled = self.hyperexp().rescale(1000.0)
+        assert scaled.mean() == pytest.approx(1000.0)
+        ratio = scaled.components[1].mean() / scaled.components[0].mean()
+        assert ratio == pytest.approx(118.75 / 25.0)
+
+    def test_weights_normalised(self):
+        mix = Mixture([Exponential(1.0), Exponential(2.0)], [2.0, 6.0])
+        np.testing.assert_allclose(mix.weights, [0.25, 0.75])
+
+    def test_fingerprint_identifies_components(self):
+        a = self.hyperexp().fingerprint()
+        b = Mixture(
+            [Exponential(50.0), Exponential(112.5)], [0.2, 0.8]
+        ).fingerprint()
+        assert a != b
+        assert a["kind"] == "Mixture" and len(a["components"]) == 2
+
+    @pytest.mark.parametrize("comps,weights", [
+        ([Exponential(1.0)], [1.0]),                       # one component
+        ([Exponential(1.0), Exponential(2.0)], [1.0]),     # count mismatch
+        ([Exponential(1.0), Exponential(2.0)], [1.0, 0.0]),  # zero weight
+        ([Exponential(1.0), Exponential(2.0)], [1.0, np.nan]),
+        ([Exponential(1.0), 2.0], [0.5, 0.5]),             # not a law
+    ])
+    def test_validation(self, comps, weights):
+        with pytest.raises(ParameterError):
+            Mixture(comps, weights)
 
 
 class TestValidation:
