@@ -24,6 +24,14 @@ Commands
     records (cells land the moment they finish — no head-of-line wait on
     slow cells), and ``--adaptive-ci TOL`` stops each cell early once its
     mean-waste confidence interval is tight enough.
+
+    Multi-machine: ``campaign --queue DIR --worker-id ID <grid flags>``
+    joins the shared work-stealing queue at ``DIR`` as one worker — run
+    the same command on any number of machines sharing the directory;
+    dead workers' chunks are re-claimed after ``--lease`` seconds.
+    ``campaign merge --queue DIR --out FILE`` then combines the
+    per-worker shards into one resumable campaign file (``--partial``
+    merges what a half-finished queue has so far).
 ``report``
     Re-render analyses offline: ``--from-campaign FILE`` reads a
     campaign's persisted JSON Lines (either sink format) and prints waste
@@ -51,6 +59,20 @@ from .experiments.validation import validate_all
 from .units import format_time, parse_time
 
 __all__ = ["main", "build_parser"]
+
+#: Single source of truth for the ``campaign`` subcommand's flag
+#: defaults: ``build_parser`` feeds these into ``add_argument`` and the
+#: explicit-flag checks (merge refusing run flags, run refusing
+#: merge/distributed flags) compare against them — so a changed default
+#: can never silently desynchronise the two.
+_CAMPAIGN_DEFAULTS: dict[str, object] = {
+    "preset": None, "scenario": None, "protocols": None, "M": None,
+    "phi": None, "n": None, "work_target": None, "replicas": None,
+    "seed": None, "share_traces": None, "results": None, "resume": False,
+    "workers": 1, "chunk_size": None, "sink": None, "adaptive_ci": None,
+    "queue": None, "worker_id": None, "lease": 60.0, "poll": 0.5,
+    "out": None, "partial": False,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,8 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = sub.add_parser(
         "campaign",
-        help="run a protocol x M x phi DES sweep (parallel, resumable)",
+        help="run a protocol x M x phi DES sweep (parallel, resumable, "
+             "multi-machine via --queue)",
     )
+    c.add_argument("action", nargs="?", choices=("run", "merge"),
+                   default="run",
+                   help="'run' (default) executes the sweep / joins a "
+                        "queue; 'merge' combines a queue's worker shards "
+                        "into one results file (--queue + --out)")
     c.add_argument("--preset", choices=sorted(scenarios.CAMPAIGN_PRESETS),
                    default=None,
                    help="named campaign workload; fixes the whole grid "
@@ -152,17 +180,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="grid cells per worker task (default: one "
                         "(protocol, M) row)")
     c.add_argument("--sink", choices=("ordered", "framed"),
-                   default="ordered",
+                   default=None,
                    help="results-file format: 'ordered' keeps grid order "
-                        "(byte-identical to serial); 'framed' appends "
-                        "each cell the moment it completes (no "
-                        "head-of-line blocking, still resumable)")
+                        "(byte-identical to serial; the default); "
+                        "'framed' appends each cell the moment it "
+                        "completes (no head-of-line blocking, still "
+                        "resumable; implied by --queue)")
     c.add_argument("--adaptive-ci", type=float, default=None,
                    metavar="TOL",
                    help="stop each cell early once the 95%% CI half-width "
                         "of its mean waste is <= TOL (runs at most "
                         "--replicas; deterministic; with --results "
                         "requires --sink framed)")
+    c.add_argument("--queue", type=pathlib.Path, default=None,
+                   metavar="DIR",
+                   help="join (or initialise) the shared work-stealing "
+                        "queue at DIR as one distributed worker; run the "
+                        "same command on every machine sharing DIR")
+    c.add_argument("--worker-id", default=None, metavar="ID",
+                   help="stable identity of this worker in the queue "
+                        "([A-Za-z0-9_-]; default "
+                        "<hostname>-<pid>-<nonce>); names this worker's "
+                        "claim files and shard — pass an explicit id to "
+                        "reuse a shard across worker restarts")
+    c.add_argument("--lease", type=float, default=60.0, metavar="SECONDS",
+                   help="chunk lease: a claimed chunk whose worker has "
+                        "not refreshed it for this long is presumed dead "
+                        "and re-claimed by another worker (default 60)")
+    c.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="idle polling interval while waiting for "
+                        "claimable chunks (default 0.5)")
+    c.add_argument("--out", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="(merge) destination for the merged campaign "
+                        "results file; a .manifest sidecar is written "
+                        "next to it")
+    c.add_argument("--partial", action="store_true",
+                   help="(merge) merge the complete cells of an "
+                        "unfinished queue instead of refusing; the "
+                        "partial file can be finished with --resume")
+    # Parser-level defaults take precedence over the per-argument ones:
+    # this makes _CAMPAIGN_DEFAULTS authoritative for every campaign flag.
+    c.set_defaults(**_CAMPAIGN_DEFAULTS)
 
     r = sub.add_parser(
         "report",
@@ -189,9 +248,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
 
 
+#: campaign flags that shape a *run* — `campaign merge` refuses them.
+_RUN_SHAPING_FLAGS = (
+    ("preset", "--preset"), ("scenario", "--scenario"),
+    ("protocols", "--protocols"), ("M", "--M"), ("phi", "--phi"),
+    ("n", "--n"), ("work_target", "--work-target"),
+    ("replicas", "--replicas"), ("seed", "--seed"),
+    ("share_traces", "--share-traces"), ("results", "--results"),
+    ("resume", "--resume"), ("chunk_size", "--chunk-size"),
+    ("sink", "--sink"), ("adaptive_ci", "--adaptive-ci"),
+    ("worker_id", "--worker-id"), ("workers", "--workers"),
+    ("lease", "--lease"), ("poll", "--poll"),
+)
+#: campaign flags that only tune a distributed worker — require --queue.
+_DISTRIBUTED_ONLY_FLAGS = (
+    ("worker_id", "--worker-id"), ("lease", "--lease"), ("poll", "--poll"),
+)
+
+
+def _explicit_flags(
+    args: argparse.Namespace, pairs: tuple[tuple[str, str], ...]
+) -> list[str]:
+    """The flags in ``pairs`` whose values differ from the campaign
+    defaults — i.e. were (in effect) passed explicitly."""
+    return [
+        flag for attr, flag in pairs
+        if getattr(args, attr) != _CAMPAIGN_DEFAULTS[attr]
+    ]
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from .sim.distributed import merge_shards
+
+    missing = [flag for flag, value in (("--queue", args.queue),
+                                        ("--out", args.out)) if value is None]
+    if missing:
+        print(f"campaign merge requires {' and '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    # Silently dropping run-shaping flags would mislead; refuse them.
+    ignored = _explicit_flags(args, _RUN_SHAPING_FLAGS)
+    if ignored:
+        print("campaign merge only reads --queue/--out/--partial; drop "
+              + ", ".join(ignored), file=sys.stderr)
+        return 2
+    report = merge_shards(
+        args.queue, args.out, require_complete=not args.partial
+    )
+    print(report.describe())
+    print(f"merged results: {args.out}")
+    return 0
+
+
 def _run_campaign_command(args: argparse.Namespace) -> int:
     from .sim.campaign import CampaignConfig, cells_table
     from .sim.executor import execute_campaign
+
+    if args.action == "merge":
+        return _cmd_campaign_merge(args)
 
     overrides: dict = {}
     if args.replicas is not None:
@@ -238,6 +352,34 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             **overrides,
         )
 
+    if args.out is not None or args.partial:
+        print("--out/--partial belong to 'campaign merge' (campaign "
+              "merge --queue DIR --out FILE [--partial])", file=sys.stderr)
+        return 2
+    if args.queue is None:
+        distributed_only = _explicit_flags(args, _DISTRIBUTED_ONLY_FLAGS)
+        if distributed_only:
+            print(f"{', '.join(distributed_only)} require --queue "
+                  "(they tune a distributed worker)", file=sys.stderr)
+            return 2
+    sink = args.sink or ("framed" if args.queue is not None else "ordered")
+    if args.queue is not None:
+        conflicts = []
+        if args.results is not None:
+            conflicts.append("--results (workers write shards in the "
+                             "queue; use 'campaign merge --out')")
+        if args.resume:
+            conflicts.append("--resume (rejoining the queue is the resume)")
+        if args.workers != 1:
+            conflicts.append("--workers (start more --queue workers "
+                             "instead)")
+        if sink != "framed":
+            conflicts.append("--sink ordered (distributed campaigns are "
+                             "framed)")
+        if conflicts:
+            print("--queue conflicts with " + "; ".join(conflicts),
+                  file=sys.stderr)
+            return 2
     if args.resume and config.results_path is None:
         print("--resume requires --results", file=sys.stderr)
         return 2
@@ -253,13 +395,21 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         resume=args.resume,
-        sink=args.sink,
+        sink=sink,
         controller=controller,
+        queue=args.queue,
+        worker_id=args.worker_id,
+        lease_timeout=args.lease,
+        poll_interval=args.poll,
     )
     print(cells_table(execution.cells))
     print(execution.report.describe())
     if config.results_path is not None:
         print(f"raw runs: {config.results_path}")
+    if args.queue is not None:
+        from .sim.distributed import queue_status
+
+        print(f"queue: {queue_status(args.queue).describe()}")
     return 0
 
 

@@ -96,6 +96,11 @@ def ascii_heatmap(
         raise ParameterError("grid must be 2-D")
     if grid.shape[0] != len(row_labels) or grid.shape[1] != len(col_labels):
         raise ParameterError("labels do not match grid shape")
+    if not row_labels or not col_labels:
+        raise ParameterError(
+            f"heatmap grid must have at least one row and one column, "
+            f"got {len(row_labels)}x{len(col_labels)}"
+        )
     finite = grid[np.isfinite(grid)]
     lo = vmin if vmin is not None else (finite.min() if finite.size else 0.0)
     hi = vmax if vmax is not None else (finite.max() if finite.size else 1.0)
@@ -253,7 +258,12 @@ def campaign_cells_from_file(path):
         groups.setdefault(key, []).append(run)
 
     if not groups:
-        raise ParameterError(f"{path}: no campaign records found")
+        raise ParameterError(
+            f"{path}: no intact campaign records found — the file is "
+            "empty, or its only content is a torn first write; nothing "
+            "to report (was the campaign interrupted before any cell "
+            "completed?)"
+        )
 
     cells = []
     for key in sorted(

@@ -391,10 +391,31 @@ HETERO_MTBF = CampaignPreset(
     failure_law="hyperexp:0.2@0.25,0.8@1.1875",
 )
 
+#: Sub-second end-to-end grid: 2 protocols × 2 MTBFs × 1 φ at 12 nodes.
+#: Exists so every execution path — serial, process pools, both sinks,
+#: and multi-machine queues — has a named workload cheap enough for CI
+#: smoke tests, demos, and "is my queue directory wired up?" checks.
+SMOKE = CampaignPreset(
+    key="smoke",
+    description=(
+        "Tiny base-platform grid (2 protocols x 2 MTBFs, 12 nodes, "
+        "15min workload) - sub-second end-to-end smoke of the campaign "
+        "engine and the distributed queue"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "triple"),
+    m_values=(300.0, 600.0),
+    phi_values=(1.0,),
+    work_target=900.0,
+    n=12,
+    replicas=2,
+)
+
 #: Registry of named campaign workloads by key.
 CAMPAIGN_PRESETS: dict[str, CampaignPreset] = {
     p.key: p for p in (
-        EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE, WEIBULL_WEAROUT, HETERO_MTBF
+        EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE, WEIBULL_WEAROUT,
+        HETERO_MTBF, SMOKE,
     )
 }
 

@@ -4,14 +4,14 @@ Long parameter sweeps (hundreds of DES runs) need durable, versioned
 results so analyses can be re-run without re-simulating.  This module
 serialises the library's result types to a stable JSON envelope::
 
-    {"format": "repro-results", "version": 1,
+    {"format": "repro-results", "version": 2,
      "kind": "DesResult", "payload": {...}}
 
 and, for out-of-order campaign sinks, a *framed* variant that wraps the
 same payload with the record's provenance — which grid cell produced it,
 which replica it is, and a contiguous file-wide sequence number::
 
-    {"format": "repro-frames", "version": 1,
+    {"format": "repro-frames", "version": 2,
      "cell": 7, "replica": 0, "seq": 21, "payload": {...}}
 
 Frames let records land in any cell order while still supporting exact
@@ -21,7 +21,12 @@ framing alone (see :mod:`repro.sim.sinks`).
 Guarantees:
 
 * round-trips are lossless for every field, including ``nan``/``inf``
-  (encoded as strings, since JSON has no literals for them);
+  (encoded as typed sentinels ``{"__float__": "nan"}``, since JSON has no
+  literals for them) **and** payload strings that happen to spell
+  ``"nan"``/``"inf"``/``"-inf"`` — the envelope version was bumped to 2
+  with the sentinels, so the version-1 bare-string float spelling is
+  only ever applied to records that declare version 1, and a version-2
+  string can never be reinterpreted;
 * files written by older library versions either load or fail loudly —
   never silently mis-parse;
 * batches are streamed as JSON Lines (one envelope per line), so a
@@ -62,43 +67,84 @@ __all__ = [
 
 _FORMAT = "repro-results"
 _FRAME_FORMAT = "repro-frames"
-_VERSION = 1
+#: Written version.  1 spelled non-finite floats as bare strings — which
+#: silently swallowed legitimate ``"nan"``/``"inf"``/``"-inf"`` *string*
+#: payloads on the way back in; 2 uses typed sentinels instead.  Decoding
+#: is gated on each record's declared version, so the two spellings can
+#: never be confused (a resumed file may legitimately mix both).
+_VERSION = 2
+_READ_VERSIONS = frozenset({1, 2})
 _KINDS = {"DesResult": DesResult, "MonteCarloSummary": MonteCarloSummary}
 
 
-def _encode_float(value: float) -> Any:
+#: The three float values JSON cannot spell, by their stable spelling.
+_FLOAT_STRINGS = {"nan": float("nan"), "inf": float("inf"),
+                  "-inf": float("-inf")}
+#: Single-key dicts reserved by the version-2 encoding.  ``__float__``
+#: carries a non-finite float; ``__dict__`` escapes a *user* dict that
+#: happens to look like a marker.
+_MARKER_KEYS = frozenset({"__float__", "__dict__"})
+
+
+def _encode_float(value: Any) -> Any:
+    """Encode one scalar; non-finite floats become typed sentinels.
+
+    Strings pass through untouched — under version 2 nothing ever
+    reinterprets them, so ``"nan"`` the string and ``nan`` the float are
+    distinct on disk by construction.
+    """
     if isinstance(value, float):
         if math.isnan(value):
-            return "nan"
+            return {"__float__": "nan"}
         if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
+            return {"__float__": "inf" if value > 0 else "-inf"}
     return value
 
 
 def _decode_float(value: Any) -> Any:
-    if value == "nan":
-        return float("nan")
-    if value == "inf":
-        return float("inf")
-    if value == "-inf":
-        return float("-inf")
+    """Inverse of the *version-1* scalar encoding, applied only to
+    records that declare version 1: bare ``"nan"``/``"inf"``/``"-inf"``
+    strings are old-format non-finite floats.  (For version-1 files a
+    genuine string payload spelling one of these is indistinguishable
+    from a float — the historical bug the version bump fixes.)"""
+    if isinstance(value, str) and value in _FLOAT_STRINGS:
+        return _FLOAT_STRINGS[value]
     return value
 
 
 def _encode_payload(obj: Any) -> Any:
     if isinstance(obj, dict):
-        return {k: _encode_payload(v) for k, v in obj.items()}
+        enc = {k: _encode_payload(v) for k, v in obj.items()}
+        if len(enc) == 1 and next(iter(enc)) in _MARKER_KEYS:
+            # A user dict indistinguishable from a sentinel: escape it so
+            # the decoder cannot mistake it for one.
+            return {"__dict__": enc}
+        return enc
     if isinstance(obj, (list, tuple)):
         return [_encode_payload(v) for v in obj]
     return _encode_float(obj)
 
 
-def _decode_payload(obj: Any) -> Any:
+def _decode_payload(obj: Any, legacy: bool) -> Any:
+    """Decode one payload tree; ``legacy`` selects the version-1 rules
+    (bare-string floats, no sentinels) or the version-2 rules (typed
+    sentinels, strings inviolate) — never both, so neither era's
+    spelling can be misread as the other's."""
     if isinstance(obj, dict):
-        return {k: _decode_payload(v) for k, v in obj.items()}
+        if not legacy and len(obj) == 1:
+            (key, value), = obj.items()
+            if (key == "__float__" and isinstance(value, str)
+                    and value in _FLOAT_STRINGS):
+                return _FLOAT_STRINGS[value]
+            if key == "__dict__" and isinstance(value, dict):
+                # Escaped user dict: decode its values, but never
+                # re-interpret the dict itself as a sentinel.
+                return {k: _decode_payload(v, legacy)
+                        for k, v in value.items()}
+        return {k: _decode_payload(v, legacy) for k, v in obj.items()}
     if isinstance(obj, list):
-        return [_decode_payload(v) for v in obj]
-    return _decode_float(obj)
+        return [_decode_payload(v, legacy) for v in obj]
+    return _decode_float(obj) if legacy else obj
 
 
 def to_envelope(result: DesResult | MonteCarloSummary) -> dict:
@@ -120,16 +166,17 @@ def from_envelope(envelope: dict) -> DesResult | MonteCarloSummary:
     """Reconstruct a result object; validates format and version."""
     if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
         raise ParameterError("not a repro-results envelope")
-    if envelope.get("version") != _VERSION:
+    version = envelope.get("version")
+    if version not in _READ_VERSIONS:
         raise ParameterError(
-            f"unsupported results version {envelope.get('version')!r} "
-            f"(this library reads version {_VERSION})"
+            f"unsupported results version {version!r} "
+            f"(this library reads versions {sorted(_READ_VERSIONS)})"
         )
     kind = envelope.get("kind")
     cls = _KINDS.get(kind)
     if cls is None:
         raise ParameterError(f"unknown result kind {kind!r}")
-    payload = _decode_payload(envelope.get("payload", {}))
+    payload = _decode_payload(envelope.get("payload", {}), version == 1)
     if not isinstance(payload, dict):
         raise ParameterError(
             f"corrupt {kind} payload: expected an object, "
@@ -320,10 +367,10 @@ def frame_from_envelope(envelope: dict) -> ResultFrame:
     """Reconstruct a :class:`ResultFrame`; validates format and framing."""
     if not isinstance(envelope, dict) or envelope.get("format") != _FRAME_FORMAT:
         raise ParameterError("not a repro-frames envelope")
-    if envelope.get("version") != _VERSION:
+    if envelope.get("version") not in _READ_VERSIONS:
         raise ParameterError(
             f"unsupported frames version {envelope.get('version')!r} "
-            f"(this library reads version {_VERSION})"
+            f"(this library reads versions {sorted(_READ_VERSIONS)})"
         )
     fields = {}
     for name in ("cell", "replica", "seq"):

@@ -21,6 +21,14 @@ configuration, never on execution order or worker count.  That is what
 makes adaptive campaigns resumable: :func:`stop_count` replays the
 decision sequence over recorded samples, letting a resume scan tell a
 finished cell from an interrupted one without re-simulating anything.
+
+Both the live execution path (:func:`repro.sim.backends.run_cell`) and
+the replay (:func:`stop_count`) drive the rule through the same
+:class:`StopCursor`, an incremental one-sample-at-a-time evaluator, so
+the two paths agree bit-for-bit by construction *and* replaying a cell
+with thousands of recorded replicas costs O(n) instead of the O(n²) a
+naive prefix-by-prefix :meth:`~ReplicaController.should_stop` replay
+would (``ci_half_width`` over every prefix).
 """
 
 from __future__ import annotations
@@ -37,18 +45,42 @@ __all__ = [
     "ReplicaController",
     "FixedReplicas",
     "AdaptiveCI",
+    "StopCursor",
     "ci_half_width",
     "stop_count",
 ]
+
+
+class StopCursor:
+    """Incremental evaluator of a stopping rule: one ``push`` per replica.
+
+    The default implementation buffers samples and delegates to
+    :meth:`ReplicaController.should_stop`, so any third-party controller
+    keeps working (at the quadratic replay cost of its prefix rule).
+    Built-in controllers return O(1)-per-push cursors from
+    :meth:`ReplicaController.cursor`.
+    """
+
+    def __init__(self, controller: "ReplicaController"):
+        self._controller = controller
+        self._wastes: list[float] = []
+
+    def push(self, waste: float) -> bool:
+        """Feed the next replica's waste; ``True`` = stop the cell here."""
+        self._wastes.append(waste)
+        return self._controller.should_stop(self._wastes)
 
 
 class ReplicaController(ABC):
     """Per-cell stopping rule over the replica waste samples seen so far.
 
     The executor runs a cell's replicas in seed order (replica 0, 1, ...)
-    and calls :meth:`should_stop` after each one with every waste sample
-    collected so far; the first ``True`` ends the cell.  Implementations
-    must be pure functions of the sample sequence so parallel and resumed
+    and asks the rule after each one whether to stop; the first ``True``
+    ends the cell.  :meth:`should_stop` is the declarative form (a pure
+    function of the full sample prefix); :meth:`cursor` is the
+    incremental form both the live path and resume replays actually
+    drive, and the two must decide identically.  Implementations must be
+    pure functions of the sample sequence so parallel and resumed
     executions reach identical decisions, and must be picklable (they
     cross the process-pool boundary).
     """
@@ -59,6 +91,14 @@ class ReplicaController(ABC):
     @abstractmethod
     def should_stop(self, wastes: Sequence[float]) -> bool:
         """Stop after the ``len(wastes)`` replicas whose wastes these are?"""
+
+    def cursor(self) -> StopCursor:
+        """A fresh incremental evaluator of this rule (one cell's worth).
+
+        Override to make replays linear; the default buffers and replays
+        :meth:`should_stop` over growing prefixes.
+        """
+        return StopCursor(self)
 
     def fingerprint(self) -> dict | None:
         """JSON-safe identity for campaign manifests (``None`` = the
@@ -80,6 +120,21 @@ class FixedReplicas(ReplicaController):
 
     def should_stop(self, wastes: Sequence[float]) -> bool:
         return len(wastes) >= self.max_replicas
+
+    def cursor(self) -> StopCursor:
+        return _FixedCursor(self.max_replicas)
+
+
+class _FixedCursor(StopCursor):
+    """O(1)-per-push cursor for the fixed-count rule."""
+
+    def __init__(self, max_replicas: int):
+        self._max = max_replicas
+        self._n = 0
+
+    def push(self, waste: float) -> bool:
+        self._n += 1
+        return self._n >= self._max
 
 
 @dataclass(frozen=True)
@@ -128,6 +183,9 @@ class AdaptiveCI(ReplicaController):
             return False
         return ci_half_width(wastes, self.confidence) <= self.tolerance
 
+    def cursor(self) -> StopCursor:
+        return _AdaptiveCursor(self)
+
     def fingerprint(self) -> dict:
         return {
             "kind": "AdaptiveCI",
@@ -137,6 +195,57 @@ class AdaptiveCI(ReplicaController):
             "batch": int(self.batch),
             "confidence": float(self.confidence),
         }
+
+
+class _AdaptiveCursor(StopCursor):
+    """O(1)-per-push cursor for :class:`AdaptiveCI` (Welford statistics).
+
+    Maintains the running count/mean/M2 of the *finite* samples, so the
+    CI half-width at a batch boundary costs one ``t.ppf`` instead of a
+    full pass over the prefix — replaying a cell with n recorded replicas
+    is O(n) total.  The half-width formula is the same as
+    :func:`~repro.sim.results.ci_half_width` (Student-t, ``ddof=1``,
+    finite samples only, ``inf`` below two finite samples, ``0`` at zero
+    variance); the accumulation order differs from numpy's pairwise
+    summation by at most a few ulps, which is irrelevant in practice and
+    *cannot* desynchronise live runs from resumes because both drive this
+    same cursor.
+    """
+
+    def __init__(self, rule: AdaptiveCI):
+        self._rule = rule
+        self._n = 0          # all samples, NaNs included (len(wastes))
+        self._k = 0          # finite samples
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, waste: float) -> bool:
+        self._n += 1
+        if math.isfinite(waste):
+            self._k += 1
+            delta = waste - self._mean
+            self._mean += delta / self._k
+            self._m2 += delta * (waste - self._mean)
+        rule = self._rule
+        if self._n >= rule.max_replicas:
+            return True
+        if (self._n < rule.min_replicas
+                or (self._n - rule.min_replicas) % rule.batch):
+            return False
+        return self._half_width() <= rule.tolerance
+
+    def _half_width(self) -> float:
+        from scipy import stats as sps
+
+        if self._k < 2:
+            return float("inf")
+        variance = self._m2 / (self._k - 1)
+        if variance <= 0.0:
+            return 0.0
+        return float(
+            sps.t.ppf(0.5 + self._rule.confidence / 2.0, df=self._k - 1)
+            * math.sqrt(variance) / math.sqrt(self._k)
+        )
 
 
 def stop_count(
@@ -150,9 +259,14 @@ def stop_count(
     means the cell finished exactly there; fewer recorded samples mean an
     interrupted cell; *more* recorded samples than the rule would ever run
     mean the file was written under a different configuration.
+
+    The replay is incremental (:meth:`ReplicaController.cursor`): linear
+    in ``len(wastes)`` for the built-in controllers, so recovering a
+    framed file with thousands of replicas per cell does not go
+    quadratic in ``ci_half_width`` calls.
     """
-    wastes = list(wastes)
-    for n in range(1, len(wastes) + 1):
-        if controller.should_stop(wastes[:n]):
+    cursor = controller.cursor()
+    for n, waste in enumerate(wastes, 1):
+        if cursor.push(waste):
             return n
     return None

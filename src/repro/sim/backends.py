@@ -10,13 +10,14 @@ delegates the raw computation to a :class:`CampaignBackend`:
   of finished ones (sinks that need grid order re-buffer themselves).
 
 The interface is deliberately narrow — ``execute(config, chunks,
-controller)`` yielding ``(chunk_index, per-cell results)`` — so a future
-multi-machine work-stealing backend can slot in without touching the
-executor, the sinks or any caller: every replica seed and shared failure
-trace is derived from the campaign seed and the cell's grid coordinates
-alone (:func:`replica_seed`, :func:`trace_seed`), never from execution
-order or worker identity, which makes any chunk executable by any worker
-at any time with identical output.
+controller)`` yielding ``(chunk_index, per-cell results)`` — which is
+what lets the multi-machine work-stealing backend
+(:class:`repro.sim.distributed.DistributedBackend`) slot in without
+touching the executor, the sinks or any caller: every replica seed and
+shared failure trace is derived from the campaign seed and the cell's
+grid coordinates alone (:func:`replica_seed`, :func:`trace_seed`), never
+from execution order or worker identity, which makes any chunk
+executable by any worker at any time with identical output.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from abc import ABC, abstractmethod
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from ..errors import ParameterError
 from .adaptive import ReplicaController
@@ -88,20 +89,27 @@ def run_cell(
     plan,
     controller: ReplicaController,
     trace_cache: dict | None = None,
+    heartbeat: Callable[[], None] | None = None,
 ) -> list[DesResult]:
     """Execute one grid cell's replicas (any process, any order).
 
-    Replicas run in seed order; after each one the ``controller`` is
-    consulted with every waste sample so far and the first stop ends the
-    cell.  A :class:`~repro.sim.adaptive.FixedReplicas` controller makes
-    this exactly the historical fixed-count loop.
+    Replicas run in seed order; after each one the ``controller``'s
+    incremental :class:`~repro.sim.adaptive.StopCursor` is pushed the new
+    waste sample and the first stop ends the cell — the same cursor
+    resume scans replay, so live and recovered decisions agree
+    bit-for-bit.  A :class:`~repro.sim.adaptive.FixedReplicas` controller
+    makes this exactly the historical fixed-count loop.
+
+    ``heartbeat`` (optional) is invoked after every replica: liveness
+    hooks such as the distributed backend's lease refresh need to fire
+    *within* long cells, not just between them.
     """
     from ..core.protocols import get_protocol
 
     spec = get_protocol(plan.protocol)
     params = config.base_params.with_updates(M=plan.M)
     results: list[DesResult] = []
-    wastes: list[float] = []
+    cursor = controller.cursor()
     for r in range(controller.max_replicas):
         trace = None
         if config.share_traces:
@@ -124,8 +132,9 @@ def run_cell(
         )
         result = run_des(cfg)
         results.append(result)
-        wastes.append(result.waste)
-        if controller.should_stop(wastes):
+        if heartbeat is not None:
+            heartbeat()
+        if cursor.push(result.waste):
             break
     return results
 

@@ -9,10 +9,12 @@ grid of DES runs); this module wires together the three layers that decide
   split into chunks of whole cells.  Every replica seed and shared failure
   trace derives from the campaign seed and the cell's grid coordinates
   alone (:mod:`repro.sim.backends`), never from execution order.
-* **Backends** (:mod:`repro.sim.backends`) — a
-  :class:`~repro.sim.backends.CampaignBackend` runs the chunks:
-  in-process (:class:`~repro.sim.backends.SerialBackend`) or across
-  worker processes (:class:`~repro.sim.backends.ProcessPoolBackend`),
+* **Backends** (:mod:`repro.sim.backends`, :mod:`repro.sim.distributed`)
+  — a :class:`~repro.sim.backends.CampaignBackend` runs the chunks:
+  in-process (:class:`~repro.sim.backends.SerialBackend`), across worker
+  processes (:class:`~repro.sim.backends.ProcessPoolBackend`), or across
+  *machines* (:class:`~repro.sim.distributed.DistributedBackend`, a
+  work-stealing consumer of a shared chunk-queue directory), all
   yielding chunks in completion order.
 * **Sinks** (:mod:`repro.sim.sinks`) — finished cells stream to a
   :class:`~repro.sim.sinks.ResultSink`: the in-order JSONL sink (the
@@ -31,6 +33,24 @@ grid of DES runs); this module wires together the three layers that decide
   the historical serial path; :class:`~repro.sim.adaptive.AdaptiveCI`
   stops converged cells early (framed sink required, since the record
   count per cell varies).
+
+Layer diagram (single machine, and the distributed shard-merge flow)::
+
+    plan_cells ──► chunks ──► CampaignBackend ──► ResultSink ──► file
+                               Serial/ProcessPool   Ordered/Framed  results.jsonl (+ .manifest)
+
+    queue dir (shared filesystem)              per machine
+    ┌──────────────────────────────┐     ┌──────────────────────────┐
+    │ manifest.json  (fingerprint) │◄───►│ execute_campaign(queue=) │
+    │ pending/  claims/  done/     │     │   DistributedBackend     │
+    │   (atomic-rename claims,     │     │   claim → run → append   │
+    │    lease-expiry stealing)    │     │   → done marker          │
+    │ shards/worker-A.jsonl ◄──────┼─────┤   WorkerShardSink        │
+    │ shards/worker-B.jsonl  ...   │     └──────────────────────────┘
+    └──────────────┬───────────────┘
+                   ▼ merge_shards (scan_frames + dedupe + reorder)
+          results.jsonl + .manifest   — resumes/reports like any
+                                        single-machine framed run
 
 Entry points
 ------------
@@ -296,6 +316,10 @@ def execute_campaign(
     sink: str = "ordered",
     controller: ReplicaController | None = None,
     backend: CampaignBackend | None = None,
+    queue: str | pathlib.Path | None = None,
+    worker_id: str | None = None,
+    lease_timeout: float = 60.0,
+    poll_interval: float = 0.5,
 ) -> CampaignExecution:
     """Run (or finish) a campaign; the workhorse behind every campaign API.
 
@@ -304,14 +328,18 @@ def execute_campaign(
     workers:
         Process count.  ``1`` executes in-process (no pool — identical to
         the historical serial path); ``None`` or ``0`` uses
-        ``os.cpu_count()``.  Ignored when ``backend`` is given.
+        ``os.cpu_count()``.  Ignored when ``backend`` is given; must stay
+        ``1`` with ``queue`` (a distributed worker is single-process —
+        start more workers for more parallelism).
     chunk_size:
         Cells per worker task.  Default: one (protocol, M) row — i.e.
         ``len(config.phi_values)`` cells — so shared failure traces are
         generated once per chunk.
     resume:
         Recover completed cells from ``config.results_path`` instead of
-        truncating it.  Requires a results path.
+        truncating it.  Requires a results path.  Not meaningful with
+        ``queue`` — a queue directory is always resumable: rejoining it
+        *is* the resume.
     on_cell:
         Optional progress callback, invoked per fresh cell in emission
         order: grid order under the ordered sink, completion order under
@@ -319,22 +347,74 @@ def execute_campaign(
     sink:
         Results-file format: ``"ordered"`` (grid-order records, byte-
         identical to serial — the default) or ``"framed"`` (records land
-        as cells complete; no head-of-line blocking).
+        as cells complete; no head-of-line blocking).  Distributed
+        campaigns are necessarily framed.
     controller:
         Per-cell replica stopping rule; default runs every replica
         (:class:`~repro.sim.adaptive.FixedReplicas`).  Adaptive control
         requires the framed sink when results are persisted.
     backend:
         Explicit :class:`~repro.sim.backends.CampaignBackend`; default is
-        built from ``workers``.
+        built from ``workers``.  Mutually exclusive with ``queue``.
+    queue:
+        Join a multi-machine campaign as one worker of the shared
+        chunk-queue directory (:mod:`repro.sim.distributed`).  The first
+        worker to arrive initialises the queue; later workers verify
+        their configuration against its manifest and start claiming.
+        Results stream to this worker's private framed shard inside the
+        queue directory (``config.results_path`` must be ``None``; merge
+        the shards afterwards with
+        :func:`repro.sim.distributed.merge_shards`).  The returned
+        execution holds **only the cells this worker ran** — the full
+        grid lives in the merged file.
+    worker_id / lease_timeout / poll_interval:
+        Distributed-worker identity and queue tuning; see
+        :class:`~repro.sim.distributed.DistributedBackend`.
     """
     start = time.perf_counter()
     plans = plan_cells(config)
 
     # Validate every argument before touching the sink: an invalid
     # workers/chunk_size/sink-mode must not cost an existing results file.
-    if resume and config.results_path is None:
+    if resume and config.results_path is None and queue is None:
         raise ParameterError("resume=True requires config.results_path")
+    distributed = queue is not None
+    if distributed:
+        from .distributed import DistributedBackend
+
+        if backend is not None:
+            raise ParameterError(
+                "queue= and backend= are mutually exclusive: the queue "
+                "implies the distributed work-stealing backend"
+            )
+        if resume:
+            raise ParameterError(
+                "a queue directory is inherently resumable: rejoin it "
+                "with queue=... instead of passing resume=True"
+            )
+        if sink != "framed":
+            raise ParameterError(
+                "distributed campaigns require sink='framed': workers "
+                "complete chunks in unpredictable order, which the "
+                "ordered byte-prefix format cannot represent"
+            )
+        if config.results_path is not None:
+            raise ParameterError(
+                "distributed workers write per-worker shards inside the "
+                "queue directory; leave config.results_path unset and "
+                "merge the shards with repro.sim.distributed.merge_shards "
+                "(or `repro-checkpoint campaign merge`)"
+            )
+        if workers not in (None, 1):
+            raise ParameterError(
+                f"workers={workers} is meaningless for a distributed "
+                "worker (each worker runs cells in-process); start more "
+                "workers against the same queue instead"
+            )
+        backend = DistributedBackend(
+            queue, worker_id=worker_id,
+            lease_timeout=lease_timeout, poll_interval=poll_interval,
+        )
     if backend is None:
         backend = make_backend(workers)
     resolved_workers = getattr(backend, "workers", 1)
@@ -350,7 +430,15 @@ def execute_campaign(
             f"config.replicas={config.replicas}: the campaign's replica "
             "budget is the single source of truth for the per-cell ceiling"
         )
-    sink_obj = make_sink(sink, config.results_path)
+    if distributed:
+        from .distributed import ensure_queue, shard_path
+        from .sinks import WorkerShardSink
+
+        sink_obj: ResultSink = WorkerShardSink(
+            shard_path(queue, backend.worker_id)
+        )
+    else:
+        sink_obj = make_sink(sink, config.results_path)
     if controller.fingerprint() is not None and isinstance(
         sink_obj, OrderedJsonlSink
     ):
@@ -373,6 +461,17 @@ def execute_campaign(
 
     todo = [p for p in plans if p.index not in done_results]
     chunks = [todo[i:i + chunk_size] for i in range(0, len(todo), chunk_size)]
+
+    if distributed:
+        # The chunk layout is a pure function of (config, chunk_size), so
+        # every worker that passes the manifest check below computes the
+        # identical list and any chunk ticket is executable by anyone.
+        ensure_queue(
+            pathlib.Path(queue),
+            _campaign_fingerprint(config, sink, controller),
+            n_chunks=len(chunks), chunk_size=chunk_size, n_cells=len(plans),
+        )
+        sink_obj.begin()  # rejoin this worker's shard (truncate torn tail)
     fresh: dict[int, CampaignCell] = {}
     replicas_run = 0
 
@@ -406,12 +505,18 @@ def execute_campaign(
         index: _make_cell(plans[index], results)
         for index, results in done_results.items()
     }
-    cells = tuple(
-        (done_cells | fresh)[plan.index] for plan in plans
-    )
+    if distributed:
+        # Other workers' cells live in their shards, not here: report
+        # what this worker ran (grid order); merge_shards has the grid.
+        cells = tuple(fresh[index] for index in sorted(fresh))
+    else:
+        cells = tuple(
+            (done_cells | fresh)[plan.index] for plan in plans
+        )
     report = ExecutionReport(
         cells_total=len(plans),
-        cells_skipped=len(done_cells),
+        cells_skipped=len(plans) - len(fresh) if distributed
+        else len(done_cells),
         cells_run=len(fresh),
         workers=resolved_workers,
         chunk_size=chunk_size,

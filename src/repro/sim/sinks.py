@@ -13,6 +13,10 @@ The executor streams every finished grid cell into a :class:`ResultSink`:
   order.  No head-of-line blocking; resume reconstructs per-cell
   completion from the framing alone, so arbitrary truncation recovers
   exactly like the ordered sink does.
+* :class:`WorkerShardSink` — a distributed worker's private framed shard
+  (:mod:`repro.sim.distributed`); re-opens instead of truncating, since a
+  shard accumulates across worker restarts and the *queue* tracks which
+  cells are complete.
 * :class:`NullSink` — no persistence (campaigns without a results path).
 
 Both persistent sinks implement ``recover``: scan an existing file,
@@ -42,6 +46,7 @@ __all__ = [
     "NullSink",
     "OrderedJsonlSink",
     "FramedJsonlSink",
+    "WorkerShardSink",
     "make_sink",
     "SINK_MODES",
 ]
@@ -360,6 +365,51 @@ class FramedJsonlSink(ResultSink):
             fh.truncate(keep)
         self._seq = kept_frames
         return done
+
+
+class WorkerShardSink(FramedJsonlSink):
+    """One distributed worker's framed shard (:mod:`repro.sim.distributed`).
+
+    Same record format as :class:`FramedJsonlSink`, but the recovery
+    contract is shard-local: which *cells* of the campaign are complete
+    is the queue's business (done markers), not the shard's, so
+    :meth:`begin` re-opens an existing shard instead of truncating it —
+    it drops only a torn trailing write (the crash damage of this
+    worker's own previous life) and continues the shard-local sequence.
+    Whole-campaign invariants deliberately do not apply: after a restart
+    this worker may re-claim the chunk it died holding and append cells
+    its shard already holds intact — a benign duplicate that the merge
+    step verifies and collapses.
+    """
+
+    def begin(self) -> None:
+        from .. import io as repro_io
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.touch()
+            self._seq = 0
+            return
+        keep = 0
+        count = 0
+        for frame, end in repro_io.scan_frames(self.path):
+            if frame.seq != count:
+                raise ParameterError(
+                    f"{self.path}: frame {count} carries sequence number "
+                    f"{frame.seq} (expected {count}); this is not a "
+                    "worker shard this campaign wrote"
+                )
+            count += 1
+            keep = end
+        with self.path.open("r+b") as fh:
+            fh.truncate(keep)
+        self._seq = count
+
+    def recover(self, config, plans, controller, trusted):
+        raise ParameterError(
+            "worker shards rejoin via begin(); completed cells are "
+            "tracked by the queue's done markers, not by shard scans"
+        )
 
 
 def make_sink(

@@ -135,6 +135,72 @@ class TestStopCount:
         assert stop_count(ctl, converged[:2]) is None  # interrupted
 
 
+class TestCursor:
+    """The incremental cursor must decide exactly like should_stop."""
+
+    SEQUENCES = [
+        [0.1, 0.2, 0.3, 0.4, 0.5],
+        [0.10, 0.12, 0.11, 0.13, 0.12, 0.11],
+        [0.25] * 8,                                   # zero variance
+        [float("nan")] * 6,                           # never finite
+        [0.1, float("nan"), 0.11, 0.1, float("nan"), 0.12],
+        [0.0, 1.0] * 5,                               # never converges
+    ]
+    RULES = [
+        FixedReplicas(4),
+        AdaptiveCI(max_replicas=10, tolerance=0.5, min_replicas=3),
+        AdaptiveCI(max_replicas=10, tolerance=1e-9, min_replicas=3),
+        AdaptiveCI(max_replicas=6, tolerance=0.05, min_replicas=4, batch=3),
+        AdaptiveCI(max_replicas=10, tolerance=0.02, min_replicas=2, batch=1),
+    ]
+
+    def test_cursor_matches_prefix_replay(self):
+        for rule in self.RULES:
+            for seq in self.SEQUENCES:
+                cursor = rule.cursor()
+                for n in range(1, len(seq) + 1):
+                    assert cursor.push(seq[n - 1]) == \
+                        rule.should_stop(seq[:n]), (rule, seq, n)
+
+    def test_adaptive_cursor_half_width_matches_ci(self):
+        """The Welford running half-width is numerically the reference
+        ci_half_width (same formula, ulp-level accumulation differences
+        at most)."""
+        rule = AdaptiveCI(max_replicas=100, tolerance=1e-12, min_replicas=2,
+                          batch=1)
+        cursor = rule.cursor()
+        samples = [0.1 + 0.01 * ((i * 7919) % 13) for i in range(50)]
+        for n, s in enumerate(samples, 1):
+            cursor.push(s)
+            assert cursor._half_width() == \
+                pytest.approx(ci_half_width(samples[:n]), rel=1e-12, abs=0.0) \
+                or (math.isinf(cursor._half_width())
+                    and math.isinf(ci_half_width(samples[:n])))
+
+    def test_replay_is_linear_in_ci_evaluations(self, monkeypatch):
+        """stop_count must not recompute the half-width over every prefix:
+        one evaluation per batch boundary, each O(1)."""
+        from repro.sim import adaptive as adaptive_mod
+
+        calls = {"n": 0}
+        original = adaptive_mod._AdaptiveCursor._half_width
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(
+            adaptive_mod._AdaptiveCursor, "_half_width", counting
+        )
+        n = 500
+        rule = AdaptiveCI(max_replicas=n + 1, tolerance=1e-30,
+                          min_replicas=2, batch=1)
+        wastes = [0.1 + (i % 7) * 0.01 for i in range(n)]
+        assert stop_count(rule, wastes) is None
+        # One O(1) evaluation per boundary — not one per (boundary, prefix).
+        assert calls["n"] == n - 1
+
+
 def adaptive_grid(results_path=None, **overrides) -> CampaignConfig:
     """A grid with a converged low-churn cell (M=3600: few failures)."""
     fields = dict(

@@ -219,6 +219,100 @@ class TestCampaignCommand:
         assert err.startswith("campaign: ") and "framed" in err
 
 
+class TestDistributedCommand:
+    """The multi-machine surface: --queue workers and 'campaign merge'."""
+
+    def test_worker_then_merge_then_report(self, capsys, tmp_path):
+        queue = tmp_path / "queue"
+        assert main([
+            "campaign", "--preset", "smoke", "--queue", str(queue),
+            "--worker-id", "w1", "--lease", "10", "--poll", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 cells run" in out and "4/4 chunks done" in out
+
+        merged = tmp_path / "merged.jsonl"
+        assert main(["campaign", "merge", "--queue", str(queue),
+                     "--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells (8 frames) merged" in out
+
+        assert main(["report", "--from-campaign", str(merged)]) == 0
+        assert "8 runs" in capsys.readouterr().out
+
+        # A late worker joining the finished queue has nothing to do.
+        assert main([
+            "campaign", "--preset", "smoke", "--queue", str(queue),
+            "--worker-id", "w2", "--lease", "10", "--poll", "0.05",
+        ]) == 0
+        assert "0/4 cells run" in capsys.readouterr().out
+
+    def test_merge_requires_queue_and_out(self, capsys, tmp_path):
+        assert main(["campaign", "merge"]) == 2
+        assert "--queue and --out" in capsys.readouterr().err
+        assert main(["campaign", "merge", "--queue",
+                     str(tmp_path / "q")]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_merge_of_missing_queue_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["campaign", "merge", "--queue", str(tmp_path / "nope"),
+                   "--out", str(tmp_path / "o.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ") and "manifest" in err
+
+    @pytest.mark.parametrize("extra,fragment", [
+        (["--results", "r.jsonl"], "--results"),
+        (["--resume"], "--resume"),
+        (["--workers", "4"], "--workers"),
+        (["--sink", "ordered"], "--sink ordered"),
+    ])
+    def test_queue_conflicts(self, capsys, tmp_path, extra, fragment):
+        rc = main(["campaign", "--preset", "smoke", "--queue",
+                   str(tmp_path / "q"), *extra])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--queue conflicts with" in err and fragment in err
+
+    def test_run_rejects_merge_only_flags(self, capsys, tmp_path):
+        rc = main(["campaign", "--preset", "smoke", "--queue",
+                   str(tmp_path / "q"), "--out",
+                   str(tmp_path / "m.jsonl")])
+        assert rc == 2
+        assert "campaign merge" in capsys.readouterr().err
+
+    def test_merge_rejects_run_only_flags(self, capsys, tmp_path):
+        rc = main(["campaign", "merge", "--queue", str(tmp_path / "q"),
+                   "--out", str(tmp_path / "m.jsonl"),
+                   "--replicas", "4", "--resume", "--workers", "8"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "only reads --queue/--out/--partial" in err
+        assert "--replicas" in err and "--resume" in err
+        assert "--workers" in err
+
+    def test_distributed_tuning_flags_require_queue(self, capsys):
+        rc = main(["campaign", "--preset", "smoke", "--worker-id", "w1",
+                   "--poll", "0.1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "require --queue" in err
+        assert "--worker-id" in err and "--poll" in err
+
+    def test_bad_worker_id_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["campaign", "--preset", "smoke", "--queue",
+                   str(tmp_path / "q"), "--worker-id", "no/slashes"])
+        assert rc == 2
+        assert "worker id" in capsys.readouterr().err
+
+    def test_help_documents_distributed_surface(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--help"])
+        out = capsys.readouterr().out
+        assert "--queue" in out and "--worker-id" in out
+        assert "--lease" in out and "merge" in out
+
+
 class TestReportCommand:
     def _campaign(self, tmp_path, extra=()):
         path = tmp_path / "campaign.jsonl"

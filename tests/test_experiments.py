@@ -152,6 +152,28 @@ class TestReport:
         with pytest.raises(ParameterError):
             report.ascii_heatmap(grid, ["r0"], ["c0", "c1"])
 
+    def test_heatmap_rejects_zero_width_grid(self):
+        """Regression: an empty col_labels axis used to escape as an
+        IndexError from the legend line instead of a clear refusal."""
+        with pytest.raises(ParameterError, match="at least one row"):
+            report.ascii_heatmap(np.empty((2, 0)), ["r0", "r1"], [])
+        with pytest.raises(ParameterError, match="at least one row"):
+            report.ascii_heatmap(np.empty((0, 2)), [], ["c0", "c1"])
+        with pytest.raises(ParameterError, match="at least one row"):
+            report.ascii_heatmap(np.empty((0, 0)), [], [])
+
+    def test_campaign_report_empty_valid_prefix(self, tmp_path):
+        """A campaign file whose valid prefix is empty gets an actionable
+        message, not a bare 'no records'."""
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ParameterError, match="no intact campaign"):
+            report.campaign_report(empty)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"format": "repro-resu')  # torn first write
+        with pytest.raises(ParameterError, match="torn first write"):
+            report.campaign_report(torn)
+
     def test_series_csv(self):
         csv = report.series_csv({"x": np.array([1.0, 2.0]), "y": np.array([3.0, 4.0])})
         assert csv.splitlines() == ["x,y", "1,3", "2,4"]

@@ -73,6 +73,112 @@ class TestRoundTrip:
         original = sample_des()
         assert load_result(dump_result(original)).waste == original.waste
 
+    def test_float_lookalike_strings_stay_strings(self):
+        """Regression: literal "nan"/"inf"/"-inf" *strings* in a payload
+        must not be coerced into floats by the non-finite float encoding."""
+        meta = {"note": "nan", "bound": "inf", "floor": "-inf",
+                "nested": ["nan", {"deep": "inf"}]}
+        restored = load_result(dump_result(sample_des(meta=dict(meta))))
+        assert restored.meta == meta
+        assert all(isinstance(v, str)
+                   for v in (restored.meta["note"], restored.meta["bound"],
+                             restored.meta["floor"]))
+
+    def test_non_finite_floats_still_round_trip(self):
+        meta = {"a": float("nan"), "b": float("inf"), "c": float("-inf")}
+        restored = load_result(dump_result(sample_des(meta=meta)))
+        assert math.isnan(restored.meta["a"])
+        assert restored.meta["b"] == float("inf")
+        assert restored.meta["c"] == float("-inf")
+
+    def test_marker_shaped_meta_dicts_round_trip(self):
+        """User dicts that *look* like the encoder's sentinels must be
+        escaped, not reinterpreted."""
+        meta = {
+            "x": {"__float__": "nan"},
+            "y": {"__str__": "inf"},
+            "z": {"__dict__": "plain"},
+            "w": {"__float__": float("nan")},
+        }
+        restored = load_result(dump_result(sample_des(meta=meta)))
+        assert restored.meta["x"] == {"__float__": "nan"}
+        assert isinstance(restored.meta["x"]["__float__"], str)
+        assert restored.meta["y"] == {"__str__": "inf"}
+        assert restored.meta["z"] == {"__dict__": "plain"}
+        assert math.isnan(restored.meta["w"]["__float__"])
+
+    def test_legacy_bare_string_floats_still_load(self):
+        """Version-1 files spelled non-finite floats as bare strings;
+        records declaring version 1 must keep loading them as floats."""
+        import json
+
+        env = json.loads(dump_result(sample_des()))
+        env["version"] = 1
+        env["payload"]["fatal_time"] = "nan"
+        env["payload"]["meta"] = {"period": "inf", "seed": 42}
+        restored = from_envelope(env)
+        assert math.isnan(restored.fatal_time)
+        assert restored.meta["period"] == float("inf")
+
+    def test_legacy_records_never_see_sentinels(self):
+        """Version-1 payloads predate the sentinels: a v1 user dict that
+        happens to be marker-shaped must load as a dict exactly like the
+        old decoder produced (values string-coerced, shape intact) — it
+        must never collapse into a float."""
+        import json
+
+        env = json.loads(dump_result(sample_des()))
+        env["version"] = 1
+        env["payload"]["fatal_time"] = 0.0  # keep the payload JSON-clean
+        env["payload"]["meta"] = {"odd": {"__float__": "nan"},
+                                  "wrapped": {"__dict__": {"a": 1}}}
+        restored = from_envelope(env)
+        odd = restored.meta["odd"]
+        assert isinstance(odd, dict) and math.isnan(odd["__float__"])
+        assert restored.meta["wrapped"] == {"__dict__": {"a": 1}}
+
+    def test_version_is_stamped_per_record(self):
+        import json
+
+        assert json.loads(dump_result(sample_des()))["version"] == 2
+        assert json.loads(
+            dump_frame(sample_des(), cell=0, replica=0, seq=0)
+        )["version"] == 2
+
+
+class TestMetaRoundTripProperties:
+    """Hypothesis: envelopes are lossless for arbitrary meta payloads."""
+
+    from hypothesis import given, settings, strategies as st
+
+    meta_strings = st.dictionaries(st.text(), st.text(), max_size=8)
+
+    @settings(max_examples=150)
+    @given(meta=meta_strings)
+    def test_string_valued_meta_round_trips(self, meta):
+        restored = load_result(dump_result(sample_des(meta=meta)))
+        assert restored.meta == meta
+
+    @settings(max_examples=150)
+    @given(meta=st.dictionaries(
+        st.text(max_size=20),
+        st.one_of(
+            st.text(max_size=20),
+            st.floats(allow_nan=False),
+            st.just(float("inf")),
+            st.just(float("-inf")),
+            st.integers(min_value=-2**53, max_value=2**53),
+            st.booleans(),
+            st.none(),
+            st.dictionaries(st.text(max_size=10), st.text(max_size=10),
+                            max_size=3),
+        ),
+        max_size=6,
+    ))
+    def test_json_valued_meta_round_trips(self, meta):
+        restored = load_result(dump_result(sample_des(meta=meta)))
+        assert restored.meta == meta
+
 
 class TestFiles:
     def test_save_and_stream(self, tmp_path):
