@@ -18,20 +18,22 @@ import time
 from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
 from repro import io as repro_io
 from repro.sim.campaign import CampaignConfig
-from repro.sim.executor import execute_campaign
+from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy
 
 
-def _grid(tmp_path, name: str) -> CampaignConfig:
-    return CampaignConfig(
-        protocols=(DOUBLE_NBL, DOUBLE_BOF, TRIPLE),
-        base_params=scenarios.BASE.parameters(M=600.0, n=24),
-        m_values=(300.0, 600.0, 1200.0),
-        phi_values=(0.5, 1.0, 2.0),
-        work_target=1800.0,
-        replicas=4,
-        seed=4242,
-        share_traces=True,
-        results_path=tmp_path / f"{name}.jsonl",
+def _spec(workers: int = 1) -> CampaignSpec:
+    return CampaignSpec(
+        grid=CampaignConfig(
+            protocols=(DOUBLE_NBL, DOUBLE_BOF, TRIPLE),
+            base_params=scenarios.BASE.parameters(M=600.0, n=24),
+            m_values=(300.0, 600.0, 1200.0),
+            phi_values=(0.5, 1.0, 2.0),
+            work_target=1800.0,
+            replicas=4,
+            seed=4242,
+            share_traces=True,
+        ),
+        policy=ExecutionPolicy(workers=workers),
     )
 
 
@@ -44,12 +46,12 @@ def _canonical(cells):
 
 def test_parallel_matches_serial_and_reports_speedup(tmp_path, record):
     t0 = time.perf_counter()
-    serial = execute_campaign(_grid(tmp_path, "serial"), workers=1)
+    serial = Campaign(_spec()).run(tmp_path / "serial.jsonl")
     t_serial = time.perf_counter() - t0
 
     workers = max(2, os.cpu_count() or 2)
     t0 = time.perf_counter()
-    parallel = execute_campaign(_grid(tmp_path, "parallel"), workers=workers)
+    parallel = Campaign(_spec(workers)).run(tmp_path / "parallel.jsonl")
     t_parallel = time.perf_counter() - t0
 
     assert _canonical(serial.cells) == _canonical(parallel.cells)
@@ -68,9 +70,9 @@ def test_parallel_matches_serial_and_reports_speedup(tmp_path, record):
 
 
 def test_resume_skips_finished_work(tmp_path, record):
-    config = _grid(tmp_path, "resume")
-    full_run = execute_campaign(config, workers=1)
+    spec = _spec()
     path = tmp_path / "resume.jsonl"
+    full_run = Campaign(spec).run(path)
     full_bytes = path.read_bytes()
 
     # Interrupt after ~two thirds of the grid.
@@ -78,12 +80,12 @@ def test_resume_skips_finished_work(tmp_path, record):
     path.write_bytes(b"".join(lines[: len(lines) * 2 // 3]))
 
     t0 = time.perf_counter()
-    resumed = execute_campaign(config, workers=1, resume=True)
+    resumed = Campaign(spec).resume(path)
     t_resume = time.perf_counter() - t0
 
     assert path.read_bytes() == full_bytes
     assert _canonical(resumed.cells) == _canonical(full_run.cells)
-    assert resumed.report.cells_skipped >= config_cells_third(config)
+    assert resumed.report.cells_skipped >= config_cells_third(spec.grid)
 
     record("Campaign executor: resume after interruption", [
         f"{resumed.report.cells_skipped}/{resumed.report.cells_total} cells "

@@ -33,17 +33,20 @@ from repro.experiments.scenarios import get_campaign_preset
 from repro.sim.adaptive import FixedReplicas
 from repro.sim.backends import run_cell
 from repro.sim.distributed import merge_shards, queue_status
-from repro.sim.executor import execute_campaign, plan_cells
+from repro.sim.executor import plan_cells
+from repro.sim.spec import Campaign, ExecutionPolicy
 
 PRESET = "high-churn"
 REPLICAS = 6
 WORKER_COUNTS = (1, 2, 4, 8)
 
 
-def _config(results_path=None):
-    return get_campaign_preset(PRESET).campaign_config(
-        replicas=REPLICAS, results_path=results_path
-    )
+def _config():
+    return get_campaign_preset(PRESET).campaign_config(replicas=REPLICAS)
+
+
+def _spec(policy: ExecutionPolicy):
+    return get_campaign_preset(PRESET).spec(replicas=REPLICAS, policy=policy)
 
 
 def _measure_chunk_costs() -> list[float]:
@@ -72,14 +75,13 @@ def test_work_stealing_scales_near_linearly(tmp_path, record):
     # Correctness: one real queue worker, merged == single-machine bytes.
     ref_path = tmp_path / "ref.jsonl"
     t0 = time.perf_counter()
-    execute_campaign(_config(ref_path), workers=1, sink="framed",
-                     chunk_size=1)
+    Campaign(_spec(ExecutionPolicy(sink="framed", chunk_size=1))).run(ref_path)
     t_serial = time.perf_counter() - t0
     queue = tmp_path / "queue"
-    execute_campaign(
-        _config(), sink="framed", queue=queue, worker_id="w1",
-        chunk_size=1, lease_timeout=120.0, poll_interval=0.05,
-    )
+    Campaign(_spec(ExecutionPolicy(
+        sink="framed", queue=str(queue), worker_id="w1", chunk_size=1,
+        lease_timeout=120.0, poll_interval=0.05,
+    ))).run()
     assert queue_status(queue).complete
     merged = tmp_path / "merged.jsonl"
     merge_shards(queue, merged)

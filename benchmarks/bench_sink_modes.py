@@ -26,32 +26,31 @@ import time
 from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
 from repro import io as repro_io
 from repro.sim.campaign import CampaignConfig
-from repro.sim.executor import execute_campaign
+from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy
 
 
-def _skewed_grid(tmp_path, name: str) -> CampaignConfig:
+def _skewed_spec(sink: str) -> CampaignSpec:
     """3 protocols × 3 M × 2 φ; the M=120 s row dominates the runtime."""
-    return CampaignConfig(
-        protocols=(DOUBLE_NBL, DOUBLE_BOF, TRIPLE),
-        base_params=scenarios.BASE.parameters(M=600.0, n=24),
-        m_values=(120.0, 3600.0, 7200.0),
-        phi_values=(0.5, 2.0),
-        work_target=1800.0,
-        replicas=6,
-        seed=20260729,
-        share_traces=True,
-        results_path=tmp_path / f"{name}.jsonl",
+    return CampaignSpec(
+        grid=CampaignConfig(
+            protocols=(DOUBLE_NBL, DOUBLE_BOF, TRIPLE),
+            base_params=scenarios.BASE.parameters(M=600.0, n=24),
+            m_values=(120.0, 3600.0, 7200.0),
+            phi_values=(0.5, 2.0),
+            work_target=1800.0,
+            replicas=6,
+            seed=20260729,
+            share_traces=True,
+        ),
+        policy=ExecutionPolicy(workers=2, chunk_size=1, sink=sink),
     )
 
 
 def _run(tmp_path, name: str, sink: str):
     emit_times: list[float] = []
     start = time.perf_counter()
-    execution = execute_campaign(
-        _skewed_grid(tmp_path, name),
-        workers=2,
-        chunk_size=1,
-        sink=sink,
+    execution = Campaign(_skewed_spec(sink)).run(
+        tmp_path / f"{name}.jsonl",
         on_cell=lambda cell: emit_times.append(time.perf_counter() - start),
     )
     elapsed = time.perf_counter() - start

@@ -13,17 +13,23 @@ Commands
     Print optimal period / waste / risk for one configuration
     (``--protocol --scenario --M --phi``).
 ``campaign``
-    Run a protocol × M × φ DES sweep through the parallel campaign
-    engine: ``--workers N`` shards grid cells across processes (output is
-    bit-identical to serial), ``--results FILE`` streams raw runs as JSON
-    Lines, and ``--resume`` finishes an interrupted sweep without
-    re-running completed cells.  Grids come from ``--preset`` (named
-    workloads such as ``exa-weibull``) or from an explicit
-    ``--scenario``/``--protocols``/``--M``/``--phi`` selection.
-    ``--sink framed`` switches the results file to out-of-order framed
-    records (cells land the moment they finish — no head-of-line wait on
-    slow cells), and ``--adaptive-ci TOL`` stops each cell early once its
-    mean-waste confidence interval is tight enough.
+    Run a protocol × M × φ DES sweep through the campaign engine.  Every
+    invocation is internally one declarative
+    :class:`~repro.sim.spec.CampaignSpec` (grid + execution policy):
+    ``--spec FILE`` loads one from JSON, ``--dump-spec`` prints the spec
+    the current flags describe (without running) so any flag combination
+    can be frozen into a reviewable, re-runnable file.  Otherwise the
+    grid comes from ``--preset`` (named workloads such as
+    ``exa-weibull`` or ``trace-bootstrap``) or an explicit
+    ``--scenario``/``--protocols``/``--M``/``--phi`` selection, and the
+    policy from ``--workers N`` (process sharding, output bit-identical
+    to serial), ``--sink framed`` (out-of-order records, no head-of-line
+    wait), and one adaptive rule: ``--adaptive-ci TOL`` (stop a cell
+    once its mean-waste CI half-width is ≤ TOL) or ``--adaptive-wilson
+    W`` (stop once the success-rate Wilson interval is narrower than W —
+    the rule for risk-probability sweeps).  ``--results FILE`` streams
+    raw runs as JSON Lines and ``--resume`` finishes an interrupted
+    sweep without re-running completed cells.
 
     Multi-machine: ``campaign --queue DIR --worker-id ID <grid flags>``
     joins the shared work-stealing queue at ``DIR`` as one worker — run
@@ -66,10 +72,12 @@ __all__ = ["main", "build_parser"]
 #: merge/distributed flags) compare against them — so a changed default
 #: can never silently desynchronise the two.
 _CAMPAIGN_DEFAULTS: dict[str, object] = {
+    "spec": None, "dump_spec": False,
     "preset": None, "scenario": None, "protocols": None, "M": None,
     "phi": None, "n": None, "work_target": None, "replicas": None,
     "seed": None, "share_traces": None, "results": None, "resume": False,
     "workers": 1, "chunk_size": None, "sink": None, "adaptive_ci": None,
+    "adaptive_wilson": None,
     "queue": None, "worker_id": None, "lease": 60.0, "poll": 0.5,
     "out": None, "partial": False,
 }
@@ -133,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="'run' (default) executes the sweep / joins a "
                         "queue; 'merge' combines a queue's worker shards "
                         "into one results file (--queue + --out)")
+    c.add_argument("--spec", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="load the whole campaign (grid + execution "
+                        "policy) from a CampaignSpec JSON file; only "
+                        "--results/--resume/--dump-spec may be combined "
+                        "with it")
+    c.add_argument("--dump-spec", action="store_true",
+                   help="print the CampaignSpec JSON the given flags "
+                        "describe and exit without running (freeze a "
+                        "flag combination into a file for --spec)")
     c.add_argument("--preset", choices=sorted(scenarios.CAMPAIGN_PRESETS),
                    default=None,
                    help="named campaign workload; fixes the whole grid "
@@ -192,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "of its mean waste is <= TOL (runs at most "
                         "--replicas; deterministic; with --results "
                         "requires --sink framed)")
+    c.add_argument("--adaptive-wilson", type=float, default=None,
+                   metavar="WIDTH",
+                   help="stop each cell early once the 95%% Wilson "
+                        "interval of its success rate is narrower than "
+                        "WIDTH (the rule for risk-probability sweeps; "
+                        "same bounds and sink requirements as "
+                        "--adaptive-ci, mutually exclusive with it)")
     c.add_argument("--queue", type=pathlib.Path, default=None,
                    metavar="DIR",
                    help="join (or initialise) the shared work-stealing "
@@ -250,6 +275,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 #: campaign flags that shape a *run* — `campaign merge` refuses them.
 _RUN_SHAPING_FLAGS = (
+    ("spec", "--spec"), ("dump_spec", "--dump-spec"),
     ("preset", "--preset"), ("scenario", "--scenario"),
     ("protocols", "--protocols"), ("M", "--M"), ("phi", "--phi"),
     ("n", "--n"), ("work_target", "--work-target"),
@@ -257,7 +283,20 @@ _RUN_SHAPING_FLAGS = (
     ("share_traces", "--share-traces"), ("results", "--results"),
     ("resume", "--resume"), ("chunk_size", "--chunk-size"),
     ("sink", "--sink"), ("adaptive_ci", "--adaptive-ci"),
+    ("adaptive_wilson", "--adaptive-wilson"),
     ("worker_id", "--worker-id"), ("workers", "--workers"),
+    ("lease", "--lease"), ("poll", "--poll"),
+)
+#: campaign flags subsumed by a spec file — `--spec` refuses them.
+_SPEC_CONFLICT_FLAGS = (
+    ("preset", "--preset"), ("scenario", "--scenario"),
+    ("protocols", "--protocols"), ("M", "--M"), ("phi", "--phi"),
+    ("n", "--n"), ("work_target", "--work-target"),
+    ("replicas", "--replicas"), ("seed", "--seed"),
+    ("share_traces", "--share-traces"), ("chunk_size", "--chunk-size"),
+    ("sink", "--sink"), ("adaptive_ci", "--adaptive-ci"),
+    ("adaptive_wilson", "--adaptive-wilson"), ("workers", "--workers"),
+    ("queue", "--queue"), ("worker_id", "--worker-id"),
     ("lease", "--lease"), ("poll", "--poll"),
 )
 #: campaign flags that only tune a distributed worker — require --queue.
@@ -300,20 +339,32 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_campaign_command(args: argparse.Namespace) -> int:
-    from .sim.campaign import CampaignConfig, cells_table
-    from .sim.executor import execute_campaign
+def _build_campaign_spec(args: argparse.Namespace):
+    """The CampaignSpec the campaign flags describe, or an exit code.
 
-    if args.action == "merge":
-        return _cmd_campaign_merge(args)
+    Every ``campaign`` invocation — preset, explicit grid, or ``--spec``
+    file — converges on one spec object here; execution, ``--dump-spec``
+    and the manifest/queue fingerprints all consume it, so the CLI can no
+    longer describe a campaign the engine cannot serialise.
+    """
+    from .sim.campaign import CampaignConfig
+    from .sim.spec import CampaignSpec, ExecutionPolicy
+
+    if args.spec is not None:
+        # The file is the whole configuration: silently layering flags on
+        # top would run a different campaign than the reviewed spec.
+        conflicts = _explicit_flags(args, _SPEC_CONFLICT_FLAGS)
+        if conflicts:
+            print(f"--spec fixes the whole campaign; drop "
+                  f"{', '.join(conflicts)} or drop --spec", file=sys.stderr)
+            return 2
+        return CampaignSpec.load(args.spec)
 
     overrides: dict = {}
     if args.replicas is not None:
         overrides["replicas"] = args.replicas
     if args.seed is not None:
         overrides["seed"] = args.seed
-    if args.results is not None:
-        overrides["results_path"] = args.results
 
     if args.preset is not None:
         # A preset fixes the whole grid: silently ignoring explicit grid
@@ -352,18 +403,59 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             **overrides,
         )
 
+    controller = None
+    if args.adaptive_ci is not None and args.adaptive_wilson is not None:
+        print("--adaptive-ci and --adaptive-wilson are mutually "
+              "exclusive: a cell stops on one statistic", file=sys.stderr)
+        return 2
+    if args.adaptive_ci is not None:
+        from .sim.adaptive import AdaptiveCI
+
+        controller = AdaptiveCI(
+            max_replicas=config.replicas, tolerance=args.adaptive_ci
+        )
+    if args.adaptive_wilson is not None:
+        from .sim.adaptive import WilsonSuccessRate
+
+        controller = WilsonSuccessRate(
+            max_replicas=config.replicas, tolerance=args.adaptive_wilson
+        )
+    sink = args.sink or ("framed" if args.queue is not None else "ordered")
+    return CampaignSpec(
+        grid=config,
+        policy=ExecutionPolicy(
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            sink=sink,
+            controller=controller,
+            queue=None if args.queue is None else str(args.queue),
+            worker_id=args.worker_id,
+            lease_timeout=args.lease,
+            poll_interval=args.poll,
+        ),
+    )
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    from .sim.campaign import cells_table
+    from .sim.spec import Campaign
+
+    if args.action == "merge":
+        return _cmd_campaign_merge(args)
+
     if args.out is not None or args.partial:
         print("--out/--partial belong to 'campaign merge' (campaign "
               "merge --queue DIR --out FILE [--partial])", file=sys.stderr)
         return 2
-    if args.queue is None:
+    if args.queue is None and args.spec is None:
         distributed_only = _explicit_flags(args, _DISTRIBUTED_ONLY_FLAGS)
         if distributed_only:
             print(f"{', '.join(distributed_only)} require --queue "
                   "(they tune a distributed worker)", file=sys.stderr)
             return 2
-    sink = args.sink or ("framed" if args.queue is not None else "ordered")
     if args.queue is not None:
+        # Flag-level spellings of refusals ExecutionPolicy also enforces:
+        # the CLI names the flag to drop, the policy stays authoritative.
         conflicts = []
         if args.results is not None:
             conflicts.append("--results (workers write shards in the "
@@ -373,43 +465,42 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         if args.workers != 1:
             conflicts.append("--workers (start more --queue workers "
                              "instead)")
-        if sink != "framed":
+        if args.sink is not None and args.sink != "framed":
             conflicts.append("--sink ordered (distributed campaigns are "
                              "framed)")
         if conflicts:
             print("--queue conflicts with " + "; ".join(conflicts),
                   file=sys.stderr)
             return 2
-    if args.resume and config.results_path is None:
+    if args.resume and args.results is None:
         print("--resume requires --results", file=sys.stderr)
         return 2
-    controller = None
-    if args.adaptive_ci is not None:
-        from .sim.adaptive import AdaptiveCI
 
-        controller = AdaptiveCI(
-            max_replicas=config.replicas, tolerance=args.adaptive_ci
-        )
-    execution = execute_campaign(
-        config,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        resume=args.resume,
-        sink=sink,
-        controller=controller,
-        queue=args.queue,
-        worker_id=args.worker_id,
-        lease_timeout=args.lease,
-        poll_interval=args.poll,
-    )
+    spec = _build_campaign_spec(args)
+    if isinstance(spec, int):
+        return spec
+    if args.dump_spec:
+        if args.results is not None or args.resume:
+            print("--dump-spec prints the campaign description, which "
+                  "never contains a results path; drop --results/--resume",
+                  file=sys.stderr)
+            return 2
+        print(spec.to_json(), end="")
+        return 0
+
+    campaign = Campaign(spec)
+    if args.resume:
+        execution = campaign.resume(args.results)
+    else:
+        execution = campaign.run(args.results)
     print(cells_table(execution.cells))
     print(execution.report.describe())
-    if config.results_path is not None:
-        print(f"raw runs: {config.results_path}")
-    if args.queue is not None:
+    if args.results is not None:
+        print(f"raw runs: {args.results}")
+    if spec.policy.queue is not None:
         from .sim.distributed import queue_status
 
-        print(f"queue: {queue_status(args.queue).describe()}")
+        print(f"queue: {queue_status(spec.policy.queue).describe()}")
     return 0
 
 

@@ -218,21 +218,55 @@ def format_m_axis(m_values: np.ndarray) -> list[str]:
 # ----------------------------------------------------------------------
 # Campaign reports (from persisted JSON Lines, zero re-simulation)
 # ----------------------------------------------------------------------
+class _CellAccumulator:
+    """Streaming (Welford) statistics of one grid cell's raw runs.
+
+    Holds five scalars instead of the runs themselves, so reconstructing
+    per-cell summaries from a campaign file is O(#cells) memory however
+    many replicas each cell recorded.
+    """
+
+    __slots__ = ("n", "finite", "mean", "m2", "successes")
+
+    def __init__(self):
+        self.n = 0
+        self.finite = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.successes = 0
+
+    def push(self, run) -> None:
+        self.n += 1
+        self.successes += run.succeeded
+        waste = run.waste
+        if np.isfinite(waste):
+            self.finite += 1
+            delta = waste - self.mean
+            self.mean += delta / self.finite
+            self.m2 += delta * (waste - self.mean)
+
+
 def campaign_cells_from_file(path):
     """Reconstruct per-cell summaries from a campaign results file.
 
     Accepts both sink formats (plain grid-order records and out-of-order
-    frames — :func:`repro.io.iter_campaign_runs` decides per line), groups
+    frames — :func:`repro.io.scan_campaign_runs` decides per line), groups
     the raw runs by their recorded (protocol, M, φ) identity, and rebuilds
     one :class:`~repro.sim.campaign.CampaignCell` per group, protocol-major
     in first-seen protocol order with M and φ ascending — the campaign
     grid order, whatever order the records landed in.
+
+    The file is **streamed**: each record updates a per-cell running
+    (Welford) accumulator and is dropped, so memory is proportional to
+    the grid, never to the replica count — a million-record adaptive
+    campaign reports in constant space.  The returned cells therefore
+    carry summaries only (``cell.results`` is empty).
     """
     from .. import io as repro_io
     from ..sim.campaign import CampaignCell
     from ..sim.results import MonteCarloSummary
 
-    groups: dict[tuple[str, float, float], list] = {}
+    groups: dict[tuple[str, float, float], _CellAccumulator] = {}
     protocol_order: dict[str, int] = {}
     for position, (cell_index, run) in enumerate(
         repro_io.scan_campaign_runs(path)
@@ -255,7 +289,10 @@ def campaign_cells_from_file(path):
         protocol_order[protocol] = min(
             protocol_order.get(protocol, rank), rank
         )
-        groups.setdefault(key, []).append(run)
+        acc = groups.get(key)
+        if acc is None:
+            acc = groups[key] = _CellAccumulator()
+        acc.push(run)
 
     if not groups:
         raise ParameterError(
@@ -270,15 +307,14 @@ def campaign_cells_from_file(path):
         groups, key=lambda k: (protocol_order[k[0]], k[1], k[2])
     ):
         protocol, m, phi = key
-        runs = groups[key]
-        summary = MonteCarloSummary.from_samples(
-            [r.waste for r in runs],
-            successes=sum(r.succeeded for r in runs),
+        acc = groups[key]
+        summary = MonteCarloSummary.from_moments(
+            n_total=acc.n, n_finite=acc.finite, mean=acc.mean, m2=acc.m2,
+            successes=acc.successes,
             meta={"protocol": protocol, "M": m, "phi": phi},
         )
         cells.append(CampaignCell(
-            protocol=protocol, M=m, phi=phi,
-            summary=summary, results=tuple(runs),
+            protocol=protocol, M=m, phi=phi, summary=summary,
         ))
     return cells
 
@@ -309,7 +345,8 @@ def campaign_report(path) -> str:
          "success rate"],
         rows,
         title=f"=== campaign results ({path.name}, "
-              f"{sum(len(c.results) for c in cells)} runs, no re-simulation) ===",
+              f"{sum(c.summary.n_replicas for c in cells)} runs, "
+              "no re-simulation) ===",
     ))
 
     protocols = list(dict.fromkeys(c.protocol for c in cells))

@@ -45,6 +45,7 @@ __all__ = [
     "get_scenario",
     "CampaignPreset",
     "CAMPAIGN_PRESETS",
+    "TRACE_INTERARRIVALS",
     "get_campaign_preset",
 ]
 
@@ -227,20 +228,37 @@ class CampaignPreset:
     def distribution(self):
         """Instantiate the failure law (None ⇒ exponential default).
 
-        Two spec grammars are understood:
+        Three spec grammars are understood:
 
         * ``"<kind>:<shape>"`` — a shaped law (``"weibull:0.7"``,
           ``"lognormal:1.5"``, ``"gamma:2"``);
         * ``"hyperexp:<w>@<m>,<w>@<m>,..."`` — a mixture of exponentials
           with weights ``w`` and *relative* means ``m`` (heterogeneous-
           MTBF platform; the injector rescales the overall mean per cell,
-          so only the ratios of the ``m`` matter).
+          so only the ratios of the ``m`` matter);
+        * ``"empirical:<t>,<t>,..."`` — bootstrap resampling of recorded
+          inter-arrival times ``t`` (trace bootstrap; again only the
+          *relative* spacings matter, since the injector rescales the
+          mean to each grid cell's node MTBF).
         """
         if self.failure_law is None:
             return None
-        from ..sim.distributions import Exponential, Gamma, LogNormal, Mixture, Weibull
+        from ..sim.distributions import (
+            Empirical, Exponential, Gamma, LogNormal, Mixture, Weibull,
+        )
 
         kind, _, arg = self.failure_law.partition(":")
+        if kind == "empirical":
+            try:
+                times = [float(tok) for tok in arg.split(",") if tok.strip()]
+            except ValueError:
+                raise ParameterError(
+                    f"failure_law {self.failure_law!r}: expected "
+                    "'empirical:<t>,<t>,...' with numeric inter-arrival "
+                    "times"
+                ) from None
+            # Empirical validates count/positivity; rescaled per cell.
+            return Empirical(times)
         if kind == "hyperexp":
             pairs: list[tuple[float, float]] = []
             for token in arg.split(","):
@@ -264,7 +282,7 @@ class CampaignPreset:
         if kind not in laws:
             raise ParameterError(
                 f"unknown failure law {kind!r}; known: "
-                f"{sorted(laws) + ['hyperexp']}"
+                f"{sorted(laws) + ['empirical', 'hyperexp']}"
             )
         try:
             shape = float(arg)
@@ -296,6 +314,24 @@ class CampaignPreset:
         )
         fields.update(overrides)
         return CampaignConfig(**fields)
+
+    def spec(self, *, policy=None, **overrides: Any):
+        """The preset as a :class:`~repro.sim.spec.CampaignSpec`.
+
+        This is how presets are *named specs*: ``Campaign("smoke")``
+        resolves here, and ``preset.spec().save(path)`` freezes the
+        workload into a JSON file loadable by ``campaign --spec FILE``.
+        ``policy`` supplies a non-default
+        :class:`~repro.sim.spec.ExecutionPolicy`; grid ``overrides`` pass
+        through to :meth:`campaign_config` (``results_path`` is refused —
+        a spec describes the campaign, not one execution of it).
+        """
+        from ..sim.spec import CampaignSpec, ExecutionPolicy
+
+        return CampaignSpec(
+            grid=self.campaign_config(**overrides),
+            policy=policy or ExecutionPolicy(),
+        )
 
 
 #: Exascale platform under a Weibull infant-mortality law (shape 0.7):
@@ -391,6 +427,44 @@ HETERO_MTBF = CampaignPreset(
     failure_law="hyperexp:0.2@0.25,0.8@1.1875",
 )
 
+#: A recorded failure trace's inter-arrival times, normalised to mean ≈ 1
+#: (the injector rescales to each grid cell's node MTBF, so only the
+#: relative spacings matter).  The shape is the standard HPC-log picture
+#: the Weibull/lognormal fits in [8]–[11] approximate: bursts of short
+#: gaps (cascading node failures after a shared-cause event) separated by
+#: long quiet stretches — over-dispersed (CV > 1) like ``hetero-mtbf``,
+#: but with the lumpy, multi-modal spacing no parametric law reproduces.
+#: A literal tuple, not a seeded sample: presets must fingerprint
+#: identically on every platform and numpy version.
+TRACE_INTERARRIVALS: tuple[float, ...] = (
+    0.04, 0.07, 0.05, 0.11, 0.09, 0.06, 0.13, 0.08, 2.9, 0.12, 0.05,
+    0.1, 0.07, 0.15, 3.6, 0.09, 0.11, 0.06, 0.14, 0.08, 4.8, 0.1,
+    0.05, 0.12, 0.07, 2.2, 0.13, 0.09, 0.06, 0.16, 5.4, 0.11, 0.08,
+    0.1, 0.07, 3.1, 0.12, 0.09, 0.14, 0.06, 6.2, 0.1, 0.08, 0.11,
+    2.7, 0.13, 0.07, 0.09,
+)
+
+#: Trace bootstrap: failures drawn by resampling the recorded
+#: inter-arrival times above (``Empirical`` law) instead of any fitted
+#: parametric shape — the distribution-free check that the paper's
+#: period tuning survives *real* clustering, not just the Weibull/
+#: hyperexponential idealisations of it.
+TRACE_BOOTSTRAP = CampaignPreset(
+    key="trace-bootstrap",
+    description=(
+        "Base platform replaying a recorded failure trace's shape via "
+        "bootstrap resampling (Empirical law, bursty CV>1) - the "
+        "distribution-free stress no parametric fit reproduces"
+    ),
+    scenario="base",
+    protocols=("double-nbl", "double-bof", "triple"),
+    m_values=(600.0, 1800.0, 3600.0),
+    phi_values=(1.0, 2.0),
+    work_target=3600.0,
+    n=24,
+    failure_law="empirical:" + ",".join(f"{t:g}" for t in TRACE_INTERARRIVALS),
+)
+
 #: Sub-second end-to-end grid: 2 protocols × 2 MTBFs × 1 φ at 12 nodes.
 #: Exists so every execution path — serial, process pools, both sinks,
 #: and multi-machine queues — has a named workload cheap enough for CI
@@ -415,7 +489,7 @@ SMOKE = CampaignPreset(
 CAMPAIGN_PRESETS: dict[str, CampaignPreset] = {
     p.key: p for p in (
         EXA_WEIBULL, HIGH_CHURN, SLOW_STORAGE, WEIBULL_WEAROUT,
-        HETERO_MTBF, SMOKE,
+        HETERO_MTBF, TRACE_BOOTSTRAP, SMOKE,
     )
 }
 

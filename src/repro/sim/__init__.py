@@ -15,14 +15,22 @@ Three tiers, by increasing speed and decreasing granularity:
 
 Campaign architecture
 ---------------------
-Protocol × M × φ sweeps run through a layered subsystem, each layer
-replaceable without touching the others:
+Protocol × M × φ sweeps are *described* by one serializable value and
+*executed* by a layered subsystem, each layer replaceable without
+touching the others:
 
-``campaign``  (what)
-    The declarative grid: :class:`~repro.sim.campaign.CampaignConfig`,
-    validation, and the serial-compatible ``run_campaign`` API.
+``spec``  (the description, and the public API)
+    :class:`~repro.sim.spec.CampaignSpec` = grid ⊕
+    :class:`~repro.sim.spec.ExecutionPolicy` — frozen, versioned,
+    JSON-round-trippable; manifests and queue directories store its
+    fingerprint verbatim, so drift detection is spec inequality.
+    :class:`~repro.sim.spec.Campaign` is the façade:
+    ``Campaign(spec).run(path)/resume(path)/report()/merge(out)``.
+``campaign``  (the grid)
+    :class:`~repro.sim.campaign.CampaignConfig` and validation; the
+    deprecated pre-spec ``run_campaign`` shim.
 ``executor``  (orchestration)
-    :func:`~repro.sim.executor.execute_campaign` plans the grid into
+    :func:`~repro.sim.executor.execute_spec` plans the grid into
     deterministic cell chunks, recovers finished cells on resume
     (manifest + per-record identity checks), then streams backend output
     into the sink and aggregates :class:`~repro.sim.campaign.CampaignCell`
@@ -44,9 +52,11 @@ replaceable without touching the others:
 ``adaptive``  (how many replicas)
     :class:`~repro.sim.adaptive.ReplicaController` stopping rules:
     :class:`~repro.sim.adaptive.FixedReplicas` (default, bit-identical to
-    serial) or :class:`~repro.sim.adaptive.AdaptiveCI`, which ends a cell
-    once its mean-waste CI half-width meets a tolerance — deterministic
-    given the seed schedule, so adaptive campaigns resume exactly.
+    serial), :class:`~repro.sim.adaptive.AdaptiveCI` (stop once the
+    mean-waste CI half-width meets a tolerance) or
+    :class:`~repro.sim.adaptive.WilsonSuccessRate` (stop once the
+    success-rate Wilson interval is narrow) — deterministic given the
+    seed schedule, so adaptive campaigns resume exactly.
 
 Supporting modules: ``engine`` (event queue), ``rng`` (reproducible
 streams), ``distributions`` (failure laws), ``failures`` (injection),
@@ -71,13 +81,20 @@ from .des import DesConfig, run_des, run_des_batch
 from .renewal import RenewalConfig, run_renewal, run_renewal_batch
 from .riskmc import RiskMcConfig, run_risk_mc
 from .campaign import CampaignCell, CampaignConfig, run_campaign
-from .adaptive import AdaptiveCI, FixedReplicas, ReplicaController
+from .adaptive import (
+    AdaptiveCI,
+    FixedReplicas,
+    ReplicaController,
+    WilsonSuccessRate,
+)
 from .backends import CampaignBackend, ProcessPoolBackend, SerialBackend
 from .sinks import FramedJsonlSink, OrderedJsonlSink, ResultSink
+from .spec import Campaign, CampaignSpec, ExecutionPolicy
 from .executor import (
     CampaignExecution,
     ExecutionReport,
     execute_campaign,
+    execute_spec,
     run_campaign_parallel,
 )
 
@@ -104,9 +121,13 @@ __all__ = [
     "CampaignConfig",
     "CampaignCell",
     "run_campaign",
+    "CampaignSpec",
+    "ExecutionPolicy",
+    "Campaign",
     "ReplicaController",
     "FixedReplicas",
     "AdaptiveCI",
+    "WilsonSuccessRate",
     "CampaignBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -116,5 +137,6 @@ __all__ = [
     "CampaignExecution",
     "ExecutionReport",
     "execute_campaign",
+    "execute_spec",
     "run_campaign_parallel",
 ]

@@ -11,6 +11,17 @@ cell needs every replica it can get.  A :class:`ReplicaController` decides
 * :class:`AdaptiveCI` — run replicas in batches and stop as soon as the
   Student-t confidence-interval half-width of the mean waste falls below
   a tolerance (never before ``min_replicas``, never past ``max_replicas``).
+* :class:`WilsonSuccessRate` — batch like :class:`AdaptiveCI`, but stop
+  once the *Wilson interval width of the success rate* is small enough:
+  the right rule when a campaign estimates fatal-failure probabilities
+  (the paper's risk analysis) rather than mean waste — a cell whose runs
+  all succeed (or all die) pins its proportion down long before its waste
+  CI converges.
+
+Controllers are part of the campaign's identity: each serialises to a
+JSON ``fingerprint()`` stored in manifests and
+:class:`~repro.sim.spec.CampaignSpec` objects, and
+:func:`controller_from_dict` inverts it.
 
 Determinism
 -----------
@@ -39,15 +50,17 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ParameterError
-from .results import ci_half_width
+from .results import ci_half_width, wilson_interval
 
 __all__ = [
     "ReplicaController",
     "FixedReplicas",
     "AdaptiveCI",
+    "WilsonSuccessRate",
     "StopCursor",
     "ci_half_width",
     "stop_count",
+    "controller_from_dict",
 ]
 
 
@@ -246,6 +259,135 @@ class _AdaptiveCursor(StopCursor):
             sps.t.ppf(0.5 + self._rule.confidence / 2.0, df=self._k - 1)
             * math.sqrt(variance) / math.sqrt(self._k)
         )
+
+
+@dataclass(frozen=True)
+class WilsonSuccessRate(ReplicaController):
+    """Stop once the Wilson interval width of the success rate is small.
+
+    The controller only sees waste samples, but a replica's waste is
+    finite **iff** the run completed (:attr:`DesResult.waste` is NaN for
+    fatal/timeout runs), so the success count is recoverable from the
+    samples alone — which keeps resume replays pure functions of the
+    recorded wastes, exactly like the other rules.
+
+    ``tolerance`` bounds the *full* interval width (``hi − lo``, a value
+    in ``(0, 1)``).  Checks run at the same batch boundaries as
+    :class:`AdaptiveCI` so the early decisions are not hypersensitive to
+    the first couple of replicas.
+    """
+
+    max_replicas: int
+    #: Maximum Wilson interval width (hi − lo) of the success rate.
+    tolerance: float
+    min_replicas: int = 3
+    batch: int = 2
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.max_replicas < 1:
+            raise ParameterError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+        if not math.isfinite(self.tolerance) or not 0 < self.tolerance < 1:
+            raise ParameterError(
+                f"tolerance must lie in (0, 1) — it bounds the width of a "
+                f"proportion interval — got {self.tolerance!r}"
+            )
+        if self.min_replicas < 1:
+            raise ParameterError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {self.batch}")
+        if not 0 < self.confidence < 1:
+            raise ParameterError(
+                f"confidence must lie in (0, 1), got {self.confidence!r}"
+            )
+
+    def should_stop(self, wastes: Sequence[float]) -> bool:
+        n = len(wastes)
+        if n >= self.max_replicas:
+            return True
+        if n < self.min_replicas or (n - self.min_replicas) % self.batch:
+            return False
+        successes = sum(1 for w in wastes if math.isfinite(w))
+        lo, hi = wilson_interval(successes, n, self.confidence)
+        return hi - lo <= self.tolerance
+
+    def cursor(self) -> StopCursor:
+        return _WilsonCursor(self)
+
+    def fingerprint(self) -> dict:
+        return {
+            "kind": "WilsonSuccessRate",
+            "max_replicas": int(self.max_replicas),
+            "tolerance": float(self.tolerance),
+            "min_replicas": int(self.min_replicas),
+            "batch": int(self.batch),
+            "confidence": float(self.confidence),
+        }
+
+
+class _WilsonCursor(StopCursor):
+    """O(1)-per-push cursor for :class:`WilsonSuccessRate` (two counters)."""
+
+    def __init__(self, rule: WilsonSuccessRate):
+        self._rule = rule
+        self._n = 0
+        self._successes = 0
+
+    def push(self, waste: float) -> bool:
+        self._n += 1
+        if math.isfinite(waste):
+            self._successes += 1
+        rule = self._rule
+        if self._n >= rule.max_replicas:
+            return True
+        if (self._n < rule.min_replicas
+                or (self._n - rule.min_replicas) % rule.batch):
+            return False
+        lo, hi = wilson_interval(self._successes, self._n, rule.confidence)
+        return hi - lo <= rule.tolerance
+
+
+def controller_from_dict(data: dict | None) -> ReplicaController | None:
+    """Rebuild a controller from its :meth:`ReplicaController.fingerprint`.
+
+    ``None`` — the fingerprint of the default fixed-count rule — returns
+    ``None``: the caller owns the replica budget and builds the
+    :class:`FixedReplicas` itself.  Decodes the built-in adaptive rules;
+    anything else is refused by name, so a spec or queue manifest written
+    by a newer library fails loudly instead of silently running
+    fixed-count.
+    """
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"a replica-controller spec must be an object, "
+            f"got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    kinds = {"AdaptiveCI": AdaptiveCI, "WilsonSuccessRate": WilsonSuccessRate}
+    if kind not in kinds:
+        raise ParameterError(
+            f"unknown replica controller {kind!r}; this library knows "
+            f"{sorted(kinds)} (and the fixed-count default, spelled null)"
+        )
+    try:
+        return kinds[kind](
+            max_replicas=int(data["max_replicas"]),
+            tolerance=float(data["tolerance"]),
+            min_replicas=int(data["min_replicas"]),
+            batch=int(data["batch"]),
+            confidence=float(data["confidence"]),
+        )
+    except KeyError as exc:
+        raise ParameterError(
+            f"replica-controller spec of kind {kind!r} is missing "
+            f"field {exc}"
+        ) from exc
 
 
 def stop_count(

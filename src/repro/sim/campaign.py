@@ -5,12 +5,14 @@ overheads × replicas — collects per-cell summaries, and (optionally)
 persists every raw run as JSON Lines via :mod:`repro.io` so expensive
 sweeps survive interruption and can be re-analysed offline.
 
-This module defines the campaign *description* (:class:`CampaignConfig`,
-:class:`CampaignCell`, validation); execution lives in
-:mod:`repro.sim.executor`, which shards the grid across worker processes
-and can resume a partially written results file.  :func:`run_campaign`
-remains the serial-compatible API: it delegates to the executor with one
-in-process worker and returns exactly what it always has.
+This module defines the campaign *grid* (:class:`CampaignConfig`,
+:class:`CampaignCell`, validation).  A grid plus an
+:class:`~repro.sim.spec.ExecutionPolicy` forms a
+:class:`~repro.sim.spec.CampaignSpec` — the one serializable campaign
+description — and :class:`~repro.sim.spec.Campaign` is the public entry
+point that runs/resumes/reports it (execution mechanism:
+:mod:`repro.sim.executor`).  :func:`run_campaign` is the pre-spec legacy
+API, kept as a deprecation shim that builds a spec.
 
 Common-random-numbers support: with ``share_traces=True`` each
 (M, replica) cell pre-generates one failure trace and replays it for
@@ -144,19 +146,39 @@ class CampaignCell:
         return self.summary.success_rate
 
 
-def run_campaign(config: CampaignConfig) -> list[CampaignCell]:
-    """Execute the sweep serially; returns one :class:`CampaignCell` per
-    grid cell.
+def run_campaign(config: CampaignConfig, **kwargs) -> list[CampaignCell]:
+    """Deprecated: execute the sweep serially, one cell per grid cell.
 
-    Cells are evaluated protocol-major so shared traces are generated once
-    per (M, replica) and reused across protocols.  For multi-core and
-    resumable execution use :func:`repro.sim.executor.run_campaign_parallel`
-    (bit-identical output) — this function is the serial-compatible wrapper
-    around the same engine.
+    .. deprecated::
+        Build a :class:`~repro.sim.spec.CampaignSpec` and use
+        :meth:`~repro.sim.spec.Campaign.run` instead::
+
+            Campaign(CampaignSpec(grid=config)).run(results_path)
+
+        Output is unchanged (cells are evaluated protocol-major, shared
+        traces generated once per (M, replica)); the spec object is what
+        serialises, fingerprints and scales to pools and queues.
+
+    ``kwargs`` accepts the historical executor keywords (``workers``,
+    ``sink``, ``controller``, ...) so pre-spec call sites keep working;
+    they are folded into the spec's
+    :class:`~repro.sim.spec.ExecutionPolicy`.
     """
-    from .executor import execute_campaign
+    import warnings
 
-    return list(execute_campaign(config, workers=1).cells)
+    warnings.warn(
+        "run_campaign is deprecated: build a CampaignSpec and use "
+        "Campaign(spec).run(results_path)",
+        DeprecationWarning, stacklevel=2,
+    )
+    from .executor import execute_spec
+    from .spec import CampaignSpec
+
+    resume = bool(kwargs.pop("resume", False))
+    spec = CampaignSpec.from_legacy_kwargs(config, **kwargs)
+    return list(execute_spec(
+        spec, results_path=config.results_path, resume=resume,
+    ).cells)
 
 
 def cells_table(cells: Sequence[CampaignCell]) -> str:

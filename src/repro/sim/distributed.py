@@ -11,11 +11,12 @@ multi-process runs on one box):
 
 ``queue-dir/``
     ``manifest.json``
-        The campaign fingerprint (identical to the results-file sidecar
-        manifest) plus the chunk layout.  Every joining worker recomputes
-        the fingerprint from its own configuration and refuses to work a
-        queue that disagrees — the multi-machine analogue of the resume
-        drift check.
+        The campaign's spec fingerprint
+        (:meth:`repro.sim.spec.CampaignSpec.fingerprint` — identical to
+        the results-file sidecar manifest) plus the chunk layout.  Every
+        joining worker recomputes the fingerprint from its own spec and
+        refuses to work a queue that disagrees — the multi-machine
+        analogue of the resume drift check, expressed as spec inequality.
     ``pending/chunk-NNNNN.json``
         One ticket per unclaimed chunk.  Claiming is a single
         ``os.rename`` into ``claims/`` — atomic on POSIX, so exactly one
@@ -74,7 +75,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from ..errors import ParameterError
-from .adaptive import AdaptiveCI, FixedReplicas, ReplicaController, stop_count
+from .adaptive import ReplicaController, stop_count
 from .backends import CampaignBackend, run_cell
 from .campaign import CampaignConfig
 from .results import DesResult
@@ -91,7 +92,11 @@ __all__ = [
 ]
 
 _QUEUE_FORMAT = "repro-campaign-queue"
-_QUEUE_VERSION = 1
+#: Version 1 embedded a hand-built fingerprint dict; 2 embeds the
+#: campaign's spec fingerprint (``repro.sim.spec``).  Queues are
+#: transient coordination state, so version 1 is refused (finish or
+#: merge it with the library that created it) rather than translated.
+_QUEUE_VERSION = 2
 #: Worker ids become file-name components: keep them boring.
 _WORKER_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 _CLAIM_RE = re.compile(r"^chunk-(\d+)\.g(\d+)\.([A-Za-z0-9_-]+)\.json$")
@@ -265,7 +270,9 @@ def read_queue_manifest(queue: str | pathlib.Path) -> dict:
     if manifest.get("version") != _QUEUE_VERSION:
         raise ParameterError(
             f"{path}: unsupported queue version {manifest.get('version')!r} "
-            f"(this library speaks version {_QUEUE_VERSION})"
+            f"(this library speaks version {_QUEUE_VERSION}; a version-1 "
+            "queue was written by an older library — finish or merge it "
+            "there, or start a fresh queue directory)"
         )
     return manifest
 
@@ -512,27 +519,17 @@ class DistributedBackend(CampaignBackend):
 def _controller_from_manifest(campaign_fp: dict) -> ReplicaController:
     """Rebuild the replica controller a queue's campaign ran under.
 
-    The campaign fingerprint records the adaptive settings (or ``None``
-    for the fixed-count default), which is everything the merge needs to
-    replay per-cell completeness without access to the original
-    :class:`~repro.sim.adaptive.ReplicaController` object.
+    The queue manifest embeds the campaign's spec fingerprint, which
+    records the controller (or ``None`` for the fixed-count default) —
+    everything the merge needs to replay per-cell completeness without
+    access to the original :class:`~repro.sim.adaptive.ReplicaController`
+    object.  Parsing the whole spec (rather than plucking one key) also
+    validates that the queue really was written by a compatible library.
     """
-    adaptive = campaign_fp.get("adaptive")
-    if adaptive is None:
-        return FixedReplicas(int(campaign_fp["replicas"]))
-    if adaptive.get("kind") != "AdaptiveCI":
-        raise ParameterError(
-            f"queue manifest names unknown replica controller "
-            f"{adaptive.get('kind')!r}; this library only merges "
-            "fixed-count and AdaptiveCI campaigns"
-        )
-    return AdaptiveCI(
-        max_replicas=int(adaptive["max_replicas"]),
-        tolerance=float(adaptive["tolerance"]),
-        min_replicas=int(adaptive["min_replicas"]),
-        batch=int(adaptive["batch"]),
-        confidence=float(adaptive["confidence"]),
-    )
+    from .spec import CampaignSpec
+
+    spec = CampaignSpec.from_dict(campaign_fp)
+    return spec.controller()
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,13 @@ its risk analysis assumes exponential arrivals.  The literature it cites
 
 Every distribution is parameterised by its **mean** (the node MTBF) so
 protocol comparisons hold the first moment fixed while varying the shape.
+
+Distributions are plain values: :meth:`FailureDistribution.to_dict` gives
+a lossless JSON form (:class:`Empirical` carries its full sample, unlike
+the digest-only :meth:`~FailureDistribution.fingerprint`),
+:func:`distribution_from_dict` inverts it, and equality compares that
+form — which is what lets a :class:`~repro.sim.spec.CampaignSpec` holding
+any failure law round-trip through JSON and compare for drift.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ __all__ = [
     "Deterministic",
     "Empirical",
     "Mixture",
+    "distribution_from_dict",
 ]
 
 
@@ -65,6 +73,26 @@ class FailureDistribution(ABC):
         to refuse resuming a sweep under a different failure law).
         Subclasses with shape parameters must extend it."""
         return {"kind": type(self).__name__, "mean": self.mean()}
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form; :func:`distribution_from_dict` inverts it.
+
+        Unlike :meth:`fingerprint` (which may digest large state, e.g. an
+        empirical sample, down to a hash) this carries everything needed
+        to rebuild the distribution exactly.  The default covers laws
+        fully described by their mean; shaped laws extend it.
+        """
+        return {"kind": type(self).__name__, "mean": self.mean()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureDistribution):
+            return NotImplemented
+        return type(self) is type(other) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        import json
+
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(mean={self.mean():g})"
@@ -126,6 +154,9 @@ class Weibull(FailureDistribution):
     def fingerprint(self) -> dict:
         return {**super().fingerprint(), "shape": self.shape}
 
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "shape": self.shape}
+
 
 class LogNormal(FailureDistribution):
     """Log-normal law with the requested mean and log-space std ``sigma``."""
@@ -150,6 +181,9 @@ class LogNormal(FailureDistribution):
     def fingerprint(self) -> dict:
         return {**super().fingerprint(), "sigma": self.sigma}
 
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "sigma": self.sigma}
+
 
 class Gamma(FailureDistribution):
     """Gamma law with shape ``k`` and the requested mean (scale = mean/k)."""
@@ -172,6 +206,9 @@ class Gamma(FailureDistribution):
 
     def fingerprint(self) -> dict:
         return {**super().fingerprint(), "shape": self.shape}
+
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "shape": self.shape}
 
 
 class Deterministic(FailureDistribution):
@@ -224,6 +261,12 @@ class Empirical(FailureDistribution):
         digest = hashlib.sha256(self._data.tobytes()).hexdigest()[:16]
         return {**super().fingerprint(), "n_samples": int(self._data.size),
                 "data_sha256": digest}
+
+    def to_dict(self) -> dict:
+        # The full sample, not the fingerprint digest: a spec must be able
+        # to rebuild the bootstrap source exactly (mean is derived).
+        return {"kind": "Empirical",
+                "interarrivals": [float(x) for x in self._data]}
 
     @property
     def data(self) -> np.ndarray:
@@ -307,8 +350,59 @@ class Mixture(FailureDistribution):
             "components": [c.fingerprint() for c in self.components],
         }
 
+    def to_dict(self) -> dict:
+        # Mean is derived from the (normalised) weights and components.
+        return {
+            "kind": "Mixture",
+            "weights": [float(w) for w in self.weights],
+            "components": [c.to_dict() for c in self.components],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
             f"{w:.3g}*{c!r}" for w, c in zip(self.weights, self.components)
         )
         return f"Mixture({parts})"
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def distribution_from_dict(data: dict) -> FailureDistribution:
+    """Rebuild a distribution from :meth:`FailureDistribution.to_dict`.
+
+    Validates shape and kind with actionable errors — this is the decode
+    path for hand-written :class:`~repro.sim.spec.CampaignSpec` JSON
+    files, not just for trusted round-trips.
+    """
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"a failure-law spec must be an object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    try:
+        if kind == "Exponential":
+            return Exponential(data["mean"])
+        if kind == "Weibull":
+            return Weibull(data["mean"], data["shape"])
+        if kind == "LogNormal":
+            return LogNormal(data["mean"], data["sigma"])
+        if kind == "Gamma":
+            return Gamma(data["mean"], data["shape"])
+        if kind == "Deterministic":
+            return Deterministic(data["mean"])
+        if kind == "Empirical":
+            return Empirical(data["interarrivals"])
+        if kind == "Mixture":
+            return Mixture(
+                [distribution_from_dict(c) for c in data["components"]],
+                data["weights"],
+            )
+    except KeyError as exc:
+        raise ParameterError(
+            f"failure-law spec of kind {kind!r} is missing field {exc}"
+        ) from exc
+    raise ParameterError(
+        f"unknown failure-law kind {kind!r}; known: Deterministic, "
+        "Empirical, Exponential, Gamma, LogNormal, Mixture, Weibull"
+    )

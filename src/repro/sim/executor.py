@@ -1,8 +1,10 @@
 """Campaign orchestration: plan, recover, execute, stream, summarise.
 
-:mod:`repro.sim.campaign` defines *what* a campaign is (a protocol × M × φ
-grid of DES runs); this module wires together the three layers that decide
-*how* one executes:
+A campaign is *described* by one value — the
+:class:`~repro.sim.spec.CampaignSpec` (grid ⊕
+:class:`~repro.sim.spec.ExecutionPolicy`) — and this module is the
+mechanism that executes it.  :func:`execute_spec` wires four replaceable
+layers together:
 
 * **Planning** — the grid is flattened into a deterministic, serial-order
   list of :class:`CellPlan` entries (protocol-major, then M, then φ) and
@@ -15,64 +17,76 @@ grid of DES runs); this module wires together the three layers that decide
   processes (:class:`~repro.sim.backends.ProcessPoolBackend`), or across
   *machines* (:class:`~repro.sim.distributed.DistributedBackend`, a
   work-stealing consumer of a shared chunk-queue directory), all
-  yielding chunks in completion order.
+  yielding chunks in completion order.  The policy's ``workers`` /
+  ``queue`` fields pick one.
 * **Sinks** (:mod:`repro.sim.sinks`) — finished cells stream to a
-  :class:`~repro.sim.sinks.ResultSink`: the in-order JSONL sink (the
-  results file stays an exact byte prefix of the serial file) or the
-  out-of-order *framed* sink (records land the moment a cell finishes; no
-  head-of-line blocking).  Both support ``resume=True``: an existing file
-  is scanned, identity-checked against the grid, truncated past the last
-  complete cell, and only the remainder executes.  A sidecar manifest
-  (``<results>.manifest``) fingerprints the full configuration — including
-  the sink mode and any adaptive-replica settings — so resuming under
-  drifted settings is refused instead of silently mixing two campaigns.
-* **Replica control** (:mod:`repro.sim.adaptive`) — a
-  :class:`~repro.sim.adaptive.ReplicaController` decides per cell how
-  many replicas actually run.  The default
-  :class:`~repro.sim.adaptive.FixedReplicas` preserves bit-identity with
-  the historical serial path; :class:`~repro.sim.adaptive.AdaptiveCI`
-  stops converged cells early (framed sink required, since the record
-  count per cell varies).
+  :class:`~repro.sim.sinks.ResultSink` chosen by ``policy.sink``: the
+  in-order JSONL sink (the results file stays an exact byte prefix of
+  the serial file) or the out-of-order *framed* sink (records land the
+  moment a cell finishes; no head-of-line blocking).  Both support
+  resume: an existing file is scanned, identity-checked against the
+  grid, truncated past the last complete cell, and only the remainder
+  executes.
+* **Replica control** (:mod:`repro.sim.adaptive`) — ``policy.controller``
+  decides per cell how many replicas actually run: every one
+  (:class:`~repro.sim.adaptive.FixedReplicas`, the default and the
+  bit-identical-to-serial path), or adaptively
+  (:class:`~repro.sim.adaptive.AdaptiveCI`,
+  :class:`~repro.sim.adaptive.WilsonSuccessRate`; framed sink required).
+
+A sidecar manifest (``<results>.manifest``) stores the campaign's
+**spec fingerprint** (:meth:`~repro.sim.spec.CampaignSpec.fingerprint`)
+verbatim, so resuming under drifted settings is detected as *spec
+inequality* and refused instead of silently mixing two campaigns.
+Pre-spec (version-1) manifests are still read and checked.
 
 Layer diagram (single machine, and the distributed shard-merge flow)::
 
+                         CampaignSpec  =  grid ⊕ ExecutionPolicy
+                              │   (one JSON value: spec.to_dict())
+              Campaign(spec).run(path) / execute_spec(spec, ...)
+                              ▼
     plan_cells ──► chunks ──► CampaignBackend ──► ResultSink ──► file
-                               Serial/ProcessPool   Ordered/Framed  results.jsonl (+ .manifest)
+                               Serial/ProcessPool   Ordered/Framed  results.jsonl
+                                                                  + .manifest (spec fingerprint)
 
     queue dir (shared filesystem)              per machine
-    ┌──────────────────────────────┐     ┌──────────────────────────┐
-    │ manifest.json  (fingerprint) │◄───►│ execute_campaign(queue=) │
-    │ pending/  claims/  done/     │     │   DistributedBackend     │
-    │   (atomic-rename claims,     │     │   claim → run → append   │
-    │    lease-expiry stealing)    │     │   → done marker          │
-    │ shards/worker-A.jsonl ◄──────┼─────┤   WorkerShardSink        │
-    │ shards/worker-B.jsonl  ...   │     └──────────────────────────┘
-    └──────────────┬───────────────┘
-                   ▼ merge_shards (scan_frames + dedupe + reorder)
+    ┌──────────────────────────────┐     ┌──────────────────────────────┐
+    │ manifest.json (spec + chunks)│◄───►│ Campaign(spec_with_queue)    │
+    │ pending/  claims/  done/     │     │   .run()                     │
+    │   (atomic-rename claims,     │     │   DistributedBackend         │
+    │    lease-expiry stealing)    │     │   claim → run → append       │
+    │ shards/worker-A.jsonl ◄──────┼─────┤   → done marker              │
+    │ shards/worker-B.jsonl  ...   │     │   WorkerShardSink            │
+    └──────────────┬───────────────┘     └──────────────────────────────┘
+                   ▼ Campaign(spec).merge(out) — scan_frames + dedupe + reorder
           results.jsonl + .manifest   — resumes/reports like any
                                         single-machine framed run
 
 Entry points
 ------------
-:func:`execute_campaign` runs a :class:`~repro.sim.campaign.CampaignConfig`
-and returns a :class:`CampaignExecution` (cells + an
-:class:`ExecutionReport` with skip/run/replica counts and timings).
-:func:`run_campaign_parallel` is the convenience wrapper returning just the
-cells; ``repro.sim.campaign.run_campaign`` delegates here with one
-in-process worker, so the serial API is unchanged.
+:meth:`repro.sim.spec.Campaign.run` is the public API;
+:func:`execute_spec` is the engine underneath it, returning a
+:class:`CampaignExecution` (cells + an :class:`ExecutionReport` with
+skip/run/replica counts and timings).  The pre-spec kwarg surface —
+:func:`execute_campaign`, :func:`run_campaign_parallel`,
+``repro.sim.campaign.run_campaign`` — survives as thin shims that build
+a spec and emit a :class:`DeprecationWarning`.
 
 Example
 -------
 >>> from repro import DOUBLE_NBL, TRIPLE, scenarios
 >>> from repro.sim.campaign import CampaignConfig
->>> from repro.sim.executor import run_campaign_parallel
->>> cfg = CampaignConfig(
-...     protocols=(DOUBLE_NBL, TRIPLE),
-...     base_params=scenarios.BASE.parameters(M=600.0, n=12),
-...     m_values=(600.0,), phi_values=(1.0,), work_target=900.0,
-...     replicas=2)
->>> cells = run_campaign_parallel(cfg, workers=2)   # doctest: +SKIP
->>> len(cells)                                      # doctest: +SKIP
+>>> from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy
+>>> spec = CampaignSpec(
+...     grid=CampaignConfig(
+...         protocols=(DOUBLE_NBL, TRIPLE),
+...         base_params=scenarios.BASE.parameters(M=600.0, n=12),
+...         m_values=(600.0,), phi_values=(1.0,), work_target=900.0,
+...         replicas=2),
+...     policy=ExecutionPolicy(workers=2))
+>>> execution = Campaign(spec).run()                # doctest: +SKIP
+>>> len(execution.cells)                            # doctest: +SKIP
 2
 """
 
@@ -80,26 +94,31 @@ from __future__ import annotations
 
 import pathlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import ParameterError
-from .adaptive import FixedReplicas, ReplicaController
+from .adaptive import ReplicaController
 from .backends import CampaignBackend, make_backend, run_cell  # noqa: F401 - run_cell re-exported
 from .campaign import CampaignCell, CampaignConfig, validate_campaign
 from .results import DesResult, MonteCarloSummary
 from .sinks import OrderedJsonlSink, ResultSink, make_sink
+from .spec import SPEC_FORMAT, CampaignSpec
 
 __all__ = [
     "CellPlan",
     "ExecutionReport",
     "CampaignExecution",
     "plan_cells",
+    "execute_spec",
     "execute_campaign",
     "run_campaign_parallel",
 ]
+
+_LEGACY_MANIFEST_FORMAT = "repro-campaign-manifest"
 
 
 @dataclass(frozen=True)
@@ -124,7 +143,7 @@ class CellPlan:
 
 @dataclass(frozen=True)
 class ExecutionReport:
-    """What one :func:`execute_campaign` call actually did."""
+    """What one :func:`execute_spec` call actually did."""
 
     cells_total: int
     cells_skipped: int
@@ -217,64 +236,82 @@ def _manifest_path(sink: pathlib.Path) -> pathlib.Path:
 def _campaign_fingerprint(
     config: CampaignConfig, sink_mode: str, controller: ReplicaController
 ) -> dict:
-    """Everything that determines a campaign's output, as plain JSON.
+    """The spec fingerprint for a (config, sink, controller) triple.
 
-    Stored next to the results file so resume can refuse a config drift
-    that per-record metadata cannot reveal (``work_target``,
-    ``share_traces``, the failure law, the sink format, adaptive-replica
-    settings, platform parameters...).
+    Kept for callers (and tests) that assemble queue manifests from the
+    pre-spec pieces; it is exactly
+    ``CampaignSpec.from_legacy_kwargs(...).fingerprint()``.
+    """
+    spec = CampaignSpec.from_legacy_kwargs(
+        config, sink=sink_mode, controller=controller
+    )
+    return spec.fingerprint()
+
+
+def _legacy_fingerprint(spec: CampaignSpec) -> dict:
+    """The version-1 manifest dict this spec would have produced.
+
+    Pre-spec campaigns wrote hand-built fingerprint dicts; reproducing
+    that exact shape lets their results files keep resuming under the
+    spec-based engine.
     """
     from ..core.protocols import get_protocol
 
-    dist = config.distribution
-    dist_fp = dist.fingerprint() if dist is not None else None
+    grid = spec.grid
+    dist = grid.distribution
+    controller = spec.controller()
     return {
-        "format": "repro-campaign-manifest",
+        "format": _LEGACY_MANIFEST_FORMAT,
         "version": 1,
-        "protocols": [get_protocol(s).key for s in config.protocols],
-        "params": config.base_params.describe(),
-        "m_values": [float(m) for m in config.m_values],
-        "phi_values": [float(p) for p in config.phi_values],
-        "work_target": config.work_target,
-        "replicas": int(config.replicas),
-        "seed": int(config.seed),
-        "share_traces": config.share_traces,
-        "max_time": config.max_time,
-        "distribution": dist_fp,
-        "sink": sink_mode,
+        "protocols": [get_protocol(s).key for s in grid.protocols],
+        "params": grid.base_params.describe(),
+        "m_values": [float(m) for m in grid.m_values],
+        "phi_values": [float(p) for p in grid.phi_values],
+        "work_target": grid.work_target,
+        "replicas": int(grid.replicas),
+        "seed": int(grid.seed),
+        "share_traces": grid.share_traces,
+        "max_time": grid.max_time,
+        "distribution": dist.fingerprint() if dist is not None else None,
+        "sink": spec.policy.sink,
         "adaptive": controller.fingerprint(),
     }
 
 
-def _write_manifest(
-    config: CampaignConfig,
-    sink: pathlib.Path,
-    sink_mode: str,
-    controller: ReplicaController,
-) -> None:
+def _write_manifest(spec: CampaignSpec, sink: pathlib.Path) -> None:
     import json
 
     _manifest_path(sink).write_text(
-        json.dumps(
-            _campaign_fingerprint(config, sink_mode, controller),
-            sort_keys=True,
-        ) + "\n"
+        json.dumps(spec.fingerprint(), sort_keys=True) + "\n"
     )
 
 
-def _check_manifest(
-    config: CampaignConfig,
-    sink: pathlib.Path,
-    sink_mode: str,
-    controller: ReplicaController,
-) -> bool:
-    """Refuse to resume when the stored fingerprint disagrees.
+def _spec_drift(stored: dict, current: dict) -> list[str]:
+    """Grid/policy field names on which two spec dicts disagree."""
+    drift: list[str] = []
+    for section in ("grid", "policy"):
+        a, b = stored.get(section) or {}, current.get(section) or {}
+        drift.extend(sorted(
+            k for k in set(a) | set(b) if a.get(k) != b.get(k)
+        ))
+    drift.extend(sorted(
+        k for k in (set(stored) | set(current)) - {"grid", "policy"}
+        if stored.get(k) != current.get(k)
+    ))
+    return drift
+
+
+def _check_manifest(spec: CampaignSpec, sink: pathlib.Path) -> bool:
+    """Refuse to resume when the stored spec disagrees with this one.
 
     Returns whether a matching manifest was found.  A missing or
     unreadable manifest (pre-manifest file, hand-copied results) returns
-    False and resume falls back to the per-record checks only.  Manifests
-    written before the sink/adaptive keys existed default to the ordered
-    fixed-replica configuration those campaigns necessarily ran.
+    False and resume falls back to the per-record checks only.  Drift is
+    decided by **spec inequality**: the stored fingerprint is parsed back
+    into a :class:`~repro.sim.spec.CampaignSpec` and compared against
+    this spec's :meth:`~repro.sim.spec.CampaignSpec.identity`.  Version-1
+    manifests (pre-spec hand-built dicts) are compared against the shape
+    this spec would have written then.
     """
     import json
 
@@ -285,10 +322,32 @@ def _check_manifest(
         stored = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return False
+    if isinstance(stored, dict) and stored.get("format") == SPEC_FORMAT:
+        try:
+            stored_spec = CampaignSpec.from_dict(stored)
+        except ParameterError as exc:
+            raise ParameterError(
+                f"{path}: manifest does not hold a loadable campaign "
+                f"spec ({exc}); refusing to resume — delete the results "
+                "file and its manifest to start over"
+            ) from exc
+        if stored_spec != spec.identity():
+            drift = _spec_drift(stored_spec.to_dict(), spec.fingerprint())
+            raise ParameterError(
+                f"{path}: campaign configuration changed since the "
+                f"results file was written (spec differs in: "
+                f"{', '.join(drift)}); refusing to resume — rerun "
+                "without resume to start over, or restore the original "
+                "configuration"
+            )
+        return True
+    # Version-1 manifest: compare against the dict this spec would have
+    # written under the old scheme (pre-sink/adaptive manifests default
+    # to the ordered fixed-replica configuration they necessarily ran).
     if isinstance(stored, dict):
         stored.setdefault("sink", "ordered")
         stored.setdefault("adaptive", None)
-    current = _campaign_fingerprint(config, sink_mode, controller)
+    current = _legacy_fingerprint(spec)
     if stored != current:
         drift = sorted(
             k for k in current
@@ -306,79 +365,60 @@ def _check_manifest(
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def execute_campaign(
-    config: CampaignConfig,
+def execute_spec(
+    spec: CampaignSpec,
     *,
-    workers: int | None = 1,
-    chunk_size: int | None = None,
+    results_path: str | pathlib.Path | None = None,
     resume: bool = False,
     on_cell: Callable[[CampaignCell], None] | None = None,
-    sink: str = "ordered",
-    controller: ReplicaController | None = None,
     backend: CampaignBackend | None = None,
-    queue: str | pathlib.Path | None = None,
-    worker_id: str | None = None,
-    lease_timeout: float = 60.0,
-    poll_interval: float = 0.5,
 ) -> CampaignExecution:
-    """Run (or finish) a campaign; the workhorse behind every campaign API.
+    """Run (or finish) a campaign spec; the engine behind every campaign API.
 
     Parameters
     ----------
-    workers:
-        Process count.  ``1`` executes in-process (no pool — identical to
-        the historical serial path); ``None`` or ``0`` uses
-        ``os.cpu_count()``.  Ignored when ``backend`` is given; must stay
-        ``1`` with ``queue`` (a distributed worker is single-process —
-        start more workers for more parallelism).
-    chunk_size:
-        Cells per worker task.  Default: one (protocol, M) row — i.e.
-        ``len(config.phi_values)`` cells — so shared failure traces are
-        generated once per chunk.
+    spec:
+        The campaign: grid ⊕ execution policy.  All policy validation
+        (worker counts, sink/queue compatibility, controller budget)
+        already happened when the spec was built — by the time execution
+        starts, an invalid combination cannot cost an existing results
+        file.
+    results_path:
+        JSON Lines sink for every raw run (``None`` = no persistence).
+        This is per-execution state, deliberately not part of the spec.
+        Must be ``None`` for queue workers (they stream to per-worker
+        shards inside the queue directory; merge afterwards with
+        :meth:`~repro.sim.spec.Campaign.merge`).
     resume:
-        Recover completed cells from ``config.results_path`` instead of
-        truncating it.  Requires a results path.  Not meaningful with
-        ``queue`` — a queue directory is always resumable: rejoining it
-        *is* the resume.
+        Recover completed cells from ``results_path`` instead of
+        truncating it.  Not meaningful with a queue policy — a queue
+        directory is always resumable: rejoining it *is* the resume.
     on_cell:
         Optional progress callback, invoked per fresh cell in emission
         order: grid order under the ordered sink, completion order under
         the framed sink.
-    sink:
-        Results-file format: ``"ordered"`` (grid-order records, byte-
-        identical to serial — the default) or ``"framed"`` (records land
-        as cells complete; no head-of-line blocking).  Distributed
-        campaigns are necessarily framed.
-    controller:
-        Per-cell replica stopping rule; default runs every replica
-        (:class:`~repro.sim.adaptive.FixedReplicas`).  Adaptive control
-        requires the framed sink when results are persisted.
     backend:
-        Explicit :class:`~repro.sim.backends.CampaignBackend`; default is
-        built from ``workers``.  Mutually exclusive with ``queue``.
-    queue:
-        Join a multi-machine campaign as one worker of the shared
-        chunk-queue directory (:mod:`repro.sim.distributed`).  The first
-        worker to arrive initialises the queue; later workers verify
-        their configuration against its manifest and start claiming.
-        Results stream to this worker's private framed shard inside the
-        queue directory (``config.results_path`` must be ``None``; merge
-        the shards afterwards with
-        :func:`repro.sim.distributed.merge_shards`).  The returned
-        execution holds **only the cells this worker ran** — the full
-        grid lives in the merged file.
-    worker_id / lease_timeout / poll_interval:
-        Distributed-worker identity and queue tuning; see
-        :class:`~repro.sim.distributed.DistributedBackend`.
+        Explicit :class:`~repro.sim.backends.CampaignBackend` (tests,
+        experiments); default is built from the policy.  Mutually
+        exclusive with a queue policy.
     """
     start = time.perf_counter()
+    if not isinstance(spec, CampaignSpec):
+        raise ParameterError(
+            f"execute_spec takes a CampaignSpec, got {type(spec).__name__} "
+            "(legacy CampaignConfig callers: use execute_campaign, or "
+            "better, build a spec)"
+        )
+    policy = spec.policy
+    config = spec.config(results_path)
     plans = plan_cells(config)
 
-    # Validate every argument before touching the sink: an invalid
-    # workers/chunk_size/sink-mode must not cost an existing results file.
-    if resume and config.results_path is None and queue is None:
-        raise ParameterError("resume=True requires config.results_path")
-    distributed = queue is not None
+    if resume and results_path is None and policy.queue is None:
+        raise ParameterError(
+            "resume=True requires a results_path (the file to recover "
+            "completed cells from)"
+        )
+    distributed = policy.queue is not None
     if distributed:
         from .distributed import DistributedBackend
 
@@ -392,53 +432,34 @@ def execute_campaign(
                 "a queue directory is inherently resumable: rejoin it "
                 "with queue=... instead of passing resume=True"
             )
-        if sink != "framed":
-            raise ParameterError(
-                "distributed campaigns require sink='framed': workers "
-                "complete chunks in unpredictable order, which the "
-                "ordered byte-prefix format cannot represent"
-            )
-        if config.results_path is not None:
+        if results_path is not None:
             raise ParameterError(
                 "distributed workers write per-worker shards inside the "
-                "queue directory; leave config.results_path unset and "
-                "merge the shards with repro.sim.distributed.merge_shards "
-                "(or `repro-checkpoint campaign merge`)"
-            )
-        if workers not in (None, 1):
-            raise ParameterError(
-                f"workers={workers} is meaningless for a distributed "
-                "worker (each worker runs cells in-process); start more "
-                "workers against the same queue instead"
+                "queue directory; leave the results path unset and merge "
+                "the shards with Campaign.merge (or `repro-checkpoint "
+                "campaign merge`)"
             )
         backend = DistributedBackend(
-            queue, worker_id=worker_id,
-            lease_timeout=lease_timeout, poll_interval=poll_interval,
+            policy.queue, worker_id=policy.worker_id,
+            lease_timeout=policy.lease_timeout,
+            poll_interval=policy.poll_interval,
         )
     if backend is None:
-        backend = make_backend(workers)
+        backend = make_backend(policy.workers)
     resolved_workers = getattr(backend, "workers", 1)
+    chunk_size = policy.chunk_size
     if chunk_size is None:
         chunk_size = len(config.phi_values)
-    if chunk_size < 1:
-        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
-    if controller is None:
-        controller = FixedReplicas(config.replicas)
-    if controller.max_replicas != config.replicas:
-        raise ParameterError(
-            f"controller.max_replicas={controller.max_replicas} must equal "
-            f"config.replicas={config.replicas}: the campaign's replica "
-            "budget is the single source of truth for the per-cell ceiling"
-        )
+    controller = spec.controller()
     if distributed:
         from .distributed import ensure_queue, shard_path
         from .sinks import WorkerShardSink
 
         sink_obj: ResultSink = WorkerShardSink(
-            shard_path(queue, backend.worker_id)
+            shard_path(policy.queue, backend.worker_id)
         )
     else:
-        sink_obj = make_sink(sink, config.results_path)
+        sink_obj = make_sink(policy.sink, config.results_path)
     if controller.fingerprint() is not None and isinstance(
         sink_obj, OrderedJsonlSink
     ):
@@ -453,22 +474,21 @@ def execute_campaign(
         path = pathlib.Path(config.results_path)
         path.parent.mkdir(parents=True, exist_ok=True)
         if resume and path.exists():
-            trusted = _check_manifest(config, path, sink, controller)
+            trusted = _check_manifest(spec, path)
             done_results = sink_obj.recover(config, plans, controller, trusted)
         else:
             sink_obj.begin()
-        _write_manifest(config, path, sink, controller)
+        _write_manifest(spec, path)
 
     todo = [p for p in plans if p.index not in done_results]
     chunks = [todo[i:i + chunk_size] for i in range(0, len(todo), chunk_size)]
 
     if distributed:
-        # The chunk layout is a pure function of (config, chunk_size), so
+        # The chunk layout is a pure function of (spec, chunk_size), so
         # every worker that passes the manifest check below computes the
         # identical list and any chunk ticket is executable by anyone.
         ensure_queue(
-            pathlib.Path(queue),
-            _campaign_fingerprint(config, sink, controller),
+            pathlib.Path(policy.queue), spec.fingerprint(),
             n_chunks=len(chunks), chunk_size=chunk_size, n_cells=len(plans),
         )
         sink_obj.begin()  # rejoin this worker's shard (truncate torn tail)
@@ -522,9 +542,52 @@ def execute_campaign(
         chunk_size=chunk_size,
         elapsed=time.perf_counter() - start,
         replicas_run=replicas_run,
-        sink=sink,
+        sink=policy.sink,
     )
     return CampaignExecution(cells=cells, report=report)
+
+
+# ----------------------------------------------------------------------
+# Legacy kwarg shims
+# ----------------------------------------------------------------------
+def execute_campaign(
+    config: CampaignConfig,
+    *,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    resume: bool = False,
+    on_cell: Callable[[CampaignCell], None] | None = None,
+    sink: str = "ordered",
+    controller: ReplicaController | None = None,
+    backend: CampaignBackend | None = None,
+    queue: str | pathlib.Path | None = None,
+    worker_id: str | None = None,
+    lease_timeout: float = 60.0,
+    poll_interval: float = 0.5,
+) -> CampaignExecution:
+    """Deprecated kwarg surface: builds a spec and runs it.
+
+    .. deprecated::
+        Build a :class:`~repro.sim.spec.CampaignSpec` and call
+        :meth:`~repro.sim.spec.Campaign.run` (or :func:`execute_spec`)
+        instead — one object instead of eleven keyword arguments, and
+        the same object serialises, fingerprints and drives queues.
+    """
+    warnings.warn(
+        "execute_campaign(config, **kwargs) is deprecated: build a "
+        "CampaignSpec (grid + ExecutionPolicy) and use "
+        "Campaign(spec).run(results_path) or execute_spec(spec, ...)",
+        DeprecationWarning, stacklevel=2,
+    )
+    spec = CampaignSpec.from_legacy_kwargs(
+        config, workers=workers, chunk_size=chunk_size, sink=sink,
+        controller=controller, queue=queue, worker_id=worker_id,
+        lease_timeout=lease_timeout, poll_interval=poll_interval,
+    )
+    return execute_spec(
+        spec, results_path=config.results_path, resume=resume,
+        on_cell=on_cell, backend=backend,
+    )
 
 
 def run_campaign_parallel(
@@ -536,13 +599,24 @@ def run_campaign_parallel(
     sink: str = "ordered",
     controller: ReplicaController | None = None,
 ) -> list[CampaignCell]:
-    """Like :func:`repro.sim.campaign.run_campaign`, but sharded across
-    worker processes (default: all cores).  With the defaults — ordered
-    sink, fixed replicas — output is bit-identical to the serial path;
-    ``sink="framed"`` changes the results-file format (not the cells) and
-    an adaptive ``controller`` may run fewer replicas per cell."""
-    execution = execute_campaign(
-        config, workers=workers, chunk_size=chunk_size, resume=resume,
-        sink=sink, controller=controller,
+    """Deprecated: like ``run_campaign`` but sharded across processes.
+
+    .. deprecated::
+        Use ``Campaign(CampaignSpec(grid=config,
+        policy=ExecutionPolicy(workers=...))).run(path)`` — with the
+        default policy fields (ordered sink, fixed replicas) output is
+        bit-identical to the serial path, exactly as before.
+    """
+    warnings.warn(
+        "run_campaign_parallel is deprecated: build a CampaignSpec with "
+        "ExecutionPolicy(workers=...) and use Campaign(spec).run(path)",
+        DeprecationWarning, stacklevel=2,
+    )
+    spec = CampaignSpec.from_legacy_kwargs(
+        config, workers=workers, chunk_size=chunk_size, sink=sink,
+        controller=controller,
+    )
+    execution = execute_spec(
+        spec, results_path=config.results_path, resume=resume,
     )
     return list(execution.cells)

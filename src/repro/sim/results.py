@@ -159,6 +159,56 @@ class MonteCarloSummary:
             meta=meta or {},
         )
 
+    @classmethod
+    def from_moments(
+        cls,
+        *,
+        n_total: int,
+        n_finite: int,
+        mean: float,
+        m2: float,
+        successes: int,
+        confidence: float = 0.95,
+        meta: dict | None = None,
+    ) -> "MonteCarloSummary":
+        """Summarise from running (Welford) moments instead of samples.
+
+        The constant-memory twin of :meth:`from_samples` for streaming
+        aggregation (``report --from-campaign`` over million-record
+        files): ``n_finite``, ``mean`` and ``m2`` (the sum of squared
+        deviations, Welford's M₂) describe the finite samples; NaN
+        samples are counted only in ``n_total``.  The degenerate cases
+        mirror :meth:`from_samples` exactly — NaN mean with no finite
+        sample, zero std below two, a point interval until the CI is
+        determined.
+        """
+        if not 0 < confidence < 1:
+            raise ParameterError("confidence must lie in (0, 1)")
+        if n_total <= 0:
+            raise ParameterError("need at least one sample")
+        if not 0 <= n_finite <= n_total:
+            raise ParameterError("n_finite must lie in [0, n_total]")
+        mean = float(mean) if n_finite else float("nan")
+        std = float(np.sqrt(m2 / (n_finite - 1))) if n_finite > 1 else 0.0
+        if n_finite < 2 or std == 0.0:
+            half = 0.0
+        else:
+            half = float(
+                sps.t.ppf(0.5 + confidence / 2.0, df=n_finite - 1)
+                * std / np.sqrt(n_finite)
+            )
+        return cls(
+            n_replicas=n_total,
+            mean=mean,
+            std=std,
+            ci_low=mean - half,
+            ci_high=mean + half,
+            confidence=confidence,
+            success_rate=successes / n_total,
+            success_ci=wilson_interval(successes, n_total, confidence),
+            meta=meta or {},
+        )
+
     def contains(self, value: float) -> bool:
         """Is ``value`` inside the CI? (model-vs-simulation assertions)"""
         return self.ci_low <= value <= self.ci_high

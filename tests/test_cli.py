@@ -151,6 +151,85 @@ class TestCampaignCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--preset", "nope"])
 
+    def test_dump_spec_round_trips_through_the_cli(self, capsys, tmp_path):
+        """--dump-spec prints the spec the flags describe; --spec FILE
+        replays it identically (same cells, same results bytes)."""
+        results_a = tmp_path / "a.jsonl"
+        results_b = tmp_path / "b.jsonl"
+        assert main(self.QUICK + ["--dump-spec"]) == 0
+        spec_text = capsys.readouterr().out
+        spec_file = tmp_path / "grid.json"
+        spec_file.write_text(spec_text)
+
+        assert main(self.QUICK + ["--results", str(results_a)]) == 0
+        assert main(["campaign", "--spec", str(spec_file),
+                     "--results", str(results_b)]) == 0
+        assert results_a.read_bytes() == results_b.read_bytes()
+
+    def test_dump_spec_of_a_preset_names_its_grid(self, capsys):
+        import json
+
+        assert main(["campaign", "--preset", "smoke", "--dump-spec"]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["format"] == "repro-campaign-spec"
+        assert spec["grid"]["protocols"] == ["double-nbl", "triple"]
+
+    def test_dump_spec_refuses_results(self, capsys, tmp_path):
+        rc = main(self.QUICK + ["--dump-spec", "--results",
+                                str(tmp_path / "r.jsonl")])
+        assert rc == 2
+        assert "--dump-spec" in capsys.readouterr().err
+
+    def test_spec_file_fixes_everything(self, capsys, tmp_path):
+        spec_file = tmp_path / "grid.json"
+        assert main(self.QUICK + ["--dump-spec"]) == 0
+        spec_file.write_text(capsys.readouterr().out)
+        rc = main(["campaign", "--spec", str(spec_file), "--workers", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--spec fixes the whole campaign" in err and "--workers" in err
+
+    def test_spec_file_resume(self, capsys, tmp_path):
+        spec_file = tmp_path / "grid.json"
+        results = tmp_path / "r.jsonl"
+        assert main(self.QUICK + ["--dump-spec"]) == 0
+        spec_file.write_text(capsys.readouterr().out)
+        assert main(["campaign", "--spec", str(spec_file),
+                     "--results", str(results)]) == 0
+        full = results.read_bytes()
+        results.write_bytes(b"".join(full.splitlines(keepends=True)[:-2]))
+        capsys.readouterr()
+        assert main(["campaign", "--spec", str(spec_file),
+                     "--results", str(results), "--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+        assert results.read_bytes() == full
+
+    def test_bad_spec_file_is_a_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro-campaign-spec", "version": 99}')
+        rc = main(["campaign", "--spec", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ") and "version" in err
+
+    def test_adaptive_wilson_flag(self, capsys, tmp_path):
+        path = tmp_path / "w.jsonl"
+        assert main([
+            "campaign", "--protocols", "double-nbl,triple", "--M", "300",
+            "--phi", "1.0", "--n", "12", "--work-target", "15min",
+            "--replicas", "4", "--adaptive-wilson", "0.9",
+            "--sink", "framed", "--results", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # Degenerate all-success cells stop at the first batch boundary.
+        assert "replicas=6" in out
+
+    def test_adaptive_rules_are_mutually_exclusive(self, capsys):
+        rc = main(self.QUICK + ["--adaptive-ci", "0.01",
+                                "--adaptive-wilson", "0.2"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
     def test_preset_rejects_conflicting_grid_flags(self, capsys):
         rc = main(["campaign", "--preset", "high-churn", "--M", "60"])
         assert rc == 2

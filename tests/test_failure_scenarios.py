@@ -176,7 +176,7 @@ class TestPresetDefinitions:
                 FixedReplicas(preset.replicas),
             )
             assert fp1 == fp2
-            assert fp1["distribution"] is not None
+            assert fp1["grid"]["distribution"] is not None
 
     @pytest.mark.parametrize("bad_law", [
         "hyperexp", "hyperexp:", "hyperexp:0.5", "hyperexp:0.5@abc",
