@@ -114,3 +114,34 @@ def test_work_stealing_scales_near_linearly(tmp_path, record):
         ),
         "real-queue merge byte-identical to the single-machine run",
     ])
+
+
+def test_pooled_worker_uses_local_cores(tmp_path, record):
+    """One distributed worker with an in-machine process pool
+    (``ExecutionPolicy.worker_processes``): the claim/lease protocol is
+    unchanged and the merged output stays byte-identical, while the
+    worker fans its claimed chunks' cells across local processes."""
+    ref_path = tmp_path / "ref.jsonl"
+    t0 = time.perf_counter()
+    Campaign(_spec(ExecutionPolicy(sink="framed", chunk_size=1))).run(ref_path)
+    t_serial = time.perf_counter() - t0
+
+    queue = tmp_path / "queue"
+    t0 = time.perf_counter()
+    execution = Campaign(_spec(ExecutionPolicy(
+        sink="framed", queue=str(queue), worker_id="pooled",
+        worker_processes=2, chunk_size=1,
+        lease_timeout=120.0, poll_interval=0.05,
+    ))).run()
+    t_pooled = time.perf_counter() - t0
+    assert execution.report.workers == 2
+    assert queue_status(queue).complete
+    merged = tmp_path / "merged.jsonl"
+    merge_shards(queue, merged)
+    assert merged.read_bytes() == ref_path.read_bytes()
+
+    record("distributed worker with in-machine process pool", [
+        f"single-machine framed run: {t_serial:.2f}s",
+        f"1 queue worker x 2 local processes: {t_pooled:.2f}s "
+        "(includes pool startup; merge byte-identical)",
+    ])

@@ -38,11 +38,26 @@ Commands
     ``campaign merge --queue DIR --out FILE`` then combines the
     per-worker shards into one resumable campaign file (``--partial``
     merges what a half-finished queue has so far).
+    Caching: ``--store DIR`` points the run at a content-addressed
+    results store (:mod:`repro.store`) — cells already warehoused are
+    served instead of simulated (a warm re-run of a completed spec
+    performs zero simulations yet writes a byte-identical results file),
+    fresh cells are published for the next run; ``--store-mode read``
+    consults without publishing.
+``store``
+    Inspect and manage a results store: ``store ls`` (filterable entry
+    listing), ``store stat`` (totals, ``--verify`` re-checks every entry
+    against its stored bytes), ``store gc`` (LRU eviction to
+    ``--max-bytes``/``--max-age``, with ``--pin-queue``/``--pin-spec``
+    footprints immune), ``store export`` (materialise a spec's
+    byte-identical framed results file with zero simulations).
 ``report``
     Re-render analyses offline: ``--from-campaign FILE`` reads a
     campaign's persisted JSON Lines (either sink format) and prints waste
     tables, per-protocol waste surfaces and protocol-ratio tables with
-    zero re-simulation.
+    zero re-simulation.  ``--from-spec FILE --store DIR`` renders the
+    same report for a spec straight from the results store — no results
+    file, no simulation.
 """
 
 from __future__ import annotations
@@ -79,6 +94,7 @@ _CAMPAIGN_DEFAULTS: dict[str, object] = {
     "workers": 1, "chunk_size": None, "sink": None, "adaptive_ci": None,
     "adaptive_wilson": None,
     "queue": None, "worker_id": None, "lease": 60.0, "poll": 0.5,
+    "worker_procs": 1, "store": None, "store_mode": None,
     "out": None, "partial": False,
 }
 
@@ -145,8 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE",
                    help="load the whole campaign (grid + execution "
                         "policy) from a CampaignSpec JSON file; only "
-                        "--results/--resume/--dump-spec may be combined "
-                        "with it")
+                        "--results/--resume/--dump-spec/--store/"
+                        "--store-mode may be combined with it")
     c.add_argument("--dump-spec", action="store_true",
                    help="print the CampaignSpec JSON the given flags "
                         "describe and exit without running (freeze a "
@@ -235,6 +251,23 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
                    help="idle polling interval while waiting for "
                         "claimable chunks (default 0.5)")
+    c.add_argument("--worker-procs", type=int, default=1, metavar="N",
+                   help="process-pool size inside this distributed "
+                        "worker (0 = all cores; requires --queue): one "
+                        "worker per machine can still use every core "
+                        "while the fleet work-steals whole chunks")
+    c.add_argument("--store", type=pathlib.Path, default=None,
+                   metavar="DIR",
+                   help="content-addressed results store: cells already "
+                        "warehoused are served instead of simulated "
+                        "(byte-identical output), fresh cells are "
+                        "published for future runs; volatile, so it "
+                        "combines with --spec/--resume/--queue freely")
+    c.add_argument("--store-mode", choices=("off", "read", "read-write"),
+                   default=None,
+                   help="how --store is used: 'read-write' (default) "
+                        "consults and publishes, 'read' only consults, "
+                        "'off' ignores the store")
     c.add_argument("--out", type=pathlib.Path, default=None,
                    metavar="FILE",
                    help="(merge) destination for the merged campaign "
@@ -248,14 +281,75 @@ def build_parser() -> argparse.ArgumentParser:
     # this makes _CAMPAIGN_DEFAULTS authoritative for every campaign flag.
     c.set_defaults(**_CAMPAIGN_DEFAULTS)
 
+    st = sub.add_parser(
+        "store",
+        help="inspect and manage a content-addressed results store "
+             "(ls | stat | gc | export)",
+    )
+    st.add_argument("action", choices=("ls", "stat", "gc", "export"),
+                    help="'ls' lists entries (filterable), 'stat' prints "
+                         "totals (--verify re-checks every entry), 'gc' "
+                         "evicts to a retention budget, 'export' "
+                         "materialises a spec's results file with zero "
+                         "simulations")
+    st.add_argument("--store", type=pathlib.Path, required=True,
+                    metavar="DIR", help="the store directory")
+    st.add_argument("--protocol", default=None,
+                    help="(ls) only entries of this protocol")
+    st.add_argument("--M", default=None,
+                    help="(ls) only entries at this MTBF (e.g. '10min')")
+    st.add_argument("--phi", type=float, default=None,
+                    help="(ls) only entries at this overhead phi [s]")
+    st.add_argument("--limit", type=int, default=20,
+                    help="(ls) print at most this many entries "
+                         "(default 20; 0 = all)")
+    st.add_argument("--verify", action="store_true",
+                    help="(stat) re-verify every entry against its "
+                         "stored bytes; exit 1 on corruption")
+    st.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="(gc) evict least-recently-used entries until "
+                         "the store holds at most N bytes")
+    st.add_argument("--max-age", default=None, metavar="AGE",
+                    help="(gc) evict entries idle longer than AGE "
+                         "(e.g. '7d', '12h', 3600)")
+    st.add_argument("--pin-queue", type=pathlib.Path, action="append",
+                    default=[], metavar="DIR",
+                    help="(gc) never evict cells referenced by this "
+                         "campaign queue directory's manifest "
+                         "(repeatable) — protects in-progress fleets")
+    st.add_argument("--pin-spec", type=pathlib.Path, action="append",
+                    default=[], metavar="FILE",
+                    help="(gc) never evict cells in this CampaignSpec "
+                         "JSON file's footprint (repeatable)")
+    st.add_argument("--dry-run", action="store_true",
+                    help="(gc) report what would be evicted, delete "
+                         "nothing")
+    st.add_argument("--spec", type=pathlib.Path, default=None,
+                    metavar="FILE",
+                    help="(export) the CampaignSpec JSON file to resolve "
+                         "from the store")
+    st.add_argument("--out", type=pathlib.Path, default=None,
+                    metavar="FILE",
+                    help="(export) destination results file (framed, "
+                         "grid-ordered, byte-identical to a run; a "
+                         ".manifest sidecar is written next to it)")
+
     r = sub.add_parser(
         "report",
         help="render analyses from persisted results (no re-simulation)",
     )
-    r.add_argument("--from-campaign", type=pathlib.Path, required=True,
+    r.add_argument("--from-campaign", type=pathlib.Path, default=None,
                    metavar="FILE",
                    help="campaign JSON Lines results file (either sink "
                         "format) to render waste and ratio tables from")
+    r.add_argument("--from-spec", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="CampaignSpec JSON file to render straight from "
+                        "a results store (requires --store; zero "
+                        "re-simulation, no results file needed)")
+    r.add_argument("--store", type=pathlib.Path, default=None,
+                   metavar="DIR",
+                   help="results store to resolve --from-spec cells from")
     return parser
 
 
@@ -286,8 +380,13 @@ _RUN_SHAPING_FLAGS = (
     ("adaptive_wilson", "--adaptive-wilson"),
     ("worker_id", "--worker-id"), ("workers", "--workers"),
     ("lease", "--lease"), ("poll", "--poll"),
+    ("worker_procs", "--worker-procs"),
+    ("store", "--store"), ("store_mode", "--store-mode"),
 )
 #: campaign flags subsumed by a spec file — `--spec` refuses them.
+#: (--store/--store-mode are deliberately absent: they are volatile
+#: policy — incapable of changing output bytes — so layering them over a
+#: reviewed spec runs exactly the reviewed campaign, just cheaper.)
 _SPEC_CONFLICT_FLAGS = (
     ("preset", "--preset"), ("scenario", "--scenario"),
     ("protocols", "--protocols"), ("M", "--M"), ("phi", "--phi"),
@@ -298,10 +397,12 @@ _SPEC_CONFLICT_FLAGS = (
     ("adaptive_wilson", "--adaptive-wilson"), ("workers", "--workers"),
     ("queue", "--queue"), ("worker_id", "--worker-id"),
     ("lease", "--lease"), ("poll", "--poll"),
+    ("worker_procs", "--worker-procs"),
 )
 #: campaign flags that only tune a distributed worker — require --queue.
 _DISTRIBUTED_ONLY_FLAGS = (
     ("worker_id", "--worker-id"), ("lease", "--lease"), ("poll", "--poll"),
+    ("worker_procs", "--worker-procs"),
 )
 
 
@@ -353,12 +454,24 @@ def _build_campaign_spec(args: argparse.Namespace):
     if args.spec is not None:
         # The file is the whole configuration: silently layering flags on
         # top would run a different campaign than the reviewed spec.
+        # (--store/--store-mode are the exception — volatile policy that
+        # cannot change output bytes, only skip recomputing them.)
         conflicts = _explicit_flags(args, _SPEC_CONFLICT_FLAGS)
         if conflicts:
             print(f"--spec fixes the whole campaign; drop "
                   f"{', '.join(conflicts)} or drop --spec", file=sys.stderr)
             return 2
-        return CampaignSpec.load(args.spec)
+        spec = CampaignSpec.load(args.spec)
+        if args.store is not None or args.store_mode is not None:
+            from dataclasses import replace
+
+            updates: dict = {}
+            if args.store is not None:
+                updates["store"] = str(args.store)
+            if args.store_mode is not None:
+                updates["store_mode"] = args.store_mode
+            spec = replace(spec, policy=replace(spec.policy, **updates))
+        return spec
 
     overrides: dict = {}
     if args.replicas is not None:
@@ -432,6 +545,9 @@ def _build_campaign_spec(args: argparse.Namespace):
             worker_id=args.worker_id,
             lease_timeout=args.lease,
             poll_interval=args.poll,
+            worker_processes=args.worker_procs,
+            store=None if args.store is None else str(args.store),
+            store_mode=args.store_mode or "read-write",
         ),
     )
 
@@ -479,6 +595,12 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     spec = _build_campaign_spec(args)
     if isinstance(spec, int):
         return spec
+    # Checked against the *built* spec so the --spec path is covered
+    # too: a mode with no store anywhere would silently run storeless.
+    if args.store_mode is not None and spec.policy.store is None:
+        print("--store-mode tunes a store; pass --store DIR (or a --spec "
+              "whose policy names one)", file=sys.stderr)
+        return 2
     if args.dump_spec:
         if args.results is not None or args.resume:
             print("--dump-spec prints the campaign description, which "
@@ -497,6 +619,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     print(execution.report.describe())
     if args.results is not None:
         print(f"raw runs: {args.results}")
+    if spec.policy.store is not None and spec.policy.store_mode != "off":
+        print(f"store: {spec.policy.store} "
+              f"({execution.report.cells_cached} cells served from it)")
     if spec.policy.queue is not None:
         from .sim.distributed import queue_status
 
@@ -505,13 +630,120 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .experiments.report import campaign_report
-
     try:
-        print(campaign_report(args.from_campaign), end="")
+        if (args.from_campaign is None) == (args.from_spec is None):
+            print("report needs exactly one source: --from-campaign FILE "
+                  "or --from-spec FILE --store DIR", file=sys.stderr)
+            return 2
+        if args.from_campaign is not None:
+            if args.store is not None:
+                print("--store belongs to --from-spec (a results file "
+                      "already holds its cells)", file=sys.stderr)
+                return 2
+            from .experiments.report import campaign_report
+
+            print(campaign_report(args.from_campaign), end="")
+            return 0
+        if args.store is None:
+            print("--from-spec needs --store DIR (the store to resolve "
+                  "the spec's cells from)", file=sys.stderr)
+            return 2
+        from .experiments.report import store_report
+        from .sim.spec import CampaignSpec
+
+        print(store_report(args.store, CampaignSpec.load(args.from_spec)),
+              end="")
+        return 0
     except (OSError, ReproError) as exc:
         print(f"report: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    try:
+        return _run_store_command(args)
+    except (OSError, ReproError) as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_store_command(args: argparse.Namespace) -> int:
+    from .experiments.report import ascii_table
+    from .store import CampaignStore
+
+    # Inspection/management of an *existing* store: a missing directory
+    # is an error here (campaign --store is what creates stores).
+    store = CampaignStore(args.store, create=False)
+
+    if args.action == "ls":
+        entries = sorted(
+            store.query(
+                protocol=args.protocol,
+                M=None if args.M is None else parse_time(args.M),
+                phi=args.phi,
+            ),
+            key=lambda e: (e.protocol or "", e.M, e.phi, e.seed or 0),
+        )
+        shown = entries if not args.limit else entries[:args.limit]
+        rows = [
+            [e.protocol, e.M, e.phi, e.n, e.seed,
+             "-" if e.trace_seed is None else e.trace_seed, e.size]
+            for e in shown
+        ]
+        print(ascii_table(
+            ["protocol", "M", "phi", "n", "seed", "trace seed", "bytes"],
+            rows,
+            title=f"=== store {args.store} "
+                  f"({len(shown)}/{len(entries)} entries) ===",
+        ), end="")
+        return 0
+
+    if args.action == "stat":
+        print(f"store: {args.store}")
+        if args.verify:
+            # One scan serves both: verify() *collects* corruption
+            # (where the plain stat scan would die on the first
+            # unreadable entry) and aggregates the clean entries.
+            report = store.verify()
+            print(report.describe())
+            if not report.ok:
+                for error in report.errors[1:]:
+                    print(error, file=sys.stderr)
+                return 1
+            print(report.stat.describe())
+            return 0
+        print(store.stat().describe())
+        return 0
+
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_age is None:
+            print("store gc needs a retention budget: --max-bytes N "
+                  "and/or --max-age AGE", file=sys.stderr)
+            return 2
+        from .sim.spec import CampaignSpec
+
+        report = store.gc(
+            max_bytes=args.max_bytes,
+            max_age=None if args.max_age is None else parse_time(args.max_age),
+            pin_specs=[CampaignSpec.load(p) for p in args.pin_spec],
+            pin_queues=args.pin_queue,
+            dry_run=args.dry_run,
+        )
+        print(report.describe())
+        return 0
+
+    # export
+    missing = [flag for flag, value in (("--spec", args.spec),
+                                        ("--out", args.out)) if value is None]
+    if missing:
+        print(f"store export requires {' and '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    from .sim.spec import CampaignSpec
+
+    report = store.export(CampaignSpec.load(args.spec), args.out)
+    print(report.describe())
+    print(f"exported results: {args.out}")
     return 0
 
 
@@ -625,6 +857,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "report":
         return _cmd_report(args)
     return _cmd_experiment(args.command, args)

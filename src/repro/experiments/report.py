@@ -33,6 +33,7 @@ __all__ = [
     "format_m_axis",
     "campaign_cells_from_file",
     "campaign_report",
+    "store_report",
 ]
 
 #: Shade ramp for heat maps, light to dark.
@@ -329,8 +330,31 @@ def campaign_report(path) -> str:
     paper's double-vs-triple comparison, from disk).
     """
     path = pathlib.Path(path)
-    cells = campaign_cells_from_file(path)
+    return _render_campaign_cells(campaign_cells_from_file(path),
+                                  source=path.name)
 
+
+def store_report(store, spec) -> str:
+    """The campaign report of a spec, resolved straight from a results
+    store (:mod:`repro.store`) — no results file, zero re-simulation.
+
+    Every grid cell must be present in the store (populated by earlier
+    ``--store`` campaigns); missing cells raise with grid coordinates
+    rather than silently reporting a partial sweep.
+    """
+    from ..store import CampaignStore, cells_from_store
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store, create=False)
+    cells = cells_from_store(store, spec)
+    return _render_campaign_cells(cells, source=f"store {store.root.name}")
+
+
+def _render_campaign_cells(cells, *, source: str) -> str:
+    """The shared rendering behind :func:`campaign_report` and
+    :func:`store_report`: identical cells produce identical text, so a
+    store-resolved report is comparable line-for-line with a results-file
+    one."""
     out = io.StringIO()
     rows = []
     for c in cells:
@@ -344,7 +368,7 @@ def campaign_report(path) -> str:
         ["protocol", "M", "phi", "replicas", "mean waste", "ci half-width",
          "success rate"],
         rows,
-        title=f"=== campaign results ({path.name}, "
+        title=f"=== campaign results ({source}, "
               f"{sum(c.summary.n_replicas for c in cells)} runs, "
               "no re-simulation) ===",
     ))

@@ -49,6 +49,13 @@ touching the others:
     moment it completes (per-record cell/replica/sequence framing —
     no head-of-line blocking) and still resumes from arbitrary
     truncation.
+``repro.store``  (what never re-runs)
+    The content-addressed results warehouse: the executor consults it
+    per cell before dispatching to any backend and publishes fresh
+    cells after their sink append, so identical (and overlapping)
+    campaigns stop paying simulation cost — a warm re-run is
+    byte-identical with zero simulations.  Volatile policy: the store
+    can never change output bytes.
 ``adaptive``  (how many replicas)
     :class:`~repro.sim.adaptive.ReplicaController` stopping rules:
     :class:`~repro.sim.adaptive.FixedReplicas` (default, bit-identical to

@@ -64,6 +64,7 @@ it unchanged.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import os
 import pathlib
@@ -76,7 +77,12 @@ from typing import Iterator, Sequence
 
 from ..errors import ParameterError
 from .adaptive import ReplicaController, stop_count
-from .backends import CampaignBackend, run_cell
+from .backends import (
+    CampaignBackend,
+    _execute_chunk,
+    _resolve_workers,
+    run_cell,
+)
 from .campaign import CampaignConfig
 from .results import DesResult
 
@@ -171,6 +177,33 @@ def _atomic_write(path: pathlib.Path, text: str) -> None:
     os.replace(tmp, path)
 
 
+def _manifests_agree(stored: dict, manifest: dict) -> bool:
+    """Does a stored queue manifest describe this campaign?
+
+    The chunk-layout fields must match exactly; the embedded campaign
+    fingerprints are compared as *specs* (parse both, compare
+    identities), not as raw dicts — so a joiner whose library writes
+    additional defaulted (volatile) policy fields still recognises a
+    queue created before those fields existed.
+    """
+    if not isinstance(stored, dict):
+        return False
+    for field in ("format", "version", "n_chunks", "chunk_size", "n_cells"):
+        if stored.get(field) != manifest.get(field):
+            return False
+    if stored.get("campaign") == manifest.get("campaign"):
+        return True
+    from .spec import CampaignSpec
+
+    try:
+        return (
+            CampaignSpec.from_dict(stored.get("campaign")).identity()
+            == CampaignSpec.from_dict(manifest.get("campaign")).identity()
+        )
+    except ParameterError:
+        return False
+
+
 # ----------------------------------------------------------------------
 # Queue lifecycle
 # ----------------------------------------------------------------------
@@ -215,7 +248,7 @@ def ensure_queue(
                 f"{path}: unreadable queue manifest ({exc}); this is not "
                 "a campaign queue directory"
             ) from exc
-        if stored != manifest:
+        if not _manifests_agree(stored, manifest):
             drift = sorted(
                 k for k in manifest
                 if not isinstance(stored, dict) or stored.get(k) != manifest[k]
@@ -243,7 +276,7 @@ def ensure_queue(
     # fails fast instead of silently running a different campaign into
     # the shared queue.
     stored = json.loads(path.read_text())
-    if stored != manifest:
+    if not _manifests_agree(stored, manifest):
         raise ParameterError(
             f"{path}: another worker initialised this queue for a "
             "different campaign at the same moment; re-check the "
@@ -343,12 +376,22 @@ class DistributedBackend(CampaignBackend):
     append it certifies.  When no pending tickets remain it looks for
     expired claims to steal, and returns once every chunk is done.
 
-    ``workers`` is 1: a distributed worker is single-process by design —
-    horizontal scale comes from starting more workers, each of which
-    claims whole chunks.
-    """
+    By default a worker runs its claimed cells in-process — horizontal
+    scale comes from starting more workers, each claiming whole chunks.
+    ``processes=N`` (the :class:`~repro.sim.spec.ExecutionPolicy`'s
+    ``worker_processes``) additionally fans each claimed chunk's cells
+    across a per-machine process pool, so one worker per machine can
+    still use every core; the claim/lease/steal protocol is unchanged
+    (the lease is refreshed from the coordinating process while pool
+    cells complete).
 
-    workers = 1
+    With a ``store`` (:class:`~repro.store.CampaignStore`), the worker
+    consults the warehouse per claimed cell before simulating it —
+    chunk *claiming* stays untouched (the queue layout must remain a
+    pure function of the spec), only the simulation inside a claim is
+    skipped.  Served cells still land in the worker's shard, so the
+    merge sees a complete campaign.
+    """
 
     def __init__(
         self,
@@ -357,6 +400,8 @@ class DistributedBackend(CampaignBackend):
         *,
         lease_timeout: float = 60.0,
         poll_interval: float = 0.5,
+        processes: int | None = 1,
+        store=None,
     ):
         if lease_timeout <= 0:
             raise ParameterError(
@@ -372,6 +417,13 @@ class DistributedBackend(CampaignBackend):
         )
         self.lease_timeout = float(lease_timeout)
         self.poll_interval = float(poll_interval)
+        #: In-worker pool size (1 = run claimed cells in-process).
+        self.workers = _resolve_workers(processes)
+        self._store = store
+        #: Cells/replicas served from the store instead of simulated
+        #: (the executor folds these into its report counters).
+        self.cells_from_store = 0
+        self.replicas_from_store = 0
 
     # -- claim protocol ------------------------------------------------
     def _claim_path(self, chunk: int, generation: int) -> pathlib.Path:
@@ -479,38 +531,119 @@ class DistributedBackend(CampaignBackend):
         controller: ReplicaController,
     ) -> Iterator[tuple[int, list[list[DesResult]]]]:
         read_queue_manifest(self.queue)  # fail fast on a foreign directory
-        while True:
-            claimed = self._try_claim_pending() or self._try_steal_expired()
-            if claimed is None:
-                if self._all_done(len(chunks)):
-                    return
-                time.sleep(self.poll_interval)
-                continue
-            chunk, claim = claimed
-            if chunk >= len(chunks):
-                raise ParameterError(
-                    f"{self.queue}: ticket names chunk {chunk} but this "
-                    f"campaign only plans {len(chunks)}; the queue "
-                    "belongs to a different campaign"
+        pool: concurrent.futures.ProcessPoolExecutor | None = None
+        if self.workers > 1:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        try:
+            while True:
+                claimed = self._try_claim_pending() or self._try_steal_expired()
+                if claimed is None:
+                    if self._all_done(len(chunks)):
+                        return
+                    time.sleep(self.poll_interval)
+                    continue
+                claims = [claimed]
+                if pool is not None:
+                    # Keep the pool full: one chunk may hold fewer cells
+                    # than the pool has processes (chunk_size=1 is the
+                    # common fine-grained layout), so claim additional
+                    # chunks until the held cells cover the pool.
+                    while sum(
+                        len(chunks[c]) for c, _ in claims if c < len(chunks)
+                    ) < self.workers:
+                        more = (self._try_claim_pending()
+                                or self._try_steal_expired())
+                        if more is None:
+                            break
+                        claims.append(more)
+                for chunk, _ in claims:
+                    if chunk >= len(chunks):
+                        raise ParameterError(
+                            f"{self.queue}: ticket names chunk {chunk} but "
+                            f"this campaign only plans {len(chunks)}; the "
+                            "queue belongs to a different campaign"
+                        )
+
+                def heartbeat(claims=tuple(c for _, c in claims)) -> None:
+                    # Keep every held lease alive *inside* long cells
+                    # too: a slow cell must not look dead to the fleet.
+                    for claim in claims:
+                        self._refresh_lease(claim)
+
+                per_chunk = self._run_chunks(
+                    config, [chunks[c] for c, _ in claims], controller,
+                    pool, heartbeat,
                 )
+                for (chunk, claim), results in zip(claims, per_chunk):
+                    yield chunk, results
+                    # The executor appended the chunk to this worker's
+                    # shard while we were suspended at the yield: the
+                    # completion is durable, so certify it.
+                    self._mark_done(
+                        chunk, claim, sum(len(r) for r in results)
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _run_chunks(
+        self,
+        config: CampaignConfig,
+        plan_chunks: Sequence[Sequence],
+        controller: ReplicaController,
+        pool: concurrent.futures.ProcessPoolExecutor | None,
+        heartbeat,
+    ) -> list[list[list[DesResult]]]:
+        """The claimed chunks' per-cell results, chunk- and plan-ordered.
+
+        Store hits are resolved first (and counted); the remaining cells
+        run in-process or concurrently across the worker's pool —
+        pooling spans *all* held chunks, which is what lets a
+        fine-grained chunk layout still saturate the local cores.
+        Either way the lease keeps beating: in-process via
+        :func:`run_cell`'s per-replica hook, pooled via the coordinating
+        process refreshing while it waits on cell futures.
+        """
+        slots: dict[tuple[int, int], list[DesResult]] = {}
+        remaining: list[tuple[tuple[int, int], object]] = []
+        for ci, plans in enumerate(plan_chunks):
+            for pos, plan in enumerate(plans):
+                hit = None
+                if self._store is not None:
+                    hit = self._store.load_cell(config, plan, controller)
+                if hit is not None:
+                    slots[(ci, pos)] = hit
+                    self.cells_from_store += 1
+                    self.replicas_from_store += len(hit)
+                    heartbeat()
+                else:
+                    remaining.append(((ci, pos), plan))
+        if pool is not None and remaining:
+            futures = {
+                pool.submit(_execute_chunk, config, [plan], controller): key
+                for key, plan in remaining
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending, timeout=self.lease_timeout / 4.0
+                )
+                heartbeat()  # cells run elsewhere; the lease clock is ours
+                for future in done:
+                    slots[futures[future]] = future.result()[0]
+        else:
             trace_cache: dict = {}
-            results = []
-
-            def heartbeat(claim=claim) -> None:
-                # Keep the lease alive *inside* long cells too: a slow
-                # cell must not look dead to the rest of the fleet.
-                self._refresh_lease(claim)
-
-            for plan in chunks[chunk]:
-                results.append(run_cell(
+            for key, plan in remaining:
+                slots[key] = run_cell(
                     config, plan, controller, trace_cache,
                     heartbeat=heartbeat,
-                ))
-            yield chunk, results
-            # The executor appended the chunk to this worker's shard while
-            # we were suspended at the yield: the completion is durable,
-            # so certify it.
-            self._mark_done(chunk, claim, sum(len(r) for r in results))
+                )
+        return [
+            [slots[(ci, pos)] for pos in range(len(plans))]
+            for ci, plans in enumerate(plan_chunks)
+        ]
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,14 @@ layers together:
   bit-identical-to-serial path), or adaptively
   (:class:`~repro.sim.adaptive.AdaptiveCI`,
   :class:`~repro.sim.adaptive.WilsonSuccessRate`; framed sink required).
+* **Results store** (:mod:`repro.store`) — with ``policy.store`` (or
+  ``execute_spec(..., store=...)``) set, every planned cell is looked up
+  in a content-addressed warehouse *before* anything is dispatched to a
+  backend, and fresh cells are published right after their sink append.
+  Cache hits flow through the replica controller's cursor exactly like
+  live results, so adaptive decisions are identical either way, and the
+  store is volatile policy: it cannot change output bytes, only skip
+  recomputing them.
 
 A sidecar manifest (``<results>.manifest``) stores the campaign's
 **spec fingerprint** (:meth:`~repro.sim.spec.CampaignSpec.fingerprint`)
@@ -46,9 +54,28 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
                               │   (one JSON value: spec.to_dict())
               Campaign(spec).run(path) / execute_spec(spec, ...)
                               ▼
-    plan_cells ──► chunks ──► CampaignBackend ──► ResultSink ──► file
-                               Serial/ProcessPool   Ordered/Framed  results.jsonl
-                                                                  + .manifest (spec fingerprint)
+    plan_cells ──► store lookup ──► chunks ──► CampaignBackend ──► ResultSink ──► file
+                   (per cell, miss ⇒ run)       Serial/ProcessPool   Ordered/Framed  results.jsonl
+                        ▲      └──────────────────── publish ◄── after sink append
+                        │                                         + .manifest (spec fingerprint)
+              CampaignStore (repro.store)
+              objects/<sha256(replica key)>.json
+
+    Store data flows (replica key = protocol ⊕ φ ⊕ workload ⊕ resolved
+    platform params ⊕ failure law ⊕ seed-schedule entry — finer than the
+    spec fingerprint, so *different* campaigns share overlapping cells):
+
+    * cold  — every lookup misses; every cell simulates, is appended to
+      the sink, then published: results file byte-identical to a
+      storeless run.
+    * warm  — an identical completed spec re-runs with **zero**
+      simulations: every cell is served from the store, re-verified
+      against its stored bytes, and re-emitted in grid order — the
+      results file is byte-identical to the cold run's.
+    * partial overlap — a different grid that shares some cells (same
+      seed schedule, overlapping axes) simulates only the missing
+      cells; hits and fresh results interleave through the same sink
+      and replica controller.
 
     queue dir (shared filesystem)              per machine
     ┌──────────────────────────────┐     ┌──────────────────────────────┐
@@ -152,14 +179,19 @@ class ExecutionReport:
     chunk_size: int
     elapsed: float
     #: DES replicas actually executed (adaptive control may run fewer
-    #: than ``cells_run × config.replicas``).
+    #: than ``cells_run × config.replicas``; store hits run none).
     replicas_run: int = 0
     sink: str = "ordered"
+    #: Cells served from the results store instead of simulated.
+    cells_cached: int = 0
 
     def describe(self) -> str:
+        recovered = f"{self.cells_skipped} resumed"
+        if self.cells_cached:
+            recovered += f", {self.cells_cached} cached"
         return (
             f"{self.cells_run}/{self.cells_total} cells run "
-            f"({self.cells_skipped} resumed), workers={self.workers}, "
+            f"({recovered}), workers={self.workers}, "
             f"chunk={self.chunk_size}, sink={self.sink}, "
             f"replicas={self.replicas_run}, {self.elapsed:.2f}s"
         )
@@ -372,6 +404,7 @@ def execute_spec(
     resume: bool = False,
     on_cell: Callable[[CampaignCell], None] | None = None,
     backend: CampaignBackend | None = None,
+    store=None,
 ) -> CampaignExecution:
     """Run (or finish) a campaign spec; the engine behind every campaign API.
 
@@ -401,6 +434,14 @@ def execute_spec(
         Explicit :class:`~repro.sim.backends.CampaignBackend` (tests,
         experiments); default is built from the policy.  Mutually
         exclusive with a queue policy.
+    store:
+        A :class:`~repro.store.CampaignStore` (or a store directory
+        path) overriding ``policy.store``.  With an active store in a
+        read mode, every planned cell is resolved from the store before
+        anything reaches the backend; in ``"read-write"`` mode fresh
+        cells are published right after their sink append.  Like the
+        policy fields it mirrors, this argument is volatile per-execution
+        state — it cannot change output bytes.
     """
     start = time.perf_counter()
     if not isinstance(spec, CampaignSpec):
@@ -412,6 +453,22 @@ def execute_spec(
     policy = spec.policy
     config = spec.config(results_path)
     plans = plan_cells(config)
+
+    # Resolve the results store (volatile: cannot change output bytes).
+    store_mode = policy.store_mode
+    if store is None:
+        store = policy.store
+    if store is not None and store_mode != "off":
+        from ..store import CampaignStore
+
+        if not isinstance(store, CampaignStore):
+            # Read-only mode can never populate a store, so a missing
+            # directory there is a mistyped path, not a fresh cache —
+            # fail loudly instead of consulting a silently-empty store.
+            store = CampaignStore(store, create=store_mode == "read-write")
+    else:
+        store = None
+    store_writes = store is not None and store_mode == "read-write"
 
     if resume and results_path is None and policy.queue is None:
         raise ParameterError(
@@ -443,6 +500,11 @@ def execute_spec(
             policy.queue, worker_id=policy.worker_id,
             lease_timeout=policy.lease_timeout,
             poll_interval=policy.poll_interval,
+            processes=policy.worker_processes,
+            # A queue's chunk layout must stay a pure function of the
+            # spec, so store lookups cannot prune the plan here; the
+            # worker instead consults the store per claimed cell.
+            store=store,
         )
     if backend is None:
         backend = make_backend(policy.workers)
@@ -481,7 +543,24 @@ def execute_spec(
         _write_manifest(spec, path)
 
     todo = [p for p in plans if p.index not in done_results]
-    chunks = [todo[i:i + chunk_size] for i in range(0, len(todo), chunk_size)]
+
+    # Consult the store before anything is dispatched to a backend: a
+    # cell whose replica prefix is already warehoused is emitted without
+    # simulating.  (Not under a queue policy — the queue's chunk layout
+    # is a pure function of the spec, so the distributed backend
+    # consults the store per claimed cell instead.)
+    cached_results: dict[int, list[DesResult]] = {}
+    if store is not None and not distributed:
+        for plan in todo:
+            hit = store.load_cell(config, plan, controller)
+            if hit is not None:
+                cached_results[plan.index] = hit
+
+    run_plans = [p for p in todo if p.index not in cached_results]
+    chunks = [
+        run_plans[i:i + chunk_size]
+        for i in range(0, len(run_plans), chunk_size)
+    ]
 
     if distributed:
         # The chunk layout is a pure function of (spec, chunk_size), so
@@ -494,32 +573,77 @@ def execute_spec(
         sink_obj.begin()  # rejoin this worker's shard (truncate torn tail)
     fresh: dict[int, CampaignCell] = {}
     replicas_run = 0
+    cells_cached = 0
 
-    def _emit(plans_chunk: list[CellPlan], chunk_results: list[list[DesResult]]):
-        nonlocal replicas_run
-        for plan, results in zip(plans_chunk, chunk_results):
-            sink_obj.emit(plan, results)
-            replicas_run += len(results)
-            cell = _make_cell(plan, results)
-            fresh[plan.index] = cell
-            if on_cell is not None:
-                on_cell(cell)
-
-    if chunks:
-        if sink_obj.ordered:
-            # Re-sequence completion-order chunks so the sink sees strict
-            # grid order (the results file stays an exact prefix of the
-            # serial file at all times).
-            pending: dict[int, list[list[DesResult]]] = {}
-            next_expected = 0
-            for index, chunk_results in backend.execute(config, chunks, controller):
-                pending[index] = chunk_results
-                while next_expected in pending:
-                    _emit(chunks[next_expected], pending.pop(next_expected))
-                    next_expected += 1
+    def _emit_cell(plan: CellPlan, results: list[DesResult],
+                   *, from_store: bool) -> None:
+        nonlocal replicas_run, cells_cached
+        sink_obj.emit(plan, results)
+        if store_writes and not from_store:
+            # Publish only after the sink append: the warehouse must
+            # never get ahead of the durable results file.  (Re-runs and
+            # distributed cache hits publish idempotently — determinism
+            # guarantees identical bytes under identical keys.)
+            store.publish_cell(config, plan, results)
+        if from_store:
+            cells_cached += 1
         else:
-            for index, chunk_results in backend.execute(config, chunks, controller):
-                _emit(chunks[index], chunk_results)
+            replicas_run += len(results)
+        cell = _make_cell(plan, results)
+        fresh[plan.index] = cell
+        if on_cell is not None:
+            on_cell(cell)
+
+    if sink_obj.ordered:
+        # Emit strictly in grid order, interleaving store hits with
+        # completion-order backend chunks (the results file stays an
+        # exact prefix of the serial file at all times).
+        ready: dict[int, list[DesResult]] = {}
+        emit_pos = 0
+
+        def _flush_ordered() -> None:
+            nonlocal emit_pos
+            while emit_pos < len(todo):
+                plan = todo[emit_pos]
+                if plan.index in cached_results:
+                    _emit_cell(plan, cached_results.pop(plan.index),
+                               from_store=True)
+                elif plan.index in ready:
+                    _emit_cell(plan, ready.pop(plan.index),
+                               from_store=False)
+                else:
+                    return
+                emit_pos += 1
+
+        _flush_ordered()
+        if chunks:
+            for index, chunk_results in backend.execute(
+                config, chunks, controller
+            ):
+                for plan, results in zip(chunks[index], chunk_results):
+                    ready[plan.index] = results
+                _flush_ordered()
+    else:
+        # Out-of-order sink: store hits land first (in grid order — the
+        # deterministic choice, and what makes a fully-warm serial run
+        # byte-identical to its cold twin), fresh cells the moment their
+        # chunk completes.
+        for plan in todo:
+            if plan.index in cached_results:
+                _emit_cell(plan, cached_results.pop(plan.index),
+                           from_store=True)
+        if chunks:
+            for index, chunk_results in backend.execute(
+                config, chunks, controller
+            ):
+                for plan, results in zip(chunks[index], chunk_results):
+                    _emit_cell(plan, results, from_store=False)
+
+    if distributed:
+        # The worker resolved its store hits inside claimed chunks, so
+        # the emission loop above saw them as fresh; reconcile counters.
+        cells_cached += getattr(backend, "cells_from_store", 0)
+        replicas_run -= getattr(backend, "replicas_from_store", 0)
 
     done_cells = {
         index: _make_cell(plans[index], results)
@@ -537,12 +661,13 @@ def execute_spec(
         cells_total=len(plans),
         cells_skipped=len(plans) - len(fresh) if distributed
         else len(done_cells),
-        cells_run=len(fresh),
+        cells_run=len(fresh) - cells_cached,
         workers=resolved_workers,
         chunk_size=chunk_size,
         elapsed=time.perf_counter() - start,
         replicas_run=replicas_run,
         sink=policy.sink,
+        cells_cached=cells_cached,
     )
     return CampaignExecution(cells=cells, report=report)
 

@@ -75,10 +75,18 @@ from .sinks import SINK_MODES
 __all__ = [
     "SPEC_FORMAT",
     "SPEC_VERSION",
+    "STORE_MODES",
     "ExecutionPolicy",
     "CampaignSpec",
     "Campaign",
 ]
+
+#: How a campaign uses a results store (:mod:`repro.store`): ``"off"``
+#: ignores it, ``"read"`` consults it without publishing, ``"read-write"``
+#: (the default whenever a store is configured) consults and publishes.
+#: All three are *volatile*: they cannot change a single output byte,
+#: only how many simulations it costs to produce them.
+STORE_MODES = ("off", "read", "read-write")
 
 SPEC_FORMAT = "repro-campaign-spec"
 #: Written version.  Readers gate on each object's declared version, so a
@@ -97,6 +105,9 @@ _VOLATILE_POLICY_FIELDS = {
     "worker_id": None,
     "lease_timeout": 60.0,
     "poll_interval": 0.5,
+    "worker_processes": 1,
+    "store": None,
+    "store_mode": "read-write",
 }
 
 
@@ -138,6 +149,18 @@ class ExecutionPolicy:
     lease_timeout: float = 60.0
     #: Idle polling interval while waiting for claimable chunks.
     poll_interval: float = 0.5
+    #: Process-pool size *inside one distributed queue worker*:
+    #: a worker with ``worker_processes=N`` runs its claimed chunk's
+    #: cells across N local processes (``None``/``0`` = every core).
+    #: Requires ``queue``; for single-machine campaigns use ``workers``.
+    worker_processes: int | None = 1
+    #: Content-addressed results-store directory (:mod:`repro.store`);
+    #: ``None`` = no store.  Volatile: a store cannot change output
+    #: bytes, only skip recomputing them.
+    store: str | None = None
+    #: How the store is used: ``"off"``, ``"read"`` or ``"read-write"``
+    #: (the default).  Only meaningful when ``store`` is set.
+    store_mode: str = "read-write"
 
     def __post_init__(self) -> None:
         if self.workers is not None:
@@ -174,6 +197,30 @@ class ExecutionPolicy:
             self, "poll_interval",
             _check_number("poll_interval", self.poll_interval, positive=True),
         )
+        if self.worker_processes is not None:
+            if (not isinstance(self.worker_processes, numbers.Integral)
+                    or isinstance(self.worker_processes, bool)
+                    or self.worker_processes < 0):
+                raise ParameterError(
+                    f"worker_processes must be >= 0 (0/None = every "
+                    f"core), got {self.worker_processes!r}"
+                )
+            object.__setattr__(
+                self, "worker_processes", int(self.worker_processes)
+            )
+        if self.store_mode not in STORE_MODES:
+            raise ParameterError(
+                f"unknown store mode {self.store_mode!r}; "
+                f"known: {list(STORE_MODES)}"
+            )
+        if self.store is not None:
+            object.__setattr__(self, "store", str(self.store))
+        if self.queue is None and self.worker_processes != 1:
+            raise ParameterError(
+                f"worker_processes={self.worker_processes} sizes the "
+                "in-machine pool of a *distributed* queue worker; for a "
+                "single-machine campaign use workers=N"
+            )
         if self.queue is not None:
             object.__setattr__(self, "queue", str(self.queue))
             if self.sink != "framed":
@@ -188,9 +235,10 @@ class ExecutionPolicy:
                 # would hide the dropped parallelism.
                 raise ParameterError(
                     f"workers={self.workers} is meaningless for a "
-                    "distributed worker (each worker runs cells "
-                    "in-process); start more workers against the same "
-                    "queue instead"
+                    "distributed worker (workers shards a single-machine "
+                    "campaign); start more workers against the same "
+                    "queue, or set worker_processes=N to run this "
+                    "worker's claimed cells in a local process pool"
                 )
         if self.worker_id is not None:
             from .distributed import _check_worker_id
@@ -217,6 +265,9 @@ class ExecutionPolicy:
             "worker_id": self.worker_id,
             "lease_timeout": self.lease_timeout,
             "poll_interval": self.poll_interval,
+            "worker_processes": self.worker_processes,
+            "store": self.store,
+            "store_mode": self.store_mode,
         }
 
     @classmethod
@@ -230,6 +281,7 @@ class ExecutionPolicy:
         known = {
             "workers", "chunk_size", "sink", "controller", "queue",
             "worker_id", "lease_timeout", "poll_interval",
+            "worker_processes", "store", "store_mode",
         }
         unknown = set(data) - known
         if unknown:
@@ -521,25 +573,36 @@ class Campaign:
         results_path: str | pathlib.Path | None = None,
         *,
         on_cell: Callable[[CampaignCell], None] | None = None,
+        store=None,
     ):
-        """Execute the campaign (truncating ``results_path`` if given)."""
-        return self._execute(results_path, resume=False, on_cell=on_cell)
+        """Execute the campaign (truncating ``results_path`` if given).
+
+        ``store`` — a :class:`~repro.store.CampaignStore` or store
+        directory — overrides ``policy.store`` for this execution, like
+        the results path a per-execution argument: cells already
+        warehoused are served instead of simulated, fresh cells are
+        published after their sink append.
+        """
+        return self._execute(results_path, resume=False, on_cell=on_cell,
+                             store=store)
 
     def resume(
         self,
         results_path: str | pathlib.Path,
         *,
         on_cell: Callable[[CampaignCell], None] | None = None,
+        store=None,
     ):
         """Finish an interrupted campaign without re-running done cells."""
-        return self._execute(results_path, resume=True, on_cell=on_cell)
+        return self._execute(results_path, resume=True, on_cell=on_cell,
+                             store=store)
 
-    def _execute(self, results_path, *, resume, on_cell):
+    def _execute(self, results_path, *, resume, on_cell, store=None):
         from .executor import execute_spec
 
         execution = execute_spec(
             self.spec, results_path=results_path, resume=resume,
-            on_cell=on_cell,
+            on_cell=on_cell, store=store,
         )
         self.execution = execution
         # Track the *last* execution's persistence — including clearing

@@ -1,0 +1,794 @@
+"""The content-addressed results warehouse behind ``repro.store``.
+
+See the package docstring (:mod:`repro.store`) for the design; this
+module holds the mechanism:
+
+* :func:`replica_key` — the identity of one stored simulation,
+* :class:`CampaignStore` — publish/lookup/query/gc/export over a store
+  directory,
+* :func:`cells_from_store` — a spec's aggregated cells with zero
+  re-simulation (the engine behind ``report --from-spec``).
+
+Import discipline: this module imports only the seed-schedule helpers
+from :mod:`repro.sim.backends` at module level; everything that would
+close an import cycle (:mod:`repro.sim.spec`, :mod:`repro.sim.executor`,
+:mod:`repro.sim.distributed`) is imported lazily inside the functions
+that need it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import ParameterError
+from ..sim.backends import replica_seed, trace_seed
+from ..sim.campaign import CampaignConfig
+from ..sim.distributed import _atomic_write
+from ..sim.results import DesResult
+from ..sim.spec import STORE_MODES  # noqa: F401 - canonical home is the policy
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "STORE_MODES",
+    "replica_key",
+    "cell_keys",
+    "key_hash",
+    "CampaignStore",
+    "StoreEntry",
+    "StoreStat",
+    "GcReport",
+    "ExportReport",
+    "VerifyReport",
+    "cells_from_store",
+]
+
+STORE_FORMAT = "repro-store"
+_ENTRY_FORMAT = "repro-store-entry"
+#: Written version; readers refuse other numbers by name, like every
+#: envelope in :mod:`repro.io`.
+STORE_VERSION = 1
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}\.json$")
+#: A publish is write-temp-then-rename; gc only sweeps temp files older
+#: than this (seconds) so it cannot race a live publisher's rename.
+_TMP_SWEEP_GRACE = 3600.0
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def replica_key(config: CampaignConfig, plan, replica: int) -> dict:
+    """The store identity of one (grid cell, replica) simulation.
+
+    Deliberately *finer* than a campaign fingerprint: it names exactly
+    the inputs that determine the simulation's output bytes — protocol,
+    requested φ, workload, horizon, the fully-resolved platform
+    parameters (M substituted), the failure-law dict, and the *derived*
+    seed-schedule entry (the DES seed, and the shared-trace seed or
+    ``None`` when traces are not shared).  The campaign seed and the
+    cell's grid coordinates appear only through the derived seeds, so
+    two different campaigns whose grids overlap share cached cells —
+    including campaigns whose M axes list the same value at different
+    positions (no trace sharing), where the raw ``(seed, m_index)`` pair
+    would differ but the derived schedule does not.
+    """
+    params = config.base_params.with_updates(M=float(plan.M))
+    dist = config.distribution
+    return {
+        "format": _ENTRY_FORMAT,
+        "version": STORE_VERSION,
+        "protocol": plan.protocol,
+        "phi": float(plan.phi),
+        "work_target": float(config.work_target),
+        "max_time": None if config.max_time is None else float(config.max_time),
+        "params": params.to_dict(),
+        "distribution": None if dist is None else dist.to_dict(),
+        "seed": replica_seed(config, replica),
+        "trace_seed": trace_seed(config, plan.m_index, replica)
+        if config.share_traces else None,
+    }
+
+
+def cell_keys(
+    config: CampaignConfig, plan, max_replicas: int
+) -> Iterator[dict]:
+    """The replica keys of one grid cell, in seed order."""
+    for replica in range(max_replicas):
+        yield replica_key(config, plan, replica)
+
+
+def key_hash(key: dict) -> str:
+    """Content address of a key: SHA-256 of its canonical JSON."""
+    text = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 of a payload's canonical JSON (the tamper witness)."""
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _spec_hashes(spec) -> set[str]:
+    """Every replica hash a spec can touch (its pin/coverage footprint).
+
+    Uses the grid's full replica budget, not the adaptive stop points:
+    pinning a superset is always safe, and the footprint stays a pure
+    function of the spec (no simulation, no store access).
+    """
+    from ..sim.executor import plan_cells
+
+    config = spec.config()
+    hashes: set[str] = set()
+    for plan in plan_cells(config):
+        for key in cell_keys(config, plan, spec.grid.replicas):
+            hashes.add(key_hash(key))
+    return hashes
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored replica result, as the query layer sees it."""
+
+    hash: str
+    protocol: str
+    M: float
+    phi: float
+    n: int
+    seed: int
+    trace_seed: int | None
+    work_target: float
+    size: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class StoreStat:
+    """Aggregate accounting of a store directory."""
+
+    entries: int
+    total_bytes: int
+    protocols: dict[str, int]
+    oldest_mtime: float | None
+    newest_mtime: float | None
+
+    def describe(self) -> str:
+        per_protocol = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.protocols.items())
+        ) or "empty"
+        return (f"{self.entries} entries, {self.total_bytes} bytes "
+                f"({per_protocol})")
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`CampaignStore.gc` pass did (or would do)."""
+
+    entries_before: int
+    bytes_before: int
+    evicted_entries: int
+    evicted_bytes: int
+    pinned_entries: int
+    dry_run: bool
+
+    @property
+    def entries_after(self) -> int:
+        return self.entries_before - self.evicted_entries
+
+    @property
+    def bytes_after(self) -> int:
+        return self.bytes_before - self.evicted_bytes
+
+    def describe(self) -> str:
+        verb = "would evict" if self.dry_run else "evicted"
+        return (f"{verb} {self.evicted_entries} entries "
+                f"({self.evicted_bytes} bytes); "
+                f"{self.entries_after} entries ({self.bytes_after} bytes) "
+                f"remain, {self.pinned_entries} pinned")
+
+
+@dataclass(frozen=True)
+class ExportReport:
+    """What :meth:`CampaignStore.export` materialised."""
+
+    cells: int
+    frames: int
+    bytes_written: int
+
+    def describe(self) -> str:
+        return (f"{self.cells} cells ({self.frames} frames, "
+                f"{self.bytes_written} bytes) exported from the store, "
+                "zero re-simulation")
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of a full-store integrity re-verification."""
+
+    checked: int
+    errors: tuple[str, ...]
+    #: Aggregates of the entries that verified clean, collected during
+    #: the same scan (so ``stat --verify`` never walks the store twice).
+    stat: StoreStat | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.checked} entries verified, no corruption"
+        return (f"{self.checked} entries checked, "
+                f"{len(self.errors)} corrupt: {self.errors[0]}")
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class CampaignStore:
+    """A content-addressed, concurrency-safe warehouse of replica results.
+
+    One entry per (grid cell, replica) simulation, filed under the
+    SHA-256 of its :func:`replica_key`.  Publishing is write-then-rename
+    (the same atomic-publish pattern as the distributed queue's done
+    markers), so readers never observe a torn entry and concurrent
+    publishers of the same key converge on identical bytes.  Lookups
+    re-verify the entry against its stored bytes — the full key must
+    match (hash collisions and tampering are refused, never silently
+    served) and the decoded result must re-serialise to exactly the
+    payload on disk, which is the byte string a warm campaign will emit.
+
+    Lookup hits refresh the entry file's mtime, making mtime a
+    last-access clock; :meth:`gc` evicts least-recently-used entries
+    first when trimming to a size budget.
+    """
+
+    def __init__(self, root: str | pathlib.Path, *, create: bool = True):
+        self.root = pathlib.Path(root)
+        manifest = self.root / "store.json"
+        if manifest.exists():
+            try:
+                stored = json.loads(manifest.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ParameterError(
+                    f"{manifest}: unreadable store manifest ({exc}); this "
+                    "is not a results-store directory"
+                ) from exc
+            if not isinstance(stored, dict) \
+                    or stored.get("format") != STORE_FORMAT:
+                raise ParameterError(
+                    f"{manifest}: not a {STORE_FORMAT} manifest; refusing "
+                    "to treat a foreign directory as a results store"
+                )
+            if stored.get("version") != STORE_VERSION:
+                raise ParameterError(
+                    f"{manifest}: unsupported store version "
+                    f"{stored.get('version')!r} (this library speaks "
+                    f"version {STORE_VERSION})"
+                )
+        elif create:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            _atomic_write(manifest, json.dumps(
+                {"format": STORE_FORMAT, "version": STORE_VERSION},
+                sort_keys=True,
+            ) + "\n")
+        else:
+            raise ParameterError(
+                f"{self.root}: no results store here (missing store.json)"
+            )
+
+    # -- paths ---------------------------------------------------------
+    def _objects(self) -> pathlib.Path:
+        return self.root / "objects"
+
+    def _entry_path(self, hash_: str) -> pathlib.Path:
+        return self._objects() / hash_[:2] / f"{hash_}.json"
+
+    # -- publish / lookup ----------------------------------------------
+    def publish(self, key: dict, result: DesResult) -> bool:
+        """Store one replica result; returns False if already present.
+
+        Atomic (write temp + rename): a concurrent publisher of the same
+        key — deterministic execution guarantees identical bytes — races
+        harmlessly, and a crashed publisher leaves only a temp file that
+        the next :meth:`gc` sweeps up.
+        """
+        from .. import io as repro_io
+
+        hash_ = key_hash(key)
+        path = self._entry_path(hash_)
+        if path.exists():
+            return False
+        payload = repro_io.to_envelope(result)
+        entry = {
+            "format": _ENTRY_FORMAT,
+            "version": STORE_VERSION,
+            "key": key,
+            "payload": payload,
+            # The payload's own digest: the address hashes the *key*, so
+            # without this a well-formed but altered payload would be
+            # undetectable (the simulation bytes are not in the address).
+            "payload_sha256": _payload_digest(payload),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path, json.dumps(entry, sort_keys=True) + "\n")
+        return True
+
+    def lookup(self, key: dict) -> DesResult | None:
+        """The stored result of ``key``, or ``None`` on a miss.
+
+        A hit is integrity-checked before it is served: the entry's full
+        stored key must equal the requested one (a hash collision or a
+        renamed file is a hard error, not a wrong answer), and the
+        decoded result must re-serialise to exactly the payload bytes on
+        disk — the bytes a warm campaign re-emits.  Corruption raises a
+        :class:`~repro.errors.ParameterError` naming the entry; a store
+        must never silently substitute wrong results for a simulation.
+        """
+        path = self._entry_path(key_hash(key))
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"{path}: corrupt store entry (invalid JSON: {exc}); "
+                "delete the file (or run `repro-checkpoint store gc`) "
+                "and re-run to repopulate it"
+            ) from exc
+        result = self._decode_entry(path, entry, expected_key=key)
+        try:
+            os.utime(path)  # LRU clock for gc
+        except OSError:
+            pass  # concurrently evicted: the result in hand is still good
+        return result
+
+    @staticmethod
+    def _decode_entry(
+        path: pathlib.Path, entry: dict, *, expected_key: dict | None
+    ) -> DesResult:
+        from .. import io as repro_io
+
+        if not isinstance(entry, dict) \
+                or entry.get("format") != _ENTRY_FORMAT:
+            raise ParameterError(
+                f"{path}: not a {_ENTRY_FORMAT} record; the store "
+                "directory holds foreign files"
+            )
+        if entry.get("version") != STORE_VERSION:
+            raise ParameterError(
+                f"{path}: unsupported store-entry version "
+                f"{entry.get('version')!r} (this library speaks "
+                f"version {STORE_VERSION})"
+            )
+        stored_key = entry.get("key")
+        if expected_key is not None and stored_key != expected_key:
+            raise ParameterError(
+                f"{path}: stored key does not match the requested one "
+                "(hash collision or tampered entry); refusing to serve "
+                "a different simulation's result"
+            )
+        result = repro_io.from_envelope(entry.get("payload"))
+        if not isinstance(result, DesResult):
+            raise ParameterError(
+                f"{path}: store entries hold raw DES runs, found a "
+                f"{type(result).__name__}"
+            )
+        # Re-verification against the stored frame bytes: the payload
+        # must match its recorded digest (the address only hashes the
+        # key, so tampering inside the payload needs its own witness)
+        # and the object we hand out must re-serialise to exactly what
+        # is on disk, because that is the byte string a warm campaign
+        # emits in place of a simulation.
+        if _payload_digest(entry["payload"]) != entry.get("payload_sha256"):
+            raise ParameterError(
+                f"{path}: entry payload does not match its recorded "
+                "digest; the entry is corrupt — delete it and re-run to "
+                "repopulate"
+            )
+        if json.dumps(entry["payload"], sort_keys=True) \
+                != repro_io.dump_result(result):
+            raise ParameterError(
+                f"{path}: entry payload does not survive a serialisation "
+                "round-trip; the entry is corrupt — delete it and re-run "
+                "to repopulate"
+            )
+        return result
+
+    # -- cell-level API (what the executor drives) ---------------------
+    def load_cell(self, config: CampaignConfig, plan, controller):
+        """A complete cell from the store, or ``None``.
+
+        Replica entries are pulled in seed order and pushed through the
+        ``controller``'s incremental cursor — the *same* cursor live
+        execution and resume scans drive — so a hit returns exactly the
+        replica prefix a fresh run would have produced, whatever
+        controller stored the entries.  A store populated by a
+        fixed-count campaign therefore serves an adaptive campaign's
+        shorter prefix for free, while a store holding fewer replicas
+        than this controller needs is a miss (the cell re-runs in full).
+        """
+        cursor = controller.cursor()
+        results: list[DesResult] = []
+        for replica in range(controller.max_replicas):
+            result = self.lookup(replica_key(config, plan, replica))
+            if result is None:
+                return None
+            results.append(result)
+            if cursor.push(result.waste):
+                return results
+        return None  # controller never stopped inside the budget
+
+    def publish_cell(self, config: CampaignConfig, plan, results) -> int:
+        """Publish every replica of one finished cell; returns how many
+        entries were new."""
+        published = 0
+        for replica, result in enumerate(results):
+            published += self.publish(
+                replica_key(config, plan, replica), result
+            )
+        return published
+
+    # -- index / query layer -------------------------------------------
+    def _object_files(self) -> Iterator[tuple[str, pathlib.Path]]:
+        objects = self._objects()
+        try:
+            shards = sorted(os.listdir(objects))
+        except FileNotFoundError:
+            return
+        for shard in shards:
+            shard_dir = objects / shard
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except (FileNotFoundError, NotADirectoryError):
+                continue
+            for name in names:
+                if _HASH_RE.match(name):
+                    yield name[:-5], shard_dir / name
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Every stored entry, as queryable metadata (the on-disk index).
+
+        The index *is* the object tree: every entry is self-describing
+        (its key travels inside the file), so the index can never drift
+        from the contents and needs no cross-process coordination.
+        """
+        for hash_, path in self._object_files():
+            try:
+                stat = path.stat()
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ParameterError(
+                    f"{path}: unreadable store entry ({exc})"
+                ) from exc
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if not isinstance(key, dict):
+                raise ParameterError(
+                    f"{path}: store entry carries no key; the store "
+                    "directory holds foreign files"
+                )
+            params = key.get("params") or {}
+            yield StoreEntry(
+                hash=hash_,
+                protocol=key.get("protocol"),
+                M=float(params.get("M", float("nan"))),
+                phi=float(key.get("phi", float("nan"))),
+                n=int(params.get("n", 0)),
+                seed=key.get("seed"),
+                trace_seed=key.get("trace_seed"),
+                work_target=float(key.get("work_target", float("nan"))),
+                size=stat.st_size,
+                mtime=stat.st_mtime,
+            )
+
+    def query(
+        self,
+        *,
+        protocol: str | None = None,
+        M: float | None = None,
+        phi: float | None = None,
+        n: int | None = None,
+    ) -> Iterator[StoreEntry]:
+        """Entries matching every given filter (the CLI's ``store ls``)."""
+        for entry in self.entries():
+            if protocol is not None and entry.protocol != protocol:
+                continue
+            if M is not None and entry.M != float(M):
+                continue
+            if phi is not None and entry.phi != float(phi):
+                continue
+            if n is not None and entry.n != int(n):
+                continue
+            yield entry
+
+    def stat(self) -> StoreStat:
+        """Aggregate accounting (``store stat``)."""
+        entries = 0
+        total = 0
+        protocols: dict[str, int] = {}
+        oldest: float | None = None
+        newest: float | None = None
+        for entry in self.entries():
+            entries += 1
+            total += entry.size
+            protocols[entry.protocol] = protocols.get(entry.protocol, 0) + 1
+            oldest = entry.mtime if oldest is None else min(oldest, entry.mtime)
+            newest = entry.mtime if newest is None else max(newest, entry.mtime)
+        return StoreStat(
+            entries=entries, total_bytes=total, protocols=protocols,
+            oldest_mtime=oldest, newest_mtime=newest,
+        )
+
+    def verify(self) -> VerifyReport:
+        """Re-verify every entry against its stored bytes.
+
+        Checks, per entry: the file name matches the SHA-256 of the
+        stored key (content addressing), the payload decodes into a raw
+        DES run, and the decoded run re-serialises to the exact payload
+        bytes on disk.  Collects problems instead of stopping at the
+        first, so one corrupt entry does not hide the rest.
+        """
+        checked = 0
+        errors: list[str] = []
+        entries = 0
+        total = 0
+        protocols: dict[str, int] = {}
+        oldest: float | None = None
+        newest: float | None = None
+        for hash_, path in self._object_files():
+            checked += 1
+            try:
+                stat = path.stat()
+                entry = json.loads(path.read_text())
+                if not isinstance(entry, dict):
+                    raise ParameterError("entry is not an object")
+                if key_hash(entry.get("key", {})) != hash_:
+                    raise ParameterError(
+                        "file name does not match the stored key's hash"
+                    )
+                self._decode_entry(path, entry, expected_key=None)
+            except (OSError, json.JSONDecodeError, ParameterError) as exc:
+                errors.append(f"{path}: {exc}")
+                continue
+            entries += 1
+            total += stat.st_size
+            protocol = entry["key"].get("protocol")
+            protocols[protocol] = protocols.get(protocol, 0) + 1
+            oldest = stat.st_mtime if oldest is None \
+                else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None \
+                else max(newest, stat.st_mtime)
+        return VerifyReport(
+            checked=checked, errors=tuple(errors),
+            stat=StoreStat(
+                entries=entries, total_bytes=total, protocols=protocols,
+                oldest_mtime=oldest, newest_mtime=newest,
+            ),
+        )
+
+    # -- coverage / eviction -------------------------------------------
+    def coverage(self, spec) -> tuple[int, int]:
+        """``(present, total)`` replica entries of a spec's footprint."""
+        hashes = _spec_hashes(spec)
+        present = sum(
+            1 for h in hashes if self._entry_path(h).exists()
+        )
+        return present, len(hashes)
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        pin_specs: Iterable = (),
+        pin_queues: Iterable[str | pathlib.Path] = (),
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> GcReport:
+        """Trim the store to a retention budget (LRU by access mtime).
+
+        ``max_age`` evicts entries idle longer than that many seconds;
+        ``max_bytes`` then evicts least-recently-used entries until the
+        store fits the budget.  Entries in the footprint of a
+        ``pin_specs`` spec or of the campaign recorded in a
+        ``pin_queues`` queue-directory manifest are never evicted — a
+        fleet mid-campaign must not lose the cells its queue still
+        references.  Abandoned temp files from crashed publishers are
+        swept unconditionally.  ``dry_run`` reports without deleting.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ParameterError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        if max_age is not None and max_age <= 0:
+            raise ParameterError(f"max_age must be > 0, got {max_age!r}")
+        now = time.time() if now is None else float(now)
+
+        pinned: set[str] = set()
+        for spec in pin_specs:
+            pinned |= _spec_hashes(spec)
+        for queue in pin_queues:
+            from ..sim.distributed import read_queue_manifest
+            from ..sim.spec import CampaignSpec
+
+            manifest = read_queue_manifest(queue)
+            pinned |= _spec_hashes(CampaignSpec.from_dict(manifest["campaign"]))
+
+        # Sweep crashed publishers' temp files (never the entries) — but
+        # only stale ones: a fresh temp may be a live publisher's
+        # in-flight write-then-rename, and unlinking it mid-publish
+        # would crash that campaign's os.replace.
+        if not dry_run:
+            objects = self._objects()
+            try:
+                shards = list(os.listdir(objects))
+            except FileNotFoundError:
+                shards = []
+            for shard in shards:
+                shard_dir = objects / shard
+                if not shard_dir.is_dir():
+                    continue
+                for name in os.listdir(shard_dir):
+                    if ".tmp-" not in name:
+                        continue
+                    path = shard_dir / name
+                    try:
+                        if now - path.stat().st_mtime > _TMP_SWEEP_GRACE:
+                            path.unlink()
+                    except OSError:
+                        pass
+
+        listing: list[tuple[float, int, str, pathlib.Path]] = []
+        for hash_, path in self._object_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently removed
+            listing.append((stat.st_mtime, stat.st_size, hash_, path))
+
+        entries_before = len(listing)
+        bytes_before = sum(size for _, size, _, _ in listing)
+        pinned_present = sum(1 for _, _, h, _ in listing if h in pinned)
+
+        evicted_entries = 0
+        evicted_bytes = 0
+
+        def _evict(size: int, path: pathlib.Path) -> None:
+            nonlocal evicted_entries, evicted_bytes
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    return  # a racing gc won; count nothing
+            evicted_entries += 1
+            evicted_bytes += size
+
+        survivors: list[tuple[float, int, str, pathlib.Path]] = []
+        for mtime, size, hash_, path in listing:
+            if hash_ in pinned:
+                survivors.append((mtime, size, hash_, path))
+                continue
+            if max_age is not None and now - mtime > max_age:
+                _evict(size, path)
+                continue
+            survivors.append((mtime, size, hash_, path))
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _, _ in survivors)
+            # Oldest access first; pinned entries are immune however
+            # tight the budget gets.
+            for mtime, size, hash_, path in sorted(survivors):
+                if total <= max_bytes:
+                    break
+                if hash_ in pinned:
+                    continue
+                _evict(size, path)
+                total -= size
+
+        return GcReport(
+            entries_before=entries_before,
+            bytes_before=bytes_before,
+            evicted_entries=evicted_entries,
+            evicted_bytes=evicted_bytes,
+            pinned_entries=pinned_present,
+            dry_run=dry_run,
+        )
+
+    # -- export --------------------------------------------------------
+    def export(self, spec, out_path: str | pathlib.Path) -> ExportReport:
+        """Materialise a spec's results file straight from the store.
+
+        Writes the framed, grid-ordered, contiguously-sequenced results
+        file (plus the ``.manifest`` sidecar holding the spec
+        fingerprint) that a single-machine ``sink="framed"`` run of the
+        spec would have produced — byte-identical, with **zero**
+        simulations.  Every cell must be resolvable from the store;
+        missing cells are reported by grid coordinates, never silently
+        skipped.
+        """
+        from .. import io as repro_io
+
+        resolved = _resolve_spec(self, spec)
+        out_path = pathlib.Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        frames = 0
+        tmp = out_path.with_name(out_path.name + f".tmp-{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for plan, results in resolved:
+                for replica, result in enumerate(results):
+                    fh.write(repro_io.dump_frame(
+                        result, cell=plan.index, replica=replica, seq=frames,
+                    ) + "\n")
+                    frames += 1
+        os.replace(tmp, out_path)
+        _atomic_write(
+            out_path.with_name(out_path.name + ".manifest"),
+            json.dumps(spec.fingerprint(), sort_keys=True) + "\n",
+        )
+        return ExportReport(
+            cells=len(resolved), frames=frames,
+            bytes_written=out_path.stat().st_size,
+        )
+
+
+def cells_from_store(store: CampaignStore, spec) -> list:
+    """A spec's aggregated campaign cells, resolved with zero simulation.
+
+    The query layer behind ``report --from-spec --store``: every grid
+    cell is loaded through the spec's replica controller and aggregated
+    exactly as a live run would have (:class:`~repro.sim.campaign.
+    CampaignCell` with a full Monte-Carlo summary).  Raises when any
+    cell is absent — a report must never silently cover a partial grid.
+    """
+    from ..sim.executor import _make_cell
+
+    return [
+        _make_cell(plan, results)
+        for plan, results in _resolve_spec(store, spec)
+    ]
+
+
+def _resolve_spec(store: CampaignStore, spec) -> list[tuple]:
+    """Every grid cell of ``spec`` resolved from the store, in plan
+    order, as ``(plan, replica results)`` pairs.
+
+    The shared engine behind :meth:`CampaignStore.export` and
+    :func:`cells_from_store`: all-or-nothing — missing cells raise with
+    grid coordinates rather than returning a partial sweep.
+    """
+    from ..sim.executor import plan_cells
+
+    config = spec.config()
+    controller = spec.controller()
+    plans = plan_cells(config)
+    resolved: list[tuple] = []
+    missing: list = []
+    for plan in plans:
+        results = store.load_cell(config, plan, controller)
+        if results is None:
+            missing.append(plan)
+        else:
+            resolved.append((plan, results))
+    if missing:
+        head = ", ".join(
+            f"({p.protocol}, M={p.M:g}, phi={p.phi:g})"
+            for p in missing[:3]
+        )
+        raise ParameterError(
+            f"{store.root}: store is missing {len(missing)} of "
+            f"{len(plans)} cells for this spec (first missing: {head}"
+            f"{', ...' if len(missing) > 3 else ''}); run the campaign "
+            "with --store to populate them"
+        )
+    return resolved

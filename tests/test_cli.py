@@ -425,9 +425,19 @@ class TestReportCommand:
         assert rc == 2
         assert "report: " in capsys.readouterr().err
 
-    def test_requires_source_flag(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["report"])
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["report"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        rc = main(["report", "--from-campaign", str(tmp_path / "a.jsonl"),
+                   "--from-spec", str(tmp_path / "s.json")])
+        assert rc == 2
+        assert "exactly one source" in capsys.readouterr().err
+
+    def test_from_spec_requires_store(self, capsys, tmp_path):
+        spec = tmp_path / "s.json"
+        rc = main(["report", "--from-spec", str(spec)])
+        assert rc == 2
+        assert "--store" in capsys.readouterr().err
 
     def test_order_follows_grid_not_completion(self, capsys, tmp_path):
         """Framed files record cells in completion order; the report must
@@ -455,3 +465,132 @@ class TestReportCommand:
         out = capsys.readouterr().out
         assert "waste ratios vs double-nbl" in out
         assert out.index("double-nbl") < out.index("triple")
+
+
+class TestStoreCommand:
+    QUICK = [
+        "campaign", "--protocols", "double-nbl,triple", "--M", "300,600",
+        "--phi", "1.0", "--n", "12", "--work-target", "15min",
+        "--replicas", "2", "--seed", "99",
+    ]
+
+    def _populate(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(self.QUICK + ["--store", str(store), "--results",
+                                  str(tmp_path / "cold.jsonl")]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_warm_rerun_via_cli_is_byte_identical(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        assert main(self.QUICK + ["--store", str(store), "--results",
+                                  str(tmp_path / "warm.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "0/4 cells run (0 resumed, 4 cached)" in out
+        assert "4 cells served from it" in out
+        assert (tmp_path / "warm.jsonl").read_bytes() \
+            == (tmp_path / "cold.jsonl").read_bytes()
+
+    def test_store_mode_read_does_not_publish(self, capsys, tmp_path):
+        from repro.store import CampaignStore
+
+        store = tmp_path / "store"
+        CampaignStore(store)  # an existing (empty) store
+        assert main(self.QUICK + ["--store", str(store), "--store-mode",
+                                  "read"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stat", "--store", str(store)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_store_mode_read_refuses_missing_store(self, capsys, tmp_path):
+        rc = main(self.QUICK + ["--store", str(tmp_path / "typo"),
+                                "--store-mode", "read"])
+        assert rc == 2
+        assert "no results store" in capsys.readouterr().err
+
+    def test_store_mode_requires_store(self, capsys):
+        assert main(self.QUICK + ["--store-mode", "read"]) == 2
+        assert "--store-mode" in capsys.readouterr().err
+
+    def test_spec_file_composes_with_store(self, capsys, tmp_path):
+        """--store layers over --spec: volatile policy, same campaign."""
+        spec_file = tmp_path / "spec.json"
+        assert main(self.QUICK + ["--dump-spec"]) == 0
+        spec_file.write_text(capsys.readouterr().out)
+        store = tmp_path / "store"
+        base = ["campaign", "--spec", str(spec_file), "--store", str(store)]
+        assert main(base + ["--results", str(tmp_path / "a.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(base + ["--results", str(tmp_path / "b.jsonl")]) == 0
+        assert "4 cached" in capsys.readouterr().out
+        assert (tmp_path / "a.jsonl").read_bytes() \
+            == (tmp_path / "b.jsonl").read_bytes()
+
+    def test_ls_stat_filters_and_verify(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 entries" in out and "double-nbl" in out
+        assert main(["store", "ls", "--store", str(store),
+                     "--protocol", "triple", "--M", "5min"]) == 0
+        assert "2/2 entries" in capsys.readouterr().out
+        assert main(["store", "stat", "--store", str(store),
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "8 entries" in out and "no corruption" in out
+
+    def test_stat_verify_fails_on_corruption(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        victim = next((store / "objects").glob("*/*.json"))
+        victim.write_text("garbage")
+        assert main(["store", "stat", "--store", str(store),
+                     "--verify"]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_gc_respects_budget_and_requires_one(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        assert main(["store", "gc", "--store", str(store)]) == 2
+        assert "retention budget" in capsys.readouterr().err
+        assert main(["store", "gc", "--store", str(store),
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 8 entries" in capsys.readouterr().out
+
+    def test_export_and_report_from_spec(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        spec_file = tmp_path / "spec.json"
+        assert main(self.QUICK + ["--dump-spec"]) == 0
+        spec_file.write_text(capsys.readouterr().out)
+
+        out_file = tmp_path / "export.jsonl"
+        assert main(["store", "export", "--store", str(store),
+                     "--spec", str(spec_file), "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "zero re-simulation" in out and out_file.exists()
+
+        assert main(["report", "--from-spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign results" in out and "8 runs" in out
+        assert "waste ratios vs double-nbl" in out
+
+    def test_export_requires_spec_and_out(self, capsys, tmp_path):
+        store = self._populate(capsys, tmp_path)
+        assert main(["store", "export", "--store", str(store)]) == 2
+        assert "--spec and --out" in capsys.readouterr().err
+
+    def test_missing_store_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["store", "stat", "--store",
+                     str(tmp_path / "absent")]) == 2
+        assert "no results store" in capsys.readouterr().err
+
+    def test_worker_procs_requires_queue(self, capsys):
+        assert main(self.QUICK + ["--worker-procs", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "require --queue" in err and "--worker-procs" in err
+
+    def test_merge_refuses_store_flags(self, capsys, tmp_path):
+        rc = main(["campaign", "merge", "--queue", str(tmp_path / "q"),
+                   "--out", str(tmp_path / "m.jsonl"),
+                   "--store", str(tmp_path / "s")])
+        assert rc == 2
+        assert "--store" in capsys.readouterr().err

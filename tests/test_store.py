@@ -1,0 +1,615 @@
+"""Content-addressed results store: caching, reuse, retention, queries.
+
+The contract under test, in order of importance:
+
+* **Warm identity** — a re-run of an identical completed spec with a
+  store performs *zero* simulations (asserted via a counting backend)
+  and writes a results file byte-identical to the cold run's.
+* **Partial overlap** — a different grid sharing some cells simulates
+  only the missing ones.
+* **Controller equivalence** — cache hits flow through the replica
+  controllers exactly like live results, so fixed-count and adaptive
+  campaigns interoperate through one store.
+* **Safety** — corruption is refused loudly, eviction never touches a
+  pinned footprint, and concurrent publishers converge race-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE, scenarios
+from repro.errors import ParameterError
+from repro.sim.adaptive import AdaptiveCI
+from repro.sim.backends import CampaignBackend, SerialBackend
+from repro.sim.campaign import CampaignConfig
+from repro.sim.executor import execute_spec, plan_cells
+from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy
+from repro.store import (
+    CampaignStore,
+    cells_from_store,
+    key_hash,
+    replica_key,
+)
+
+
+def make_spec(*, m_values=(300.0, 600.0), share_traces=False, replicas=2,
+              seed=2027, work_target=900.0, policy=None) -> CampaignSpec:
+    grid = CampaignConfig(
+        protocols=(DOUBLE_NBL, TRIPLE),
+        base_params=scenarios.BASE.parameters(M=600.0, n=12),
+        m_values=m_values,
+        phi_values=(1.0,),
+        work_target=work_target,
+        replicas=replicas,
+        seed=seed,
+        share_traces=share_traces,
+    )
+    return CampaignSpec(grid=grid, policy=policy or ExecutionPolicy())
+
+
+class CountingBackend(CampaignBackend):
+    """Serial execution that counts every cell dispatched to it."""
+
+    def __init__(self):
+        self.cells_dispatched = 0
+        self.inner = SerialBackend()
+
+    def execute(self, config, chunks, controller):
+        self.cells_dispatched += sum(len(chunk) for chunk in chunks)
+        yield from self.inner.execute(config, chunks, controller)
+
+
+class TestKeys:
+    def test_key_is_grid_position_independent(self):
+        """The same physical cell in two different grids (no shared
+        traces) keys identically — the cross-campaign reuse premise."""
+        a, b = make_spec(m_values=(300.0, 600.0)), make_spec(m_values=(600.0, 1200.0))
+        plan_a = next(p for p in plan_cells(a.grid) if p.M == 600.0)
+        plan_b = next(p for p in plan_cells(b.grid) if p.M == 600.0)
+        assert plan_a.m_index != plan_b.m_index  # different grid rows...
+        for r in range(2):
+            assert key_hash(replica_key(a.grid, plan_a, r)) \
+                == key_hash(replica_key(b.grid, plan_b, r))
+
+    def test_shared_traces_key_by_derived_trace_seed(self):
+        """With shared traces the trace seed depends on the grid row, so
+        the same (protocol, M) cell at a different row is a *different*
+        simulation — the key must refuse to conflate them."""
+        a = make_spec(m_values=(300.0, 600.0), share_traces=True)
+        b = make_spec(m_values=(600.0, 1200.0), share_traces=True)
+        plan_a = next(p for p in plan_cells(a.grid) if p.M == 600.0)
+        plan_b = next(p for p in plan_cells(b.grid) if p.M == 600.0)
+        assert key_hash(replica_key(a.grid, plan_a, 0)) \
+            != key_hash(replica_key(b.grid, plan_b, 0))
+        # Same row in an identical grid: same simulation, same key.
+        assert key_hash(replica_key(a.grid, plan_a, 0)) \
+            == key_hash(replica_key(a.grid, plan_a, 0))
+
+    def test_key_varies_with_what_changes_output(self):
+        spec = make_spec()
+        plan = plan_cells(spec.grid)[0]
+        base = key_hash(replica_key(spec.grid, plan, 0))
+        assert key_hash(replica_key(spec.grid, plan, 1)) != base
+        assert key_hash(replica_key(
+            make_spec(seed=999).grid, plan, 0)) != base
+        assert key_hash(replica_key(
+            make_spec(work_target=1800.0).grid, plan, 0)) != base
+        assert key_hash(replica_key(
+            make_spec(share_traces=True).grid, plan, 0)) != base
+
+
+class TestWarmRerun:
+    @pytest.mark.parametrize("sink", ["ordered", "framed"])
+    def test_warm_rerun_zero_simulations_byte_identical(self, tmp_path, sink):
+        """The acceptance invariant: warm re-run of an identical
+        completed spec simulates nothing yet lands byte-identical."""
+        spec = make_spec(policy=ExecutionPolicy(sink=sink))
+        store = tmp_path / "store"
+        cold_backend = CountingBackend()
+        cold = execute_spec(spec, results_path=tmp_path / "cold.jsonl",
+                            backend=cold_backend, store=store)
+        assert cold_backend.cells_dispatched == 4
+        assert cold.report.cells_cached == 0
+
+        warm_backend = CountingBackend()
+        warm = execute_spec(spec, results_path=tmp_path / "warm.jsonl",
+                            backend=warm_backend, store=store)
+        assert warm_backend.cells_dispatched == 0
+        assert warm.report.cells_run == 0
+        assert warm.report.replicas_run == 0
+        assert warm.report.cells_cached == 4
+        assert (tmp_path / "warm.jsonl").read_bytes() \
+            == (tmp_path / "cold.jsonl").read_bytes()
+        # The cells object surface is identical too.
+        assert [c.summary for c in warm.cells] == \
+            [c.summary for c in cold.cells]
+
+    def test_half_overlapping_grid_simulates_only_missing_cells(self, tmp_path):
+        store = tmp_path / "store"
+        execute_spec(make_spec(m_values=(300.0, 600.0)),
+                     results_path=tmp_path / "a.jsonl", store=store)
+
+        backend = CountingBackend()
+        overlap = execute_spec(
+            make_spec(m_values=(600.0, 1200.0)),
+            results_path=tmp_path / "b.jsonl", backend=backend, store=store,
+        )
+        # 2 protocols × (600 cached, 1200 fresh)
+        assert backend.cells_dispatched == 2
+        assert overlap.report.cells_cached == 2
+        assert overlap.report.cells_run == 2
+        # The overlap file equals a storeless run of the same grid.
+        execute_spec(make_spec(m_values=(600.0, 1200.0)),
+                     results_path=tmp_path / "ref.jsonl")
+        assert (tmp_path / "b.jsonl").read_bytes() \
+            == (tmp_path / "ref.jsonl").read_bytes()
+
+    def test_shared_trace_campaign_warm_rerun(self, tmp_path):
+        """Shared-trace cells cache too (the trace seed is in the key)."""
+        spec = make_spec(share_traces=True)
+        store = tmp_path / "store"
+        execute_spec(spec, results_path=tmp_path / "a.jsonl", store=store)
+        backend = CountingBackend()
+        warm = execute_spec(spec, results_path=tmp_path / "b.jsonl",
+                            backend=backend, store=store)
+        assert backend.cells_dispatched == 0
+        assert warm.report.cells_cached == 4
+        assert (tmp_path / "a.jsonl").read_bytes() \
+            == (tmp_path / "b.jsonl").read_bytes()
+
+    def test_store_plus_resume_compose(self, tmp_path):
+        """A truncated results file resumes, and the cells it lost are
+        served from the store instead of re-simulated."""
+        spec = make_spec()
+        store = tmp_path / "store"
+        path = tmp_path / "c.jsonl"
+        execute_spec(spec, results_path=path, store=store)
+        full = path.read_bytes()
+        lines = full.split(b"\n")
+        path.write_bytes(b"\n".join(lines[:2]) + b"\n")  # keep cell 0
+
+        backend = CountingBackend()
+        resumed = execute_spec(spec, results_path=path, resume=True,
+                               backend=backend, store=store)
+        assert backend.cells_dispatched == 0
+        assert resumed.report.cells_skipped == 1
+        assert resumed.report.cells_cached == 3
+        assert path.read_bytes() == full
+
+    def test_facade_and_policy_paths(self, tmp_path):
+        """The store reaches the executor through either the policy or
+        the run() argument; both are volatile (resume accepts drift)."""
+        store = tmp_path / "store"
+        spec = make_spec(policy=ExecutionPolicy(
+            store=str(store), store_mode="read-write"))
+        Campaign(spec).run(tmp_path / "a.jsonl")
+        warm = Campaign(make_spec()).run(tmp_path / "b.jsonl", store=store)
+        assert warm.report.cells_cached == 4
+        # Volatile: resuming the file written with a store, without one.
+        resumed = Campaign(make_spec()).resume(tmp_path / "a.jsonl")
+        assert resumed.report.cells_skipped == 4
+
+
+class TestModes:
+    def test_read_mode_never_publishes(self, tmp_path):
+        store_dir = tmp_path / "store"
+        CampaignStore(store_dir)  # an existing (empty) store
+        spec = make_spec(policy=ExecutionPolicy(
+            store=str(store_dir), store_mode="read"))
+        execute_spec(spec, results_path=tmp_path / "a.jsonl")
+        assert CampaignStore(store_dir).stat().entries == 0
+
+    def test_read_mode_refuses_a_missing_store(self, tmp_path):
+        """Read-only mode can never populate a store, so a missing
+        directory is a mistyped path, not a fresh cache."""
+        spec = make_spec(policy=ExecutionPolicy(
+            store=str(tmp_path / "typo"), store_mode="read"))
+        with pytest.raises(ParameterError, match="no results store"):
+            execute_spec(spec, results_path=tmp_path / "a.jsonl")
+
+    def test_off_mode_ignores_the_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        spec = make_spec(policy=ExecutionPolicy(
+            store=str(store_dir), store_mode="off"))
+        backend = CountingBackend()
+        run = execute_spec(spec, results_path=tmp_path / "b.jsonl",
+                           backend=backend)
+        assert backend.cells_dispatched == 4
+        assert run.report.cells_cached == 0
+
+    def test_unknown_store_mode_refused_at_construction(self):
+        with pytest.raises(ParameterError, match="store mode"):
+            ExecutionPolicy(store="/tmp/s", store_mode="write")
+
+    def test_store_fields_are_volatile_spec_state(self, tmp_path):
+        a = make_spec()
+        b = make_spec(policy=ExecutionPolicy(
+            store=str(tmp_path / "s"), store_mode="read"))
+        assert a != b
+        assert a.identity() == b.identity()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_policy_round_trips_with_store_fields(self, tmp_path):
+        spec = make_spec(policy=ExecutionPolicy(
+            store=str(tmp_path / "s"), store_mode="read"))
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.policy.store == str(tmp_path / "s")
+        assert again.policy.store_mode == "read"
+
+
+class TestControllerInterop:
+    def _adaptive(self, replicas=8):
+        # Loose tolerance: low-variance cells stop at min_replicas, so
+        # the adaptive/fixed asymmetry actually shows in these grids.
+        return AdaptiveCI(max_replicas=replicas, tolerance=0.5,
+                          min_replicas=3, batch=1)
+
+    def test_fixed_store_serves_adaptive_prefix(self, tmp_path):
+        """A fixed-count campaign's entries serve an adaptive campaign:
+        the cursor replay stops inside the cached replicas and the file
+        equals the adaptive cold run byte-for-byte."""
+        store = tmp_path / "store"
+        execute_spec(make_spec(replicas=8),
+                     results_path=tmp_path / "fixed.jsonl", store=store)
+
+        adaptive = make_spec(replicas=8, policy=ExecutionPolicy(
+            sink="framed", controller=self._adaptive()))
+        execute_spec(adaptive, results_path=tmp_path / "ref.jsonl")
+        backend = CountingBackend()
+        warm = execute_spec(adaptive, results_path=tmp_path / "warm.jsonl",
+                            backend=backend, store=store)
+        assert backend.cells_dispatched == 0
+        assert warm.report.cells_cached == 4
+        assert (tmp_path / "warm.jsonl").read_bytes() \
+            == (tmp_path / "ref.jsonl").read_bytes()
+
+    def test_adaptive_store_misses_for_fixed_budget(self, tmp_path):
+        """The reverse is a miss when the adaptive run stored fewer
+        replicas than the fixed budget needs — the cell re-runs in full
+        rather than serving a short prefix as complete."""
+        store = tmp_path / "store"
+        adaptive = make_spec(replicas=8, policy=ExecutionPolicy(
+            sink="framed", controller=self._adaptive()))
+        run = execute_spec(adaptive, results_path=tmp_path / "a.jsonl",
+                           store=store)
+        short_cells = sum(
+            1 for c in run.cells if c.summary.n_replicas < 8
+        )
+        assert short_cells > 0  # the premise: someone stopped early
+
+        fixed = make_spec(replicas=8)
+        backend = CountingBackend()
+        warm = execute_spec(fixed, results_path=tmp_path / "b.jsonl",
+                            backend=backend, store=store)
+        assert backend.cells_dispatched == short_cells
+        assert warm.report.cells_cached == 4 - short_cells
+        execute_spec(fixed, results_path=tmp_path / "ref.jsonl")
+        assert (tmp_path / "b.jsonl").read_bytes() \
+            == (tmp_path / "ref.jsonl").read_bytes()
+
+
+class TestIntegrity:
+    def _entry_paths(self, store_dir):
+        return sorted((store_dir / "objects").glob("*/*.json"))
+
+    def test_corrupt_entry_is_refused_not_served(self, tmp_path):
+        store_dir = tmp_path / "store"
+        spec = make_spec()
+        execute_spec(spec, results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        victim = self._entry_paths(store_dir)[0]
+        victim.write_text("{ not json")
+        with pytest.raises(ParameterError, match="corrupt store entry"):
+            execute_spec(spec, results_path=tmp_path / "b.jsonl",
+                         store=store_dir)
+
+    def test_tampered_payload_fails_verification(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        victim = self._entry_paths(store_dir)[0]
+        entry = json.loads(victim.read_text())
+        entry["payload"]["payload"]["makespan"] += 1.0
+        victim.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        report = CampaignStore(store_dir).verify()
+        assert not report.ok
+        assert len(report.errors) == 1 and "digest" in report.errors[0]
+
+    def test_swapped_entries_are_refused(self, tmp_path):
+        """Renaming one valid entry onto another key's address must be
+        caught by the full-key comparison on lookup."""
+        store_dir = tmp_path / "store"
+        spec = make_spec()
+        execute_spec(spec, results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        a, b = self._entry_paths(store_dir)[:2]
+        payload = a.read_bytes()
+        b.write_bytes(payload)
+        with pytest.raises(ParameterError, match="does not match"):
+            execute_spec(spec, results_path=tmp_path / "b.jsonl",
+                         store=store_dir)
+
+    def test_foreign_directory_is_not_a_store(self, tmp_path):
+        (tmp_path / "store.json").write_text('{"format": "something"}')
+        with pytest.raises(ParameterError, match="foreign"):
+            CampaignStore(tmp_path)
+        with pytest.raises(ParameterError, match="no results store"):
+            CampaignStore(tmp_path / "absent", create=False)
+
+
+class TestGc:
+    def test_lru_eviction_to_byte_budget(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        store = CampaignStore(store_dir)
+        before = store.stat()
+
+        # Touch half the entries (a warm lookup) so they are recent.
+        spec = make_spec()
+        config = spec.config()
+        plans = plan_cells(config)
+        recent = plans[:2]
+        old_paths = []
+        for path in (store_dir / "objects").glob("*/*.json"):
+            os.utime(path, (1.0, 1.0))  # everything ancient...
+            old_paths.append(path)
+        recent_hashes = set()
+        for plan in recent:
+            for r in range(2):
+                h = key_hash(replica_key(config, plan, r))
+                recent_hashes.add(h)
+                os.utime(store_dir / "objects" / h[:2] / f"{h}.json")
+
+        budget = before.total_bytes // 2
+        report = store.gc(max_bytes=budget)
+        assert report.bytes_after <= budget
+        survivors = {e.hash for e in store.entries()}
+        # LRU: every survivor is one of the recently-touched entries.
+        assert survivors <= recent_hashes
+
+    def test_gc_never_evicts_a_pinned_queue_footprint(self, tmp_path):
+        """The satellite invariant: gc --max-bytes must not evict cells
+        referenced by an in-progress queue manifest, however small the
+        budget."""
+        from repro.sim.distributed import ensure_queue, queue_status
+
+        store_dir = tmp_path / "store"
+        pinned_spec = make_spec(m_values=(300.0, 600.0))
+        other_spec = make_spec(m_values=(1200.0, 2400.0))
+        execute_spec(pinned_spec, results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        execute_spec(other_spec, results_path=tmp_path / "b.jsonl",
+                     store=store_dir)
+
+        # An in-progress queue for the pinned spec (no worker ran yet).
+        queue = tmp_path / "queue"
+        queue_spec = make_spec(m_values=(300.0, 600.0), policy=ExecutionPolicy(
+            sink="framed", queue=str(queue)))
+        ensure_queue(queue, queue_spec.fingerprint(),
+                     n_chunks=4, chunk_size=1, n_cells=4)
+        assert not queue_status(queue).complete
+
+        store = CampaignStore(store_dir)
+        report = store.gc(max_bytes=0, pin_queues=[queue])
+        assert report.pinned_entries == 8
+        survivors = {e.hash for e in store.entries()}
+        config = pinned_spec.config()
+        expected = {
+            key_hash(replica_key(config, plan, r))
+            for plan in plan_cells(config) for r in range(2)
+        }
+        assert survivors == expected
+        # ...and the queue's campaign still resolves entirely from store.
+        assert store.coverage(pinned_spec) == (8, 8)
+
+    def test_max_age_and_dry_run(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        store = CampaignStore(store_dir)
+        for path in (store_dir / "objects").glob("*/*.json"):
+            os.utime(path, (1.0, 1.0))
+        dry = store.gc(max_age=3600.0, dry_run=True)
+        assert dry.evicted_entries == 8
+        assert store.stat().entries == 8  # nothing actually deleted
+        wet = store.gc(max_age=3600.0)
+        assert wet.evicted_entries == 8
+        assert store.stat().entries == 0
+
+    def test_gc_requires_a_budget_shape(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        with pytest.raises(ParameterError, match="max_bytes"):
+            store.gc(max_bytes=-1)
+        with pytest.raises(ParameterError, match="max_age"):
+            store.gc(max_age=0.0)
+
+
+class TestQueryExportReport:
+    def test_query_filters(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        store = CampaignStore(store_dir)
+        assert len(list(store.query(protocol="triple"))) == 4
+        assert len(list(store.query(protocol="triple", M=300.0))) == 2
+        assert len(list(store.query(protocol="nope"))) == 0
+        stat = store.stat()
+        assert stat.entries == 8
+        assert stat.protocols == {"double-nbl": 4, "triple": 4}
+
+    def test_export_matches_framed_run_and_resumes(self, tmp_path):
+        store_dir = tmp_path / "store"
+        spec_framed = make_spec(policy=ExecutionPolicy(sink="framed"))
+        execute_spec(spec_framed, results_path=tmp_path / "ref.jsonl",
+                     store=store_dir)
+        store = CampaignStore(store_dir)
+        out = tmp_path / "export.jsonl"
+        report = store.export(spec_framed, out)
+        assert (report.cells, report.frames) == (4, 8)
+        assert out.read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+        # The export carries its manifest and resumes as complete.
+        resumed = execute_spec(spec_framed, results_path=out, resume=True)
+        assert resumed.report.cells_run == 0
+        assert resumed.report.cells_skipped == 4
+
+    def test_export_refuses_missing_cells(self, tmp_path):
+        store_dir = tmp_path / "store"
+        execute_spec(make_spec(m_values=(300.0,)),
+                     results_path=tmp_path / "a.jsonl", store=store_dir)
+        store = CampaignStore(store_dir)
+        with pytest.raises(ParameterError, match="missing 2 of 4"):
+            store.export(make_spec(), tmp_path / "out.jsonl")
+
+    def test_cells_from_store_match_execution_cells(self, tmp_path):
+        store_dir = tmp_path / "store"
+        spec = make_spec()
+        run = execute_spec(spec, results_path=tmp_path / "a.jsonl",
+                           store=store_dir)
+        cells = cells_from_store(CampaignStore(store_dir), spec)
+        assert [c.summary for c in cells] == [c.summary for c in run.cells]
+
+    def test_store_report_matches_campaign_report(self, tmp_path):
+        from repro.experiments.report import campaign_report, store_report
+
+        store_dir = tmp_path / "store"
+        spec = make_spec()
+        execute_spec(spec, results_path=tmp_path / "a.jsonl",
+                     store=store_dir)
+        from_file = campaign_report(tmp_path / "a.jsonl")
+        from_store = store_report(store_dir, spec)
+        assert from_file.split("===")[2:] == from_store.split("===")[2:]
+        assert "no re-simulation" in from_store
+
+
+class TestDistributedStore:
+    def test_queue_worker_serves_cells_from_store(self, tmp_path):
+        """A distributed worker consults the store per claimed cell: the
+        queue completes with zero simulations and the merge is
+        byte-identical to a storeless framed run."""
+        from repro.sim.distributed import merge_shards, queue_status
+
+        store = tmp_path / "store"
+        framed = make_spec(policy=ExecutionPolicy(sink="framed"))
+        execute_spec(framed, results_path=tmp_path / "ref.jsonl",
+                     store=store)
+
+        queue = tmp_path / "queue"
+        worker = make_spec(policy=ExecutionPolicy(
+            sink="framed", queue=str(queue), worker_id="w1",
+            store=str(store), lease_timeout=30.0, poll_interval=0.01))
+        execution = execute_spec(worker)
+        assert queue_status(queue).complete
+        assert execution.report.cells_cached == 4
+        assert execution.report.replicas_run == 0
+        merged = tmp_path / "merged.jsonl"
+        merge_shards(queue, merged)
+        assert merged.read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+
+    def test_queue_plus_store_reads_keep_chunk_layout(self, tmp_path):
+        """Store hits must not prune the queue's chunk plan: every chunk
+        still gets a ticket and a done marker."""
+        from repro.sim.distributed import queue_status
+
+        store = tmp_path / "store"
+        execute_spec(make_spec(), results_path=tmp_path / "a.jsonl",
+                     store=store)
+        queue = tmp_path / "queue"
+        worker = make_spec(policy=ExecutionPolicy(
+            sink="framed", queue=str(queue), worker_id="w1",
+            store=str(store), lease_timeout=30.0, poll_interval=0.01))
+        execute_spec(worker)
+        status = queue_status(queue)
+        assert (status.n_chunks, status.done) == (4, 4)
+
+
+class TestPooledWorker:
+    def test_worker_processes_requires_queue(self):
+        with pytest.raises(ParameterError, match="worker_processes"):
+            ExecutionPolicy(worker_processes=4)
+        with pytest.raises(ParameterError, match="worker_processes"):
+            ExecutionPolicy(worker_processes=0)
+
+    def test_workers_with_queue_still_refused(self, tmp_path):
+        with pytest.raises(ParameterError, match="worker_processes=N"):
+            ExecutionPolicy(workers=4, sink="framed",
+                            queue=str(tmp_path / "q"))
+        with pytest.raises(ParameterError, match="sink='framed'"):
+            ExecutionPolicy(queue=str(tmp_path / "q"), worker_processes=2)
+
+    def test_pooled_policy_round_trips_and_is_volatile(self, tmp_path):
+        pooled = ExecutionPolicy(sink="framed", queue=str(tmp_path / "q"),
+                                 worker_processes=4)
+        spec = make_spec(policy=pooled)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert spec.identity().policy.worker_processes == 1
+
+    @pytest.mark.campaign
+    def test_pooled_worker_merge_matches_serial(self, tmp_path):
+        from repro.sim.distributed import merge_shards, queue_status
+
+        framed = make_spec(policy=ExecutionPolicy(sink="framed"))
+        execute_spec(framed, results_path=tmp_path / "ref.jsonl")
+        queue = tmp_path / "queue"
+        pooled = make_spec(policy=ExecutionPolicy(
+            sink="framed", queue=str(queue), worker_id="w1",
+            worker_processes=2, lease_timeout=30.0, poll_interval=0.01))
+        execution = execute_spec(pooled)
+        assert execution.report.workers == 2
+        assert queue_status(queue).complete
+        merged = tmp_path / "merged.jsonl"
+        merge_shards(queue, merged)
+        assert merged.read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+
+
+@pytest.mark.campaign
+class TestConcurrentAccess:
+    """Two independently started OS processes against one store."""
+
+    def _run(self, store, results, seed):
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "campaign",
+             "--protocols", "double-nbl,triple", "--M", "300,600",
+             "--phi", "1.0", "--n", "12", "--work-target", "15min",
+             "--replicas", "2", "--seed", str(seed),
+             "--store", str(store), "--results", str(results)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_two_processes_publish_and_lookup_race_free(self, tmp_path):
+        """Both processes run the same grid against one store at once:
+        atomic-rename publishing means whatever interleaving happens,
+        both results files are byte-identical and every store entry
+        survives verification."""
+        store = tmp_path / "store"
+        procs = [
+            self._run(store, tmp_path / f"r{i}.jsonl", seed=2027)
+            for i in (1, 2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        a = (tmp_path / "r1.jsonl").read_bytes()
+        assert a == (tmp_path / "r2.jsonl").read_bytes()
+        report = CampaignStore(store).verify()
+        assert report.ok and report.checked == 8
+        # A third, sequential run is fully warm.
+        proc = self._run(store, tmp_path / "r3.jsonl", seed=2027)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert "(4 cells served from it)" in out
+        assert (tmp_path / "r3.jsonl").read_bytes() == a
