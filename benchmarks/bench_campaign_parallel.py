@@ -15,9 +15,12 @@ from __future__ import annotations
 import os
 import time
 
+import numpy as np
+
 from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
 from repro import io as repro_io
 from repro.sim.campaign import CampaignConfig
+from repro.sim.results import ci_half_width
 from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy
 
 
@@ -66,6 +69,60 @@ def test_parallel_matches_serial_and_reports_speedup(tmp_path, record):
         f"on {os.cpu_count()} core(s)",
         f"speedup: {t_serial / t_parallel:.2f}x "
         "(bit-identical cells and results file)",
+    ])
+
+
+def test_vectorized_backend_speedup_with_equivalence(tmp_path, record):
+    """The vectorized engine's acceptance gate: ≥10x per-cell throughput
+    on a high-churn cell, with the statistical-equivalence contract
+    asserted on the very runs being timed (speed that changed the
+    answer would not count)."""
+
+    def spec(backend: str) -> CampaignSpec:
+        return CampaignSpec(
+            grid=CampaignConfig(
+                protocols=(DOUBLE_NBL,),
+                base_params=scenarios.BASE.parameters(M=600.0, n=24),
+                m_values=(300.0,),
+                phi_values=(1.0,),
+                work_target=7200.0,  # ~2h of work at M=300: high churn
+                replicas=30,
+                seed=4242,
+            ),
+            policy=ExecutionPolicy(backend=backend),
+        )
+
+    t0 = time.perf_counter()
+    des = Campaign(spec("des")).run(tmp_path / "des.jsonl")
+    t_des = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vec = Campaign(spec("vectorized")).run(tmp_path / "vec.jsonl")
+    t_vec = time.perf_counter() - t0
+
+    assert des.report.cells_run == vec.report.cells_run == 1
+    speedup = t_des / t_vec
+    assert speedup >= 10.0, (
+        f"vectorized backend must be >=10x the DES on this cell, "
+        f"got {speedup:.1f}x ({t_des:.3f}s vs {t_vec:.3f}s)"
+    )
+
+    # Equivalence on the timed runs: completed-replica waste within the
+    # summed 95% CIs plus the documented O((F/M)^2) thinning allowance.
+    w_des = np.array([r.waste for r in des.cells[0].results])
+    w_vec = np.array([r.waste for r in vec.cells[0].results])
+    mean_des, mean_vec = float(np.nanmean(w_des)), float(np.nanmean(w_vec))
+    tolerance = (ci_half_width(w_des) + ci_half_width(w_vec)
+                 + 2.0 * mean_des ** 2)
+    assert abs(mean_des - mean_vec) <= tolerance
+
+    record("Vectorized vs per-event DES backend (one high-churn cell)", [
+        "cell: double-nbl, M=300s, n=24, phi=1.0, 2h work, 30 replicas",
+        f"des (per-event):   {t_des:.3f}s",
+        f"vectorized:        {t_vec:.3f}s",
+        f"speedup: {speedup:.1f}x  "
+        f"(waste {mean_vec:.4f} vs {mean_des:.4f}, "
+        f"|diff| {abs(mean_des - mean_vec):.4f} <= tol {tolerance:.4f})",
     ])
 
 

@@ -22,7 +22,7 @@ from repro import DOUBLE_BOF, DOUBLE_NBL, TRIPLE
 from repro.core.period import optimal_period
 from repro.core.waste import waste
 from repro.sim.des import DesConfig, run_des_batch, summarize_waste
-from repro.sim.renewal import RenewalConfig, run_renewal_batch
+from repro.sim.renewal import RenewalConfig, mean_block_samples, run_renewal_batch
 from repro.sim.riskmc import RiskMcConfig, run_risk_mc
 
 DAY = 86400.0
@@ -42,7 +42,8 @@ def validate_lost_time_and_waste() -> None:
             replicas=8,
         )
         f_model = float(np.asarray(spec.expected_lost_time(params, phi, period)))
-        f_hat = float(np.mean([r.mean_block for r in results]))
+        f_samples = mean_block_samples(results)  # skips no-failure replicas
+        f_hat = float(np.mean(f_samples)) if f_samples else float("nan")
         w_model = float(waste(spec, params, phi, period))
         print(f"   {spec.key:12s} F: model {f_model:7.2f}s vs MC {f_hat:7.2f}s"
               f"   waste: model {w_model:.4f} vs MC {summary.mean:.4f} "

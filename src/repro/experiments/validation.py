@@ -38,7 +38,7 @@ from ..core.risk import success_probability
 from ..core.waste import waste
 from ..errors import ParameterError
 from ..sim.des import DesConfig, run_des_batch, summarize_waste
-from ..sim.renewal import RenewalConfig, run_renewal_batch
+from ..sim.renewal import RenewalConfig, mean_block_samples, run_renewal_batch
 from ..sim.results import MonteCarloSummary
 from ..sim.riskmc import RiskMcConfig, run_risk_mc
 from . import report
@@ -122,7 +122,7 @@ def validate_protocol(
         replicas=renewal_replicas,
     )
     f_model = float(np.asarray(spec.expected_lost_time(params, phi, period)))
-    f_samples = [r.mean_block for r in results if np.isfinite(r.mean_block)]
+    f_samples = mean_block_samples(results)
     f_summary = MonteCarloSummary.from_samples(f_samples)
     checks.append(ValidationCheck(
         name="F (lost time per failure)",

@@ -1,0 +1,77 @@
+"""Skew-tolerant age arithmetic for shared-filesystem timestamps.
+
+Both the work-stealing queue (:mod:`repro.sim.distributed`, lease
+expiry) and the results store (:mod:`repro.store.store`, ``gc
+--max-age``) decide liveness by comparing *their own* wall clock
+against ``st_mtime`` stamps written by *other* machines through a
+shared filesystem.  Two failure modes follow:
+
+* **Cross-machine skew / NTP steps.**  On NFS, ``st_mtime`` is stamped
+  by the *server* clock; ``time.time()`` is the client's.  A client
+  running behind the server computes negative ages (a fresh lease looks
+  "from the future" — fine), but a client running *ahead* inflates
+  every age and can steal a live lease or evict a just-published store
+  entry.
+* **Backwards local jumps.**  Even single-machine, an NTP step between
+  a write and the age check can make ``now − mtime`` negative or
+  wildly large.
+
+The cure is to measure *now* with the same clock that stamped the
+files: touch a probe file in the directory being judged and read its
+``st_mtime`` back (:func:`filesystem_now`).  Probe and judged stamps
+then share one clock — the fileserver's — and skew cancels.  Ages are
+additionally clamped at zero (:func:`clamped_age`): a negative age
+means "stamped after *now* was sampled", i.e. maximally fresh, and
+must never wrap into a huge positive age.
+
+Both call sites fail *safe* in the same direction: an unexpectedly
+small age keeps a lease un-stolen and a store entry un-evicted; an
+expired lease is recovered on the next scan once the shared clock
+actually advances past the timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+
+__all__ = ["filesystem_now", "clamped_age"]
+
+
+def filesystem_now(directory: Path | str) -> float:
+    """Current time according to ``directory``'s own filesystem clock.
+
+    Touches a uniquely named probe file inside ``directory``, stats it,
+    unlinks it, and returns the probe's ``st_mtime`` — the same clock
+    that stamps every other file in that directory, regardless of which
+    machine (or fileserver) is authoritative for it.  Falls back to
+    ``time.time()`` if the directory is missing or unwritable, which
+    reproduces the old behaviour exactly.
+    """
+    base = Path(directory)
+    probe = base / f".clock-probe-{uuid.uuid4().hex}.tmp"
+    try:
+        with open(probe, "w"):
+            pass
+        return probe.stat().st_mtime
+    except OSError:
+        return time.time()
+    finally:
+        try:
+            os.unlink(probe)
+        except OSError:
+            pass
+
+
+def clamped_age(now: float, mtime: float) -> float:
+    """``now − mtime``, clamped at zero.
+
+    A negative raw age means the file was stamped after ``now`` was
+    sampled (clock skew, NTP step, or simply a touch racing the scan):
+    treat it as brand new.  Callers compare the result against a
+    timeout/max-age, so the clamp makes skew strictly conservative —
+    nothing is ever stolen or evicted early because a clock jumped.
+    """
+    return max(0.0, float(now) - float(mtime))

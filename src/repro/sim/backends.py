@@ -8,6 +8,15 @@ delegates the raw computation to a :class:`CampaignBackend`:
 * :class:`ProcessPoolBackend` — chunks across worker processes, yielded
   in *completion* order so a slow cell never blocks downstream handling
   of finished ones (sinks that need grid order re-buffer themselves).
+* :class:`repro.sim.vectorized.VectorizedBackend` — in-process, whole
+  cells as numpy batches via the renewal closed forms instead of
+  per-event simulation (``engine="vectorized"``); cells that genuinely
+  need event interleaving (shared failure traces) fall back to the
+  scalar DES per cell, byte-identically.
+
+Every backend accepts an ``engine`` selector ("des" or "vectorized")
+naming the per-replica simulation; the *backend* decides where cells
+run, the *engine* decides how.
 
 The interface is deliberately narrow — ``execute(config, chunks,
 controller)`` yielding ``(chunk_index, per-cell results)`` — which is
@@ -43,6 +52,7 @@ __all__ = [
     "replica_seed",
     "trace_seed",
     "run_cell",
+    "run_cell_for_engine",
 ]
 
 #: Seed stride between replicas (kept identical to the historical serial
@@ -139,14 +149,45 @@ def run_cell(
     return results
 
 
+def run_cell_for_engine(
+    engine: str,
+    config: CampaignConfig,
+    plan,
+    controller: ReplicaController,
+    trace_cache: dict | None = None,
+    heartbeat: Callable[[], None] | None = None,
+) -> list[DesResult]:
+    """Run one cell on the requested simulation engine.
+
+    ``engine="des"`` is :func:`run_cell` verbatim.  ``engine="vectorized"``
+    batches the cell's replicas through the renewal closed forms
+    (:mod:`repro.sim.vectorized`) *when the cell is vectorizable*;
+    otherwise it falls back to the scalar DES path, producing exactly the
+    bytes :func:`run_cell` would — the fallback is a per-cell decision
+    (:func:`repro.sim.vectorized.cell_engine`), pure in the config and
+    plan, so every worker and the store agree on it.
+    """
+    if engine == "des":
+        return run_cell(config, plan, controller, trace_cache, heartbeat)
+    from .vectorized import cell_engine, run_cell_vectorized
+
+    if cell_engine(config, plan) == "vectorized":
+        return run_cell_vectorized(config, plan, controller, heartbeat)
+    return run_cell(config, plan, controller, trace_cache, heartbeat)
+
+
 def _execute_chunk(
     config: CampaignConfig,
     plans: list,
     controller: ReplicaController,
+    engine: str = "des",
 ) -> list[list[DesResult]]:
     """Worker entry point: run a chunk of cells, sharing traces within it."""
     trace_cache: dict = {}
-    return [run_cell(config, plan, controller, trace_cache) for plan in plans]
+    return [
+        run_cell_for_engine(engine, config, plan, controller, trace_cache)
+        for plan in plans
+    ]
 
 
 class CampaignBackend(ABC):
@@ -177,11 +218,16 @@ class SerialBackend(CampaignBackend):
     historical serial implementation.
     """
 
+    def __init__(self, engine: str = "des"):
+        self.engine = engine
+
     def execute(self, config, chunks, controller):
         trace_cache: dict = {}
         for index, chunk in enumerate(chunks):
             yield index, [
-                run_cell(config, plan, controller, trace_cache)
+                run_cell_for_engine(
+                    self.engine, config, plan, controller, trace_cache
+                )
                 for plan in chunk
             ]
 
@@ -202,30 +248,51 @@ class ProcessPoolBackend(CampaignBackend):
     while out-of-order sinks stream a slow chunk's neighbours immediately.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None, engine: str = "des"):
         workers = _resolve_workers(workers)
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.engine = engine
 
     def execute(self, config, chunks, controller):
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers
         ) as pool:
             futures = {
-                pool.submit(_execute_chunk, config, chunk, controller): index
+                pool.submit(
+                    _execute_chunk, config, chunk, controller, self.engine
+                ): index
                 for index, chunk in enumerate(chunks)
             }
             for future in concurrent.futures.as_completed(futures):
                 yield futures[future], future.result()
 
 
-def make_backend(workers: int | None) -> CampaignBackend:
+def make_backend(
+    workers: int | None, engine: str = "des"
+) -> CampaignBackend:
     """The backend for a worker count (``1`` = in-process serial;
-    ``None``/``0`` = every core, in-process if that resolves to one)."""
+    ``None``/``0`` = every core, in-process if that resolves to one).
+
+    ``engine`` selects the per-replica simulation
+    (:data:`repro.sim.spec.CAMPAIGN_BACKENDS`); the in-process vectorized
+    combination returns the dedicated
+    :class:`~repro.sim.vectorized.VectorizedBackend`.
+    """
+    from .spec import CAMPAIGN_BACKENDS
+
+    if engine not in CAMPAIGN_BACKENDS:
+        raise ParameterError(
+            f"unknown backend {engine!r}; expected one of {CAMPAIGN_BACKENDS}"
+        )
     if workers is not None and workers < 0:
         raise ParameterError(f"workers must be >= 0, got {workers}")
-    backend = ProcessPoolBackend(workers)  # single resolution/validation site
+    backend = ProcessPoolBackend(workers, engine)  # single resolution site
     if backend.workers == 1:
-        return SerialBackend()
+        if engine == "vectorized":
+            from .vectorized import VectorizedBackend
+
+            return VectorizedBackend()
+        return SerialBackend(engine)
     return backend

@@ -50,10 +50,14 @@ integrity check.  The rare benign races (two initialisers recreating a
 ticket, a stolen chunk finishing twice) therefore cost duplicate work,
 never wrong output.
 
-Clock caveat: lease expiry compares the claim file's mtime against the
-local clock, so ``lease_timeout`` must comfortably exceed worker clock
-skew (and NFS attribute-cache lag) — seconds-to-minutes leases on a
-sanely NTP-synced fleet are fine.
+Clock caveat: lease expiry reads *now* from the queue directory's own
+filesystem clock (:func:`repro.fsclock.filesystem_now` touch-and-stats
+a probe file in ``claims/``), so claim mtimes and the expiry clock are
+stamped by the same authority — the fileserver on NFS — and
+cross-machine wall-clock skew cancels instead of stealing live leases.
+Ages are clamped at zero, so a backwards clock jump can never make a
+fresh claim look ancient; ``lease_timeout`` only needs to exceed one
+replica's runtime plus NFS attribute-cache lag.
 
 The merged file is an ordinary framed campaign results file — cells in
 grid order, contiguous sequence numbers, the campaign manifest at its
@@ -76,15 +80,17 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from ..errors import ParameterError
+from ..fsclock import clamped_age, filesystem_now
 from .adaptive import ReplicaController, stop_count
 from .backends import (
     CampaignBackend,
     _execute_chunk,
     _resolve_workers,
-    run_cell,
+    run_cell_for_engine,
 )
 from .campaign import CampaignConfig
 from .results import DesResult
+from .vectorized import plan_engine
 
 __all__ = [
     "DistributedBackend",
@@ -402,6 +408,7 @@ class DistributedBackend(CampaignBackend):
         poll_interval: float = 0.5,
         processes: int | None = 1,
         store=None,
+        engine: str = "des",
     ):
         if lease_timeout <= 0:
             raise ParameterError(
@@ -420,6 +427,11 @@ class DistributedBackend(CampaignBackend):
         #: In-worker pool size (1 = run claimed cells in-process).
         self.workers = _resolve_workers(processes)
         self._store = store
+        #: Simulation engine ("des" or "vectorized") for claimed cells;
+        #: per-cell fallback is decided inside the chunk runner exactly
+        #: as in the single-machine backends, so a distributed campaign
+        #: produces the same bytes as a serial one with the same policy.
+        self.engine = engine
         #: Cells/replicas served from the store instead of simulated
         #: (the executor folds these into its report counters).
         self.cells_from_store = 0
@@ -480,14 +492,18 @@ class DistributedBackend(CampaignBackend):
             chunk, generation = int(m.group(1)), int(m.group(2))
             if generation >= current.get(chunk, (-1, ""))[0]:
                 current[chunk] = (generation, name)
-        now = time.time()
+        # Sample *now* from the claims directory's own filesystem clock —
+        # the clock that stamped every claim mtime — so lease expiry is
+        # immune to cross-machine skew; clamp so a backwards jump (or a
+        # refresh racing this scan) reads as "fresh", never "ancient".
+        now = filesystem_now(_claims(self.queue))
         for chunk in sorted(current):
             generation, name = current[chunk]
             if _done_path(self.queue, chunk).exists():
                 continue
             stale = _claims(self.queue) / name
             try:
-                age = now - stale.stat().st_mtime
+                age = clamped_age(now, stale.stat().st_mtime)
             except OSError:
                 continue  # vanished: owner finished or another thief won
             if age < self.lease_timeout:
@@ -612,7 +628,10 @@ class DistributedBackend(CampaignBackend):
             for pos, plan in enumerate(plans):
                 hit = None
                 if self._store is not None:
-                    hit = self._store.load_cell(config, plan, controller)
+                    hit = self._store.load_cell(
+                        config, plan, controller,
+                        engine=plan_engine(self.engine, config, plan),
+                    )
                 if hit is not None:
                     slots[(ci, pos)] = hit
                     self.cells_from_store += 1
@@ -622,7 +641,9 @@ class DistributedBackend(CampaignBackend):
                     remaining.append(((ci, pos), plan))
         if pool is not None and remaining:
             futures = {
-                pool.submit(_execute_chunk, config, [plan], controller): key
+                pool.submit(
+                    _execute_chunk, config, [plan], controller, self.engine
+                ): key
                 for key, plan in remaining
             }
             pending = set(futures)
@@ -636,8 +657,8 @@ class DistributedBackend(CampaignBackend):
         else:
             trace_cache: dict = {}
             for key, plan in remaining:
-                slots[key] = run_cell(
-                    config, plan, controller, trace_cache,
+                slots[key] = run_cell_for_engine(
+                    self.engine, config, plan, controller, trace_cache,
                     heartbeat=heartbeat,
                 )
         return [

@@ -56,10 +56,14 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
                               ▼
     plan_cells ──► store lookup ──► chunks ──► CampaignBackend ──► ResultSink ──► file
                    (per cell, miss ⇒ run)       Serial/ProcessPool   Ordered/Framed  results.jsonl
-                        ▲      └──────────────────── publish ◄── after sink append
-                        │                                         + .manifest (spec fingerprint)
-              CampaignStore (repro.store)
-              objects/<sha256(replica key)>.json
+                        ▲      └─────────────── │ publish ◄── after sink append
+                        │                       │                 + .manifest (spec fingerprint)
+              CampaignStore (repro.store)       ▼ engine (policy.backend)
+              objects/<sha256(replica key)>  "des": per-event simulation (exact)
+              — key carries the engine       "vectorized": cells as numpy batches
+                when != "des"                 (renewal closed forms; per-cell DES
+                                              fallback for shared traces —
+                                              see repro.sim.vectorized)
 
     Store data flows (replica key = protocol ⊕ φ ⊕ workload ⊕ resolved
     platform params ⊕ failure law ⊕ seed-schedule entry — finer than the
@@ -134,6 +138,7 @@ from .campaign import CampaignCell, CampaignConfig, validate_campaign
 from .results import DesResult, MonteCarloSummary
 from .sinks import OrderedJsonlSink, ResultSink, make_sink
 from .spec import SPEC_FORMAT, CampaignSpec
+from .vectorized import plan_engine
 
 __all__ = [
     "CellPlan",
@@ -505,9 +510,10 @@ def execute_spec(
             # spec, so store lookups cannot prune the plan here; the
             # worker instead consults the store per claimed cell.
             store=store,
+            engine=policy.backend,
         )
     if backend is None:
-        backend = make_backend(policy.workers)
+        backend = make_backend(policy.workers, policy.backend)
     resolved_workers = getattr(backend, "workers", 1)
     chunk_size = policy.chunk_size
     if chunk_size is None:
@@ -552,7 +558,10 @@ def execute_spec(
     cached_results: dict[int, list[DesResult]] = {}
     if store is not None and not distributed:
         for plan in todo:
-            hit = store.load_cell(config, plan, controller)
+            hit = store.load_cell(
+                config, plan, controller,
+                engine=plan_engine(policy.backend, config, plan),
+            )
             if hit is not None:
                 cached_results[plan.index] = hit
 
@@ -584,7 +593,10 @@ def execute_spec(
             # never get ahead of the durable results file.  (Re-runs and
             # distributed cache hits publish idempotently — determinism
             # guarantees identical bytes under identical keys.)
-            store.publish_cell(config, plan, results)
+            store.publish_cell(
+                config, plan, results,
+                engine=plan_engine(policy.backend, config, plan),
+            )
         if from_store:
             cells_cached += 1
         else:

@@ -39,7 +39,13 @@ from ..errors import InfeasibleModelError, ParameterError
 from .results import MonteCarloSummary
 from .rng import RngFactory
 
-__all__ = ["RenewalConfig", "RenewalResult", "run_renewal", "run_renewal_batch"]
+__all__ = [
+    "RenewalConfig",
+    "RenewalResult",
+    "run_renewal",
+    "run_renewal_batch",
+    "mean_block_samples",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +138,22 @@ def run_renewal(config: RenewalConfig) -> RenewalResult:
         phase_hits=tuple(phase_hits),
         meta={"M": params.M, "seed": config.seed},
     )
+
+
+def mean_block_samples(results: "list[RenewalResult]") -> list[float]:
+    """The finite per-replica F̂ samples of a batch.
+
+    ``mean_block`` is NaN for a replica that saw no failures (an empty
+    mean has no value, and any sentinel would bias F̂ low), and a single
+    NaN poisons ``np.mean``/CI aggregation over replicas.  Every
+    aggregation over ``mean_block`` must therefore go through this
+    helper, which drops the no-failure replicas; callers decide what an
+    all-empty batch means (usually "too few failures to estimate F —
+    report NaN, don't assert").
+    """
+    return [
+        float(r.mean_block) for r in results if np.isfinite(r.mean_block)
+    ]
 
 
 def run_renewal_batch(

@@ -76,6 +76,7 @@ __all__ = [
     "SPEC_FORMAT",
     "SPEC_VERSION",
     "STORE_MODES",
+    "CAMPAIGN_BACKENDS",
     "ExecutionPolicy",
     "CampaignSpec",
     "Campaign",
@@ -87,6 +88,15 @@ __all__ = [
 #: All three are *volatile*: they cannot change a single output byte,
 #: only how many simulations it costs to produce them.
 STORE_MODES = ("off", "read", "read-write")
+
+#: Simulation engines a campaign can run on: ``"des"`` (the per-event
+#: discrete-event simulator, the historical default) or ``"vectorized"``
+#: (:mod:`repro.sim.vectorized` — whole cells as numpy batches via the
+#: renewal closed forms, with a per-cell scalar fallback).  NOT volatile:
+#: the engines are statistically equivalent but not byte-identical, so
+#: the backend participates in identity/fingerprints and a resume or
+#: queue join with a different backend is refused as drift.
+CAMPAIGN_BACKENDS = ("des", "vectorized")
 
 SPEC_FORMAT = "repro-campaign-spec"
 #: Written version.  Readers gate on each object's declared version, so a
@@ -161,8 +171,17 @@ class ExecutionPolicy:
     #: How the store is used: ``"off"``, ``"read"`` or ``"read-write"``
     #: (the default).  Only meaningful when ``store`` is set.
     store_mode: str = "read-write"
+    #: Simulation engine (:data:`CAMPAIGN_BACKENDS`): ``"des"`` or
+    #: ``"vectorized"``.  Output-bearing (not volatile) — see
+    #: :data:`CAMPAIGN_BACKENDS`.
+    backend: str = "des"
 
     def __post_init__(self) -> None:
+        if self.backend not in CAMPAIGN_BACKENDS:
+            raise ParameterError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {list(CAMPAIGN_BACKENDS)}"
+            )
         if self.workers is not None:
             if (not isinstance(self.workers, numbers.Integral)
                     or isinstance(self.workers, bool) or self.workers < 0):
@@ -268,6 +287,7 @@ class ExecutionPolicy:
             "worker_processes": self.worker_processes,
             "store": self.store,
             "store_mode": self.store_mode,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -281,7 +301,7 @@ class ExecutionPolicy:
         known = {
             "workers", "chunk_size", "sink", "controller", "queue",
             "worker_id", "lease_timeout", "poll_interval",
-            "worker_processes", "store", "store_mode",
+            "worker_processes", "store", "store_mode", "backend",
         }
         unknown = set(data) - known
         if unknown:

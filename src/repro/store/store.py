@@ -23,11 +23,11 @@ import json
 import os
 import pathlib
 import re
-import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import ParameterError
+from ..fsclock import clamped_age, filesystem_now
 from ..sim.backends import replica_seed, trace_seed
 from ..sim.campaign import CampaignConfig
 from ..sim.distributed import _atomic_write
@@ -60,12 +60,18 @@ _HASH_RE = re.compile(r"^[0-9a-f]{64}\.json$")
 #: A publish is write-temp-then-rename; gc only sweeps temp files older
 #: than this (seconds) so it cannot race a live publisher's rename.
 _TMP_SWEEP_GRACE = 3600.0
+#: Engines whose results the store may key (mirrors
+#: :data:`repro.sim.spec.CAMPAIGN_BACKENDS`; duplicated here because the
+#: store validates *keys*, which outlive any one policy object).
+_ENGINES = ("des", "vectorized")
 
 
 # ----------------------------------------------------------------------
 # Keys
 # ----------------------------------------------------------------------
-def replica_key(config: CampaignConfig, plan, replica: int) -> dict:
+def replica_key(
+    config: CampaignConfig, plan, replica: int, *, engine: str = "des"
+) -> dict:
     """The store identity of one (grid cell, replica) simulation.
 
     Deliberately *finer* than a campaign fingerprint: it names exactly
@@ -79,10 +85,25 @@ def replica_key(config: CampaignConfig, plan, replica: int) -> dict:
     including campaigns whose M axes list the same value at different
     positions (no trace sharing), where the raw ``(seed, m_index)`` pair
     would differ but the derived schedule does not.
+
+    ``engine`` names the simulation engine that produced (or must
+    produce) the bytes.  The engines are statistically equivalent but
+    not byte-identical, so they must never serve each other's results:
+    any engine other than the historical ``"des"`` is spliced into the
+    key (the ``"des"`` spelling is left exactly as always, so existing
+    warehouses keep their contents addressable).  Cells a vectorized
+    campaign *falls back* to the DES for carry ``engine="des"`` — the
+    caller resolves the per-cell engine
+    (:func:`repro.sim.vectorized.plan_engine`) before keying — and
+    those cells therefore share cache entries with plain DES campaigns.
     """
+    if engine not in _ENGINES:
+        raise ParameterError(
+            f"unknown engine {engine!r}; known: {list(_ENGINES)}"
+        )
     params = config.base_params.with_updates(M=float(plan.M))
     dist = config.distribution
-    return {
+    key = {
         "format": _ENTRY_FORMAT,
         "version": STORE_VERSION,
         "protocol": plan.protocol,
@@ -95,14 +116,17 @@ def replica_key(config: CampaignConfig, plan, replica: int) -> dict:
         "trace_seed": trace_seed(config, plan.m_index, replica)
         if config.share_traces else None,
     }
+    if engine != "des":
+        key["engine"] = engine
+    return key
 
 
 def cell_keys(
-    config: CampaignConfig, plan, max_replicas: int
+    config: CampaignConfig, plan, max_replicas: int, *, engine: str = "des"
 ) -> Iterator[dict]:
     """The replica keys of one grid cell, in seed order."""
     for replica in range(max_replicas):
-        yield replica_key(config, plan, replica)
+        yield replica_key(config, plan, replica, engine=engine)
 
 
 def key_hash(key: dict) -> str:
@@ -126,10 +150,14 @@ def _spec_hashes(spec) -> set[str]:
     """
     from ..sim.executor import plan_cells
 
+    from ..sim.vectorized import plan_engine
+
     config = spec.config()
+    backend = getattr(spec.policy, "backend", "des")
     hashes: set[str] = set()
     for plan in plan_cells(config):
-        for key in cell_keys(config, plan, spec.grid.replicas):
+        engine = plan_engine(backend, config, plan)
+        for key in cell_keys(config, plan, spec.grid.replicas, engine=engine):
             hashes.add(key_hash(key))
     return hashes
 
@@ -409,7 +437,9 @@ class CampaignStore:
         return result
 
     # -- cell-level API (what the executor drives) ---------------------
-    def load_cell(self, config: CampaignConfig, plan, controller):
+    def load_cell(
+        self, config: CampaignConfig, plan, controller, *, engine: str = "des"
+    ):
         """A complete cell from the store, or ``None``.
 
         Replica entries are pulled in seed order and pushed through the
@@ -424,7 +454,9 @@ class CampaignStore:
         cursor = controller.cursor()
         results: list[DesResult] = []
         for replica in range(controller.max_replicas):
-            result = self.lookup(replica_key(config, plan, replica))
+            result = self.lookup(
+                replica_key(config, plan, replica, engine=engine)
+            )
             if result is None:
                 return None
             results.append(result)
@@ -432,13 +464,15 @@ class CampaignStore:
                 return results
         return None  # controller never stopped inside the budget
 
-    def publish_cell(self, config: CampaignConfig, plan, results) -> int:
+    def publish_cell(
+        self, config: CampaignConfig, plan, results, *, engine: str = "des"
+    ) -> int:
         """Publish every replica of one finished cell; returns how many
         entries were new."""
         published = 0
         for replica, result in enumerate(results):
             published += self.publish(
-                replica_key(config, plan, replica), result
+                replica_key(config, plan, replica, engine=engine), result
             )
         return published
 
@@ -613,7 +647,15 @@ class CampaignStore:
             raise ParameterError(f"max_bytes must be >= 0, got {max_bytes!r}")
         if max_age is not None and max_age <= 0:
             raise ParameterError(f"max_age must be > 0, got {max_age!r}")
-        now = time.time() if now is None else float(now)
+        if now is None:
+            # Entry mtimes were stamped by the store directory's
+            # filesystem (possibly a fileserver on another clock):
+            # measure *now* with that same clock, and clamp every age at
+            # zero below, so a clock step can never age a just-published
+            # entry past --max-age.
+            now = filesystem_now(self._objects())
+        else:
+            now = float(now)
 
         pinned: set[str] = set()
         for spec in pin_specs:
@@ -644,7 +686,8 @@ class CampaignStore:
                         continue
                     path = shard_dir / name
                     try:
-                        if now - path.stat().st_mtime > _TMP_SWEEP_GRACE:
+                        if clamped_age(now, path.stat().st_mtime) \
+                                > _TMP_SWEEP_GRACE:
                             path.unlink()
                     except OSError:
                         pass
@@ -679,7 +722,7 @@ class CampaignStore:
             if hash_ in pinned:
                 survivors.append((mtime, size, hash_, path))
                 continue
-            if max_age is not None and now - mtime > max_age:
+            if max_age is not None and clamped_age(now, mtime) > max_age:
                 _evict(size, path)
                 continue
             survivors.append((mtime, size, hash_, path))

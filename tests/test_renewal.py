@@ -8,7 +8,12 @@ import pytest
 from repro import DOUBLE_BLOCKING, DOUBLE_BOF, DOUBLE_NBL, TRIPLE, scenarios
 from repro.core.period import optimal_period
 from repro.errors import InfeasibleModelError, ParameterError
-from repro.sim.renewal import RenewalConfig, run_renewal, run_renewal_batch
+from repro.sim.renewal import (
+    RenewalConfig,
+    mean_block_samples,
+    run_renewal,
+    run_renewal_batch,
+)
 from tests.conftest import ALL_PROTOCOLS
 
 
@@ -100,6 +105,34 @@ class TestFormulaValidation:
                             n_periods=100)
         with pytest.raises(ParameterError):
             run_renewal_batch(cfg, replicas=0)
+
+    def test_mean_block_aggregation_survives_no_failure_replicas(self):
+        """Near-zero failure rates: some replicas see no failures and
+        carry ``mean_block = NaN``.  A raw ``np.mean`` over the batch is
+        poisoned by a single such replica — the bug that blanked F̂ in
+        the validation report whenever M was large.  Aggregate through
+        ``mean_block_samples`` instead."""
+        quiet = scenarios.BASE.parameters(M=2e5)  # ~0.3 failures/replica
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=quiet, phi=1.0,
+                            period=300.0, n_periods=200, seed=11)
+        results, _ = run_renewal_batch(cfg, replicas=24)
+        raw = [r.mean_block for r in results]
+        assert any(np.isnan(x) for x in raw)  # the hazard is present...
+        assert np.isnan(np.mean(raw))  # ...and it poisons a raw mean
+        clean = mean_block_samples(results)
+        assert 0 < len(clean) < len(results)
+        assert np.isfinite(np.mean(clean))
+        # The surviving samples are exactly the finite ones, unreordered.
+        assert clean == [x for x in raw if np.isfinite(x)]
+
+    def test_mean_block_samples_of_an_all_quiet_batch_is_empty(self):
+        """Callers get an empty list (not NaN, not a crash) when no
+        replica saw a failure — 'too few failures to estimate F'."""
+        silent = scenarios.BASE.parameters(M=1e12)
+        cfg = RenewalConfig(protocol=DOUBLE_NBL, params=silent, phi=1.0,
+                            period=300.0, n_periods=50, seed=12)
+        results, _ = run_renewal_batch(cfg, replicas=4)
+        assert mean_block_samples(results) == []
 
     def test_blocking_protocol_runs(self, params):
         cfg = RenewalConfig(protocol=DOUBLE_BLOCKING, params=params, phi=0.0,

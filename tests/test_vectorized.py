@@ -1,0 +1,329 @@
+"""The vectorized backend and its identity/equivalence contract.
+
+What must hold (``repro/sim/vectorized.py`` module docstring):
+
+* **Determinism** — vectorized replicas are pure functions of the
+  replica key: re-running a cell anywhere reproduces its bytes.
+* **Statistical equivalence** — completed-replica waste agrees with the
+  DES within combined confidence intervals plus the renewal thinning
+  bias, per protocol and per failure law.
+* **Fallback identity** — cells the closed forms can't express (shared
+  traces) run through the scalar DES, byte-identical to SerialBackend.
+* **Separation** — the store never serves one engine's results to the
+  other; specs carry the backend in their identity, so resume and queue
+  joins refuse a backend change as drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DOUBLE_NBL, TRIPLE, io as repro_io, scenarios
+from repro.errors import InfeasibleModelError, ParameterError
+from repro.sim.adaptive import AdaptiveCI, FixedReplicas
+from repro.sim.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    run_cell,
+    run_cell_for_engine,
+)
+from repro.sim.campaign import CampaignConfig
+from repro.sim.distributions import Gamma, LogNormal, Mixture, Weibull
+from repro.sim.executor import execute_spec, plan_cells
+from repro.sim.results import ci_half_width
+from repro.sim.spec import CAMPAIGN_BACKENDS, Campaign, CampaignSpec, ExecutionPolicy
+from repro.sim.vectorized import (
+    VectorizedBackend,
+    cell_engine,
+    plan_engine,
+    run_cell_vectorized,
+)
+from repro.store import CampaignStore, key_hash, replica_key
+
+
+def make_grid(*, protocols=(DOUBLE_NBL,), m_values=(600.0,), phi_values=(0.5,),
+              replicas=8, work_target=1800.0, n=24, seed=2024,
+              **overrides) -> CampaignConfig:
+    return CampaignConfig(
+        protocols=protocols,
+        base_params=scenarios.BASE.parameters(M=600.0, n=n),
+        m_values=m_values,
+        phi_values=phi_values,
+        work_target=work_target,
+        replicas=replicas,
+        seed=seed,
+        **overrides,
+    )
+
+
+def cell_bytes(results) -> list[str]:
+    return [repro_io.dump_result(r) for r in results]
+
+
+class TestEngineSelection:
+    def test_plain_cells_vectorize(self):
+        config = make_grid()
+        plan = plan_cells(config)[0]
+        assert cell_engine(config, plan) == "vectorized"
+        assert plan_engine("vectorized", config, plan) == "vectorized"
+        assert plan_engine("des", config, plan) == "des"
+
+    def test_shared_traces_fall_back(self):
+        """Common random numbers need one concrete event interleaving —
+        exactly what the renewal closed forms cannot express."""
+        config = make_grid(share_traces=True)
+        plan = plan_cells(config)[0]
+        assert cell_engine(config, plan) == "des"
+        assert plan_engine("vectorized", config, plan) == "des"
+
+    def test_make_backend_dispatch(self):
+        assert isinstance(make_backend(1, "vectorized"), VectorizedBackend)
+        assert isinstance(make_backend(1, "des"), SerialBackend)
+        pooled = make_backend(2, "vectorized")
+        assert isinstance(pooled, ProcessPoolBackend)
+        assert pooled.engine == "vectorized"
+        with pytest.raises(ParameterError, match="unknown backend"):
+            make_backend(1, "warp-drive")
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self):
+        """Replica bytes are pure functions of the replica key — the
+        store's convergent-publish invariant."""
+        config = make_grid()
+        plan = plan_cells(config)[0]
+        a = run_cell_vectorized(config, plan, FixedReplicas(8))
+        b = run_cell_vectorized(config, plan, FixedReplicas(8))
+        assert cell_bytes(a) == cell_bytes(b)
+
+    def test_replicas_independent_of_batch_shape(self):
+        """Replica r's bytes must not depend on how many replicas were
+        batched with it (else two campaigns could not share cells)."""
+        config = make_grid()
+        plan = plan_cells(config)[0]
+        few = run_cell_vectorized(config, plan, FixedReplicas(3))
+        many = run_cell_vectorized(config, plan, FixedReplicas(8))
+        assert cell_bytes(few) == cell_bytes(many)[:3]
+
+    def test_adaptive_controller_truncates_like_scalar(self):
+        """The stop cursor replays over the batch: a generous tolerance
+        stops after the minimum replica count, like run_cell."""
+        config = make_grid(replicas=16)
+        plan = plan_cells(config)[0]
+        controller = AdaptiveCI(max_replicas=16, tolerance=1e9)
+        stopped = run_cell_vectorized(config, plan, controller)
+        full = run_cell_vectorized(config, plan, FixedReplicas(16))
+        assert len(stopped) < 16
+        assert cell_bytes(stopped) == cell_bytes(full)[:len(stopped)]
+
+    def test_infeasible_cell_raises_like_des(self):
+        config = make_grid(m_values=(15.0,), n=12, phi_values=(1.0,))
+        plan = plan_cells(config)[0]
+        with pytest.raises(InfeasibleModelError):
+            run_cell_vectorized(config, plan, FixedReplicas(2))
+        with pytest.raises(InfeasibleModelError):
+            run_cell(config, plan, FixedReplicas(2), {})
+
+    def test_meta_matches_des_vocabulary(self):
+        """Reports group on meta keys: the vectorized engine must emit
+        the DES vocabulary (plus its engine marker)."""
+        config = make_grid()
+        plan = plan_cells(config)[0]
+        vec = run_cell_vectorized(config, plan, FixedReplicas(2))[0]
+        des = run_cell(config, plan, FixedReplicas(2), {})[0]
+        assert set(des.meta) | {"engine"} == set(vec.meta)
+        for key in ("protocol", "period", "phi", "seed", "n", "M"):
+            assert vec.meta[key] == des.meta[key]
+        assert vec.meta["engine"] == "vectorized"
+
+
+class TestFallbackIdentity:
+    def test_shared_trace_cells_byte_identical_to_serial(self):
+        """A vectorized campaign over a shared-trace grid IS the serial
+        campaign — fallback engages per cell and reuses the DES path."""
+        config = make_grid(share_traces=True, replicas=3)
+        plan = plan_cells(config)[0]
+        via_engine = run_cell_for_engine(
+            "vectorized", config, plan, FixedReplicas(3), {}
+        )
+        scalar = run_cell(config, plan, FixedReplicas(3), {})
+        assert cell_bytes(via_engine) == cell_bytes(scalar)
+
+    def test_fallback_campaign_file_matches_des_file(self, tmp_path):
+        grid = make_grid(share_traces=True, replicas=2, work_target=900.0,
+                         n=12, m_values=(600.0,), phi_values=(1.0,))
+        a, b = tmp_path / "des.jsonl", tmp_path / "vec.jsonl"
+        execute_spec(CampaignSpec(grid=grid, policy=ExecutionPolicy(
+            backend="des")), results_path=a)
+        execute_spec(CampaignSpec(grid=grid, policy=ExecutionPolicy(
+            backend="vectorized")), results_path=b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("protocol", ["double-nbl", "double-bof", "triple"])
+    def test_waste_within_combined_intervals(self, protocol):
+        """Completed-replica waste agrees with the DES within the summed
+        95% CIs plus the renewal thinning-bias allowance — the same
+        first-order standard ``experiments/validation.py`` holds the
+        renewal estimator to."""
+        des_cfg = make_grid(protocols=(protocol,), replicas=40)
+        vec_cfg = make_grid(protocols=(protocol,), replicas=200)
+        des = run_cell(des_cfg, plan_cells(des_cfg)[0], FixedReplicas(40), {})
+        vec = run_cell_vectorized(
+            vec_cfg, plan_cells(vec_cfg)[0], FixedReplicas(200)
+        )
+        w_des = np.array([r.waste for r in des])
+        w_vec = np.array([r.waste for r in vec])
+        mean_des, mean_vec = np.nanmean(w_des), np.nanmean(w_vec)
+        # F/M ≈ waste at these cells; 2·(F/M)² bounds the thinning bias.
+        bias = 2.0 * float(mean_des) ** 2
+        tolerance = ci_half_width(w_des) + ci_half_width(w_vec) + bias
+        assert abs(mean_des - mean_vec) <= tolerance
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("protocol", ["double-nbl", "double-bof", "triple"])
+    @pytest.mark.parametrize("law", [
+        None,
+        Weibull(1.0, 0.7),
+        LogNormal(1.0, 1.2),
+        Gamma(1.0, 2.0),
+        Mixture([Weibull(0.5, 0.7), Weibull(5.0, 0.7)], [0.8, 0.2]),
+    ], ids=["exponential", "weibull", "lognormal", "gamma", "mixture"])
+    def test_waste_equivalence_per_law(self, protocol, law):
+        """The nightly matrix: the contract per protocol × failure law
+        (the distribution is rescaled per cell, so mean 1.0 here stands
+        for 'shape only')."""
+        des_cfg = make_grid(protocols=(protocol,), replicas=60,
+                            distribution=law)
+        vec_cfg = make_grid(protocols=(protocol,), replicas=400,
+                            distribution=law)
+        des = run_cell(des_cfg, plan_cells(des_cfg)[0], FixedReplicas(60), {})
+        vec = run_cell_vectorized(
+            vec_cfg, plan_cells(vec_cfg)[0], FixedReplicas(400)
+        )
+        w_des = np.array([r.waste for r in des])
+        w_vec = np.array([r.waste for r in vec])
+        mean_des, mean_vec = np.nanmean(w_des), np.nanmean(w_vec)
+        bias = 2.0 * float(mean_des) ** 2
+        tolerance = ci_half_width(w_des) + ci_half_width(w_vec) + bias
+        assert abs(mean_des - mean_vec) <= tolerance
+        if law is None:
+            # The success channel is only claimed for the exponential
+            # platform: the fatality model's rate λ=1/(nM) understates
+            # group chains under bursty (heavy-tailed) laws, where the
+            # DES sees clustered failures the first-order model omits.
+            assert np.mean([r.succeeded for r in des]) > 0.85
+            assert np.mean([r.succeeded for r in vec]) > 0.85
+
+
+class TestSpecAndResume:
+    def test_policy_roundtrip_and_default(self):
+        policy = ExecutionPolicy(backend="vectorized")
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+        legacy = dict(policy.to_dict())
+        del legacy["backend"]  # pre-backend manifests
+        assert ExecutionPolicy.from_dict(legacy).backend == "des"
+
+    def test_unknown_backend_refused_by_name(self):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            ExecutionPolicy(backend="warp-drive")
+        assert "des" in CAMPAIGN_BACKENDS and "vectorized" in CAMPAIGN_BACKENDS
+
+    def test_backend_is_identity_bearing(self):
+        """Engines are equivalent, not identical: the backend must land
+        in fingerprints so resume/queue joins see a change as drift."""
+        grid = make_grid()
+        des = CampaignSpec(grid=grid, policy=ExecutionPolicy(backend="des"))
+        vec = CampaignSpec(
+            grid=grid, policy=ExecutionPolicy(backend="vectorized")
+        )
+        assert des.fingerprint() != vec.fingerprint()
+        assert des.identity() != vec.identity()
+
+    def test_resume_refuses_backend_drift(self, tmp_path):
+        grid = make_grid(replicas=2, work_target=900.0, n=12,
+                         phi_values=(1.0,))
+        path = tmp_path / "results.jsonl"
+        Campaign(CampaignSpec(
+            grid=grid, policy=ExecutionPolicy(backend="vectorized"),
+        )).run(path)
+        with pytest.raises(ParameterError, match="manifest"):
+            execute_spec(
+                CampaignSpec(grid=grid, policy=ExecutionPolicy(backend="des")),
+                results_path=path, resume=True,
+            )
+
+
+class TestStoreSeparation:
+    def test_engine_key_field(self):
+        config = make_grid()
+        plan = plan_cells(config)[0]
+        des_key = replica_key(config, plan, 0)
+        vec_key = replica_key(config, plan, 0, engine="vectorized")
+        assert "engine" not in des_key  # existing warehouses stay valid
+        assert vec_key["engine"] == "vectorized"
+        assert key_hash(des_key) != key_hash(vec_key)
+        with pytest.raises(ParameterError, match="unknown engine"):
+            replica_key(config, plan, 0, engine="warp-drive")
+
+    def test_engines_never_share_entries(self, tmp_path):
+        config = make_grid(replicas=2)
+        plan = plan_cells(config)[0]
+        store = CampaignStore(tmp_path / "store")
+        vec = run_cell_vectorized(config, plan, FixedReplicas(2))
+        store.publish_cell(config, plan, vec, engine="vectorized")
+        assert store.load_cell(config, plan, FixedReplicas(2)) is None
+        hit = store.load_cell(
+            config, plan, FixedReplicas(2), engine="vectorized"
+        )
+        assert cell_bytes(hit) == cell_bytes(vec)
+
+    def test_warm_rerun_serves_every_cell(self, tmp_path):
+        """Cold vectorized run publishes; an identical warm run performs
+        zero simulations and reproduces the results file byte for byte
+        — the store contract, now per engine."""
+        grid = make_grid(replicas=2, work_target=900.0, n=12,
+                         m_values=(300.0, 600.0), phi_values=(1.0,))
+        policy = ExecutionPolicy(
+            backend="vectorized", store=str(tmp_path / "store"),
+        )
+        spec = CampaignSpec(grid=grid, policy=policy)
+        cold_path = tmp_path / "cold.jsonl"
+        warm_path = tmp_path / "warm.jsonl"
+        cold = execute_spec(spec, results_path=cold_path)
+        warm = execute_spec(spec, results_path=warm_path)
+        assert cold.report.cells_cached == 0
+        assert warm.report.cells_cached == len(plan_cells(grid))
+        assert warm.report.replicas_run == 0
+        assert cold_path.read_bytes() == warm_path.read_bytes()
+
+
+class TestCli:
+    def test_backend_flag_lands_in_spec(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "campaign", "--preset", "smoke", "--backend", "vectorized",
+            "--dump-spec",
+        ]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["policy"]["backend"] == "vectorized"
+
+    def test_spec_file_refuses_backend_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec_file = tmp_path / "spec.json"
+        assert main([
+            "campaign", "--preset", "smoke", "--dump-spec",
+        ]) == 0
+        spec_file.write_text(capsys.readouterr().out)
+        rc = main([
+            "campaign", "--spec", str(spec_file), "--backend", "vectorized",
+        ])
+        assert rc == 2
+        assert "--backend" in capsys.readouterr().err
