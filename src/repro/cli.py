@@ -293,12 +293,15 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser(
         "store",
         help="inspect and manage a content-addressed results store "
-             "(ls | stat | gc | export)",
+             "(ls | stat | gc | compact | export)",
     )
-    st.add_argument("action", choices=("ls", "stat", "gc", "export"),
+    st.add_argument("action",
+                    choices=("ls", "stat", "gc", "compact", "export"),
                     help="'ls' lists entries (filterable), 'stat' prints "
                          "totals (--verify re-checks every entry), 'gc' "
-                         "evicts to a retention budget, 'export' "
+                         "evicts to a retention budget, 'compact' packs "
+                         "loose entries into a segment file (flat "
+                         "warm-lookup latency at fleet scale), 'export' "
                          "materialises a spec's results file with zero "
                          "simulations")
     st.add_argument("--store", type=pathlib.Path, required=True,
@@ -331,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="(gc) never evict cells in this CampaignSpec "
                          "JSON file's footprint (repeatable)")
     st.add_argument("--dry-run", action="store_true",
-                    help="(gc) report what would be evicted, delete "
+                    help="(gc/compact) report what would happen, change "
                          "nothing")
     st.add_argument("--spec", type=pathlib.Path, default=None,
                     metavar="FILE",
@@ -743,6 +746,11 @@ def _run_store_command(args: argparse.Namespace) -> int:
             pin_queues=args.pin_queue,
             dry_run=args.dry_run,
         )
+        print(report.describe())
+        return 0
+
+    if args.action == "compact":
+        report = store.compact(dry_run=args.dry_run)
         print(report.describe())
         return 0
 

@@ -396,7 +396,11 @@ class DistributedBackend(CampaignBackend):
     chunk *claiming* stays untouched (the queue layout must remain a
     pure function of the spec), only the simulation inside a claim is
     skipped.  Served cells still land in the worker's shard, so the
-    merge sees a complete campaign.
+    merge sees a complete campaign.  Store reads share the process-wide
+    hot-cell cache (:mod:`repro.store.cache`) with every other store
+    consumer in this process, so a worker re-claiming overlapping cells
+    (steal races, resumed queues) re-verifies at digest level instead of
+    re-reading disk; workers on other machines each warm their own.
     """
 
     def __init__(

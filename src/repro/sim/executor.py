@@ -59,11 +59,15 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
                         ▲      └─────────────── │ publish ◄── after sink append
                         │                       │                 + .manifest (spec fingerprint)
               CampaignStore (repro.store)       ▼ engine (policy.backend)
-              objects/<sha256(replica key)>  "des": per-event simulation (exact)
-              — key carries the engine       "vectorized": cells as numpy batches
-                when != "des"                 (renewal closed forms; per-cell DES
-                                              fallback for shared traces —
-                                              see repro.sim.vectorized)
+              hot-cell cache (in-process     "des": per-event simulation (exact)
+                LRU, digest re-check)        "vectorized": cells as numpy batches
+              → segments/<id>.seg + .idx      (renewal closed forms; per-cell DES
+                (compacted: index probe        fallback for shared traces —
+                + one pread)                   see repro.sim.vectorized)
+              → objects/<2-hex>/<sha256(replica key)>.json
+                (loose: the atomic-rename publish path; `store
+                compact` folds loose files into segments)
+              — key carries the engine when != "des"
 
     Store data flows (replica key = protocol ⊕ φ ⊕ workload ⊕ resolved
     platform params ⊕ failure law ⊕ seed-schedule entry — finer than the

@@ -32,6 +32,16 @@ Design:
   materialise a spec's byte-identical results file with zero
   simulations, and :func:`cells_from_store` behind
   ``repro-checkpoint report --from-spec --store``.
+* **Scale** (:mod:`repro.store.segments`, :mod:`repro.store.cache`) —
+  ``store compact`` packs loose entries into append-only segment files
+  with a sorted hash index (warm lookup = one index probe + one
+  ``pread``; ``ls``/``stat``/``query`` read no data at all), the loose
+  tree fans out across 2-hex shard directories (historical flat files
+  migrate transparently), and a process-wide byte-bounded
+  :class:`~repro.store.cache.HotCellCache` serves hot cells without
+  disk I/O (full verification on first read, digest-level on cached
+  re-reads) — warm-replay and report latency stay flat as the store
+  grows to fleet scale.
 
 Campaigns opt in through the volatile
 :class:`~repro.sim.spec.ExecutionPolicy` fields ``store``/``store_mode``
@@ -42,11 +52,20 @@ re-run of a completed spec performs **zero** simulations yet produces a
 byte-identical results file.
 """
 
+from .cache import (
+    CACHED_VERIFICATION_LEVELS,
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    HotCellCache,
+    configure_cache,
+    default_cache,
+)
 from .store import (
     STORE_FORMAT,
     STORE_MODES,
     STORE_VERSION,
     CampaignStore,
+    CompactReport,
     ExportReport,
     GcReport,
     StoreEntry,
@@ -68,8 +87,15 @@ __all__ = [
     "GcReport",
     "ExportReport",
     "VerifyReport",
+    "CompactReport",
     "replica_key",
     "cell_keys",
     "key_hash",
     "cells_from_store",
+    "CACHED_VERIFICATION_LEVELS",
+    "DEFAULT_CACHE_BYTES",
+    "CacheStats",
+    "HotCellCache",
+    "configure_cache",
+    "default_cache",
 ]

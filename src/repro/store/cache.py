@@ -1,0 +1,253 @@
+"""In-process read-through cache of decoded hot store entries.
+
+Every consumer of :class:`~repro.store.CampaignStore` — the executor's
+store-mode cell reads, :class:`~repro.sim.distributed.DistributedBackend`
+workers, and ``report --from-spec`` — pays the same per-hit cost on a
+warm lookup: read the entry bytes, JSON-decode them, and re-verify the
+decoded result against the stored payload (full-key match, payload
+digest, serialisation round-trip).  That is the right price to pay
+*once* — the store must never silently serve a wrong result — but hot
+cells (a report queried in a loop, overlapping campaigns replaying the
+same grid rows, a long-lived service answering the same waste-surface
+query) re-pay it on every hit.
+
+:class:`HotCellCache` is the fix: a byte-bounded, LRU, process-wide
+cache of *already verified* decoded entries.  The store's entries are
+immutable by construction (content-addressed, deterministic bytes per
+key), so a cached value can never go stale — at worst the entry was
+gc-evicted from disk, and serving the cached copy is still
+byte-correct.  What changes on a cached re-read is the *verification
+level*:
+
+* ``"full"`` on first read (in :meth:`CampaignStore.lookup`): bytes are
+  read from disk and the complete integrity check runs before the entry
+  is admitted to the cache;
+* ``"digest"`` (the default) on cached re-reads: the cached canonical
+  payload text is re-hashed and compared against the digest recorded on
+  first read — memory corruption is caught, the JSON decode and
+  round-trip serialisation are skipped;
+* ``"full"`` may be requested for cached re-reads too
+  (``CampaignStore(..., cached_verification="full")``): the cached
+  result object is additionally re-serialised and compared against the
+  cached payload text, catching in-place mutation of the shared result
+  object at decode-equivalent cost (disk is still not touched).
+
+One module-level default cache (:func:`default_cache`) is shared by
+every ``CampaignStore`` that does not bring its own, so the executor, a
+distributed worker's per-claimed-cell lookups and an offline report in
+the same process all warm one another.  :func:`configure_cache` resizes
+(or disables) that shared cache process-wide.
+
+The cache is keyed on ``(store root, surrogate)`` where the surrogate
+(:func:`cache_key`) is a cheap flat tuple of the replica key's scalar
+fields — computing the store's real content address costs ~8µs of
+canonical-JSON + SHA-256 per call, which would dominate a cache hit.
+The surrogate is *not* guaranteed unique (two keys differing only in,
+say, their failure-law dict share one), so every hit compares the full
+stored key: a mismatch is simply a miss (the caller falls through to
+the content-addressed disk path), never a wrong answer.  A lock guards
+the map, so concurrent readers (the planned campaign-service threads)
+are safe; it is per-process state — distributed workers on other
+machines each warm their own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = [
+    "CACHED_VERIFICATION_LEVELS",
+    "DEFAULT_CACHE_BYTES",
+    "CachedEntry",
+    "CacheStats",
+    "HotCellCache",
+    "cache_key",
+    "configure_cache",
+    "default_cache",
+]
+
+#: Levels a store may re-verify cached re-reads at (see module docstring).
+CACHED_VERIFICATION_LEVELS = ("digest", "full")
+
+#: Default byte budget of the shared process-wide cache: large enough to
+#: hold the hot rows of a fleet-scale report workload (~100k typical
+#: entries), small enough to disappear inside any modern RSS budget.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def cache_key(key: dict) -> tuple:
+    """Cheap hashable surrogate of a replica key, for cache addressing.
+
+    A flat tuple of the key's scalar fields — ~10x cheaper to build
+    than the store's canonical-JSON SHA-256 address, which matters
+    because the surrogate is computed on *every* lookup, hit or miss.
+    Collisions are possible (keys differing only inside nested dicts
+    share a surrogate) and harmless: the cache stores the full key and
+    every hit compares it, so a collision is a miss, never a mix-up.
+    """
+    params = key.get("params")
+    if not isinstance(params, dict):
+        params = {}
+    return (
+        key.get("protocol"), key.get("phi"), key.get("seed"),
+        key.get("trace_seed"), key.get("work_target"),
+        key.get("engine"), params.get("M"), params.get("n"),
+    )
+
+
+@dataclass(frozen=True)
+class CachedEntry:
+    """One verified, decoded store entry as the cache holds it.
+
+    ``payload_text`` is the canonical payload serialisation — exactly the
+    byte string (as ``str``) a warm campaign emits for this replica, and
+    exactly what ``payload_sha256`` digests.  Keeping it lets a cached
+    re-read re-verify at ``"digest"`` level without re-serialising, and
+    at ``"full"`` level without touching disk.  ``hash``/``origin``
+    record where the bytes came from, so a loose hit can refresh its
+    file's gc-LRU clock without recomputing the content address.
+    """
+
+    key: dict
+    result: object
+    payload_text: str
+    payload_sha256: str
+    hash: str = ""
+    origin: str = "loose"
+
+    @property
+    def size(self) -> int:
+        return len(self.payload_text)
+
+    def verify(self, level: str) -> bool:
+        """Re-check this cached entry at ``level``; True when intact."""
+        digest = hashlib.sha256(
+            self.payload_text.encode("utf-8")
+        ).hexdigest()
+        if digest != self.payload_sha256:
+            return False
+        if level == "full":
+            from .. import io as repro_io
+
+            return repro_io.dump_result(self.result) == self.payload_text
+        return True
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`HotCellCache` (``hits`` are re-reads
+    served without disk I/O)."""
+
+    entries: int
+    bytes: int
+    max_bytes: int
+    hits: int
+    misses: int
+    evictions: int
+
+    def describe(self) -> str:
+        total = self.hits + self.misses
+        rate = self.hits / total if total else 0.0
+        return (f"{self.entries} entries, {self.bytes}/{self.max_bytes} "
+                f"bytes, {self.hits}/{total} hits ({rate:.0%}), "
+                f"{self.evictions} evicted")
+
+
+class HotCellCache:
+    """Byte-bounded LRU of verified decoded store entries.
+
+    ``max_bytes <= 0`` builds a disabled cache (every ``get`` misses,
+    every ``put`` is dropped) so callers never need a ``None`` branch.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], CachedEntry] = \
+            OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, root: str, token) -> CachedEntry | None:
+        """The entry under ``(root, token)``, LRU-refreshed, or None.
+
+        ``token`` is opaque to the cache — any hashable; the store
+        passes :func:`cache_key` surrogates.  Callers MUST compare the
+        returned entry's full ``key`` (surrogates can collide).
+        """
+        with self._lock:
+            entry = self._entries.get((root, token))
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end((root, token))
+            self._hits += 1
+            return entry
+
+    def put(self, root: str, token, entry: CachedEntry) -> None:
+        if entry.size > self.max_bytes:
+            return  # would evict everything and still not fit
+        with self._lock:
+            old = self._entries.pop((root, token), None)
+            if old is not None:
+                self._bytes -= old.size
+            self._entries[(root, token)] = entry
+            self._bytes += entry.size
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size
+                self._evictions += 1
+
+    def invalidate(self, root: str, token) -> None:
+        """Drop one entry (a lookup found its copy corrupt)."""
+        with self._lock:
+            old = self._entries.pop((root, token), None)
+            if old is not None:
+                self._bytes -= old.size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries), bytes=self._bytes,
+                max_bytes=self.max_bytes, hits=self._hits,
+                misses=self._misses, evictions=self._evictions,
+            )
+
+
+_default_cache = HotCellCache()
+_default_lock = threading.Lock()
+
+
+def default_cache() -> HotCellCache:
+    """The process-wide cache shared by every store that does not bring
+    its own."""
+    return _default_cache
+
+
+def configure_cache(max_bytes: int) -> HotCellCache:
+    """Resize the shared process-wide cache (0 disables it).
+
+    Replaces the shared instance, so stores constructed *afterwards* see
+    the new budget; stores already holding the old instance keep it (a
+    cache is per-consumer state, never coordination).
+    """
+    global _default_cache
+    if max_bytes < 0:
+        raise ParameterError(
+            f"cache max_bytes must be >= 0, got {max_bytes!r}"
+        )
+    with _default_lock:
+        _default_cache = HotCellCache(max_bytes)
+        return _default_cache

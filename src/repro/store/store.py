@@ -4,10 +4,25 @@ See the package docstring (:mod:`repro.store`) for the design; this
 module holds the mechanism:
 
 * :func:`replica_key` — the identity of one stored simulation,
-* :class:`CampaignStore` — publish/lookup/query/gc/export over a store
-  directory,
+* :class:`CampaignStore` — publish/lookup/query/compact/gc/export over
+  a store directory,
 * :func:`cells_from_store` — a spec's aggregated cells with zero
   re-simulation (the engine behind ``report --from-spec``).
+
+Storage layout (all three coexist; lookups check them in this order):
+
+* ``segments/<id>.seg`` + ``.idx`` — compacted entries
+  (:mod:`repro.store.segments`): one index probe + one ``pread`` per
+  lookup, index-only queries, written by :meth:`CampaignStore.compact`;
+* ``objects/<2-hex>/<hash>.json`` — loose entries, the atomic-rename
+  publish path (2-hex fan-out so no single directory grows unbounded);
+* ``objects/<hash>.json`` — the historical flat layout, read
+  transparently and migrated into the fan-out on first touch (and into
+  segments by compaction).
+
+Hot reads are additionally served by an in-process byte-bounded LRU
+(:mod:`repro.store.cache`): full verification on the first disk read,
+digest-level verification on cached re-reads.
 
 Import discipline: this module imports only the seed-schedule helpers
 from :mod:`repro.sim.backends` at module level; everything that would
@@ -33,6 +48,13 @@ from ..sim.campaign import CampaignConfig
 from ..sim.distributed import _atomic_write
 from ..sim.results import DesResult
 from ..sim.spec import STORE_MODES  # noqa: F401 - canonical home is the policy
+from .cache import (
+    CACHED_VERIFICATION_LEVELS,
+    CachedEntry,
+    cache_key,
+    default_cache,
+)
+from .segments import Segment, SegmentEntry, load_segments, write_segment
 
 __all__ = [
     "STORE_FORMAT",
@@ -47,23 +69,31 @@ __all__ = [
     "GcReport",
     "ExportReport",
     "VerifyReport",
+    "CompactReport",
     "cells_from_store",
 ]
 
 STORE_FORMAT = "repro-store"
 _ENTRY_FORMAT = "repro-store-entry"
 #: Written version; readers refuse other numbers by name, like every
-#: envelope in :mod:`repro.io`.
+#: envelope in :mod:`repro.io`.  Segments are *additive*: a compacted
+#: store still speaks version 1, and a pre-segment reader simply sees
+#: the segment-resident entries as cache misses (wasted work, never
+#: wrong results).
 STORE_VERSION = 1
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}\.json$")
-#: A publish is write-temp-then-rename; gc only sweeps temp files older
-#: than this (seconds) so it cannot race a live publisher's rename.
+#: A publish is write-temp-then-rename; gc only sweeps temp files (and
+#: orphan segment data files from crashed compactions) older than this
+#: (seconds) so it cannot race a live writer's rename.
 _TMP_SWEEP_GRACE = 3600.0
 #: Engines whose results the store may key (mirrors
 #: :data:`repro.sim.spec.CAMPAIGN_BACKENDS`; duplicated here because the
 #: store validates *keys*, which outlive any one policy object).
 _ENGINES = ("des", "vectorized")
+
+#: Sentinel: "use the process-wide shared hot-cell cache".
+_DEFAULT_CACHE = object()
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +171,20 @@ def _payload_digest(payload: dict) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _key_fields(key: dict) -> dict:
+    """The queryable fields of an entry key (what index rows carry)."""
+    params = key.get("params") or {}
+    return {
+        "protocol": key.get("protocol"),
+        "M": float(params.get("M", float("nan"))),
+        "phi": float(key.get("phi", float("nan"))),
+        "n": int(params.get("n", 0)),
+        "seed": key.get("seed"),
+        "trace_seed": key.get("trace_seed"),
+        "work_target": float(key.get("work_target", float("nan"))),
+    }
+
+
 def _spec_hashes(spec) -> set[str]:
     """Every replica hash a spec can touch (its pin/coverage footprint).
 
@@ -179,6 +223,8 @@ class StoreEntry:
     work_target: float
     size: int
     mtime: float
+    #: Where the bytes live: ``"loose"`` (one file) or ``"segment"``.
+    origin: str = "loose"
 
 
 @dataclass(frozen=True)
@@ -190,13 +236,21 @@ class StoreStat:
     protocols: dict[str, int]
     oldest_mtime: float | None
     newest_mtime: float | None
+    #: Layout breakdown: loose files vs segment-resident entries.
+    loose_entries: int = 0
+    segment_entries: int = 0
+    segments: int = 0
 
     def describe(self) -> str:
         per_protocol = ", ".join(
             f"{k}={v}" for k, v in sorted(self.protocols.items())
         ) or "empty"
+        layout = f"{self.loose_entries} loose"
+        if self.segments:
+            layout += (f" + {self.segment_entries} in "
+                       f"{self.segments} segment(s)")
         return (f"{self.entries} entries, {self.total_bytes} bytes "
-                f"({per_protocol})")
+                f"({per_protocol}; {layout})")
 
 
 @dataclass(frozen=True)
@@ -261,6 +315,45 @@ class VerifyReport:
                 f"{len(self.errors)} corrupt: {self.errors[0]}")
 
 
+@dataclass(frozen=True)
+class CompactReport:
+    """What one :meth:`CampaignStore.compact` pass did (or would do)."""
+
+    #: Loose entry files found (including historical flat-layout files).
+    loose_before: int
+    #: Entries packed into the new segment.
+    packed_entries: int
+    packed_bytes: int
+    #: Loose files removed because a segment already held their hash
+    #: (leftovers of a crashed compaction or a publish/compact race).
+    deduplicated: int
+    #: Loose files left in place because they failed validation.
+    corrupt: tuple[str, ...]
+    #: Id of the segment written, or ``None`` when nothing was packed.
+    segment_id: str | None
+    #: Store-wide totals after the pass.
+    segments_total: int
+    segment_entries_total: int
+    loose_remaining: int
+    dry_run: bool
+
+    def describe(self) -> str:
+        verb = "would pack" if self.dry_run else "packed"
+        head = (f"{verb} {self.packed_entries} of {self.loose_before} "
+                f"loose entries ({self.packed_bytes} bytes)")
+        if self.segment_id is not None:
+            head += f" into segment {self.segment_id[:12]}"
+        tail = (f"; store now: {self.segment_entries_total} entries in "
+                f"{self.segments_total} segment(s), "
+                f"{self.loose_remaining} loose")
+        if self.deduplicated:
+            tail += f", {self.deduplicated} duplicates removed"
+        if self.corrupt:
+            tail += (f", {len(self.corrupt)} corrupt left loose: "
+                     f"{self.corrupt[0]}")
+        return head + tail
+
+
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
@@ -277,13 +370,47 @@ class CampaignStore:
     served) and the decoded result must re-serialise to exactly the
     payload on disk, which is the byte string a warm campaign will emit.
 
-    Lookup hits refresh the entry file's mtime, making mtime a
-    last-access clock; :meth:`gc` evicts least-recently-used entries
-    first when trimming to a size budget.
+    Entries live loose (one file each, the write path) or packed into
+    segments (:meth:`compact`, the read-at-scale path); lookups probe
+    segments first, then the loose tree, then re-scan for segments a
+    concurrent compaction may have just committed — so an entry is
+    always found wherever a racing maintenance pass left it.
+
+    Hot entries are additionally served from an in-process read-through
+    LRU (:mod:`repro.store.cache`): the first read does the full
+    integrity check, cached re-reads re-verify at the configurable
+    ``cached_verification`` level (``"digest"`` by default; ``"full"``
+    adds the in-memory round-trip).  Pass ``cache=None`` to always read
+    from disk.
+
+    Loose lookup hits refresh the entry file's mtime, making mtime a
+    last-access clock; segment-resident entries keep the access stamp
+    recorded in their index row.  :meth:`gc` evicts least-recently-used
+    entries first when trimming to a size budget.
     """
 
-    def __init__(self, root: str | pathlib.Path, *, create: bool = True):
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        *,
+        create: bool = True,
+        cache=_DEFAULT_CACHE,
+        cached_verification: str = "digest",
+    ):
         self.root = pathlib.Path(root)
+        if cached_verification not in CACHED_VERIFICATION_LEVELS:
+            raise ParameterError(
+                f"unknown cached_verification {cached_verification!r}; "
+                f"known: {list(CACHED_VERIFICATION_LEVELS)}"
+            )
+        self._cached_verification = cached_verification
+        self._cache = default_cache() if cache is _DEFAULT_CACHE else cache
+        self._cache_root = str(self.root.resolve())
+        #: Lazily-loaded committed segments (id → Segment) and the
+        #: merged hash → segment-id probe map (first id wins, so every
+        #: process resolves duplicate hashes to the same copy).
+        self._segments: dict[str, Segment] | None = None
+        self._segment_map: dict[str, str] = {}
         manifest = self.root / "store.json"
         if manifest.exists():
             try:
@@ -320,23 +447,111 @@ class CampaignStore:
     def _objects(self) -> pathlib.Path:
         return self.root / "objects"
 
+    def _segments_dir(self) -> pathlib.Path:
+        return self.root / "segments"
+
     def _entry_path(self, hash_: str) -> pathlib.Path:
         return self._objects() / hash_[:2] / f"{hash_}.json"
+
+    def _flat_path(self, hash_: str) -> pathlib.Path:
+        """Where the historical flat layout kept this entry."""
+        return self._objects() / f"{hash_}.json"
+
+    # -- segment state -------------------------------------------------
+    def _refresh_segments(self) -> None:
+        """(Re-)scan the segments directory for committed segments."""
+        segments: dict[str, Segment] = {}
+        for segment in load_segments(self._segments_dir()):
+            segments[segment.id] = segment
+        merged: dict[str, str] = {}
+        for sid in sorted(segments):
+            for hash_ in segments[sid].entries:
+                merged.setdefault(hash_, sid)
+        self._segments = segments
+        self._segment_map = merged
+
+    def _segment_probe(self, hash_: str) -> tuple[bytes, str] | None:
+        """This entry's exact bytes from a segment, or ``None``.
+
+        Uses the cached index view; a segment rewritten underneath us
+        (gc) reads as a miss here and the caller's re-scan finds the
+        successor.
+        """
+        if self._segments is None:
+            self._refresh_segments()
+        sid = self._segment_map.get(hash_)
+        if sid is None:
+            return None
+        segment = self._segments[sid]
+        row = segment.entries[hash_]
+        try:
+            data = segment.read(row)
+        except OSError:
+            return None  # concurrently rewritten
+        if len(data) != row.length:
+            return None  # torn view of a vanishing segment
+        return data, f"{segment.data_path}@{row.offset}"
+
+    def _adopt_flat(self, hash_: str) -> None:
+        """Migrate one flat-layout file into the 2-hex fan-out.
+
+        Atomic (``os.replace`` within the objects tree) and best-effort:
+        a concurrent reader that misses the flat path re-checks the
+        sharded path, and losing a race to another migrator is success.
+        """
+        target = self._entry_path(hash_)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self._flat_path(hash_), target)
+        except OSError:
+            pass
+
+    def _read_loose(self, hash_: str) -> tuple[str, pathlib.Path] | None:
+        """The loose entry text and its (post-migration) path, if any."""
+        sharded = self._entry_path(hash_)
+        try:
+            return sharded.read_text(), sharded
+        except FileNotFoundError:
+            pass
+        try:
+            text = self._flat_path(hash_).read_text()
+        except FileNotFoundError:
+            # A concurrent migrator may have just moved flat → sharded.
+            try:
+                return sharded.read_text(), sharded
+            except FileNotFoundError:
+                return None
+        self._adopt_flat(hash_)
+        return text, sharded
+
+    def _contains(self, hash_: str) -> bool:
+        if self._segments is None:
+            self._refresh_segments()
+        return (hash_ in self._segment_map
+                or self._entry_path(hash_).exists()
+                or self._flat_path(hash_).exists())
+
+    def _touch(self, hash_: str) -> None:
+        """Refresh the loose LRU clock (no-op for segment entries)."""
+        try:
+            os.utime(self._entry_path(hash_))
+        except OSError:
+            pass  # segment-resident or concurrently evicted
 
     # -- publish / lookup ----------------------------------------------
     def publish(self, key: dict, result: DesResult) -> bool:
         """Store one replica result; returns False if already present.
 
-        Atomic (write temp + rename): a concurrent publisher of the same
-        key — deterministic execution guarantees identical bytes — races
-        harmlessly, and a crashed publisher leaves only a temp file that
-        the next :meth:`gc` sweeps up.
+        Always writes a *loose* entry — one atomic write-temp-then-
+        rename, the property that makes any number of concurrent
+        publishers race-free; compaction folds loose entries into
+        segments later.  A crashed publisher leaves only a temp file
+        that the next :meth:`gc` sweeps up.
         """
         from .. import io as repro_io
 
         hash_ = key_hash(key)
-        path = self._entry_path(hash_)
-        if path.exists():
+        if self._contains(hash_):
             return False
         payload = repro_io.to_envelope(result)
         entry = {
@@ -349,6 +564,7 @@ class CampaignStore:
             # undetectable (the simulation bytes are not in the address).
             "payload_sha256": _payload_digest(payload),
         }
+        path = self._entry_path(hash_)
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write(path, json.dumps(entry, sort_keys=True) + "\n")
         return True
@@ -363,30 +579,76 @@ class CampaignStore:
         disk — the bytes a warm campaign re-emits.  Corruption raises a
         :class:`~repro.errors.ParameterError` naming the entry; a store
         must never silently substitute wrong results for a simulation.
+
+        Read path: the in-process hot-cell cache (digest-level re-check)
+        first, then segments (index probe + ``pread``), then the loose
+        tree, then one segment re-scan — the re-scan is what makes a
+        concurrent compaction invisible: an entry whose loose file was
+        just packed away is found in the segment the compaction
+        committed first.
         """
-        path = self._entry_path(key_hash(key))
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            return None
+        token = None
+        if self._cache is not None:
+            # Probed by cheap surrogate, resolved by full-key equality:
+            # the content address (canonical JSON + SHA-256, ~8us) is
+            # only computed when the disk must be touched anyway.
+            token = cache_key(key)
+            cached = self._cache.get(self._cache_root, token)
+            if cached is not None and cached.key == key:
+                if cached.verify(self._cached_verification):
+                    if cached.origin == "loose":
+                        self._touch(cached.hash)  # LRU clock for gc
+                    return cached.result
+                # In-memory corruption: drop it and re-read from disk.
+                self._cache.invalidate(self._cache_root, token)
+
+        hash_ = key_hash(key)
+        found = self._segment_probe(hash_)
+        if found is not None:
+            text, label = found
+            loose_path = None
+        else:
+            loose = self._read_loose(hash_)
+            if loose is None:
+                # A concurrent compaction may have just moved the loose
+                # file into a segment we have not scanned yet.
+                self._refresh_segments()
+                found = self._segment_probe(hash_)
+                if found is None:
+                    return None
+                text, label = found
+                loose_path = None
+            else:
+                text, loose_path = loose
+                label = str(loose_path)
         try:
             entry = json.loads(text)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ParameterError(
-                f"{path}: corrupt store entry (invalid JSON: {exc}); "
+                f"{label}: corrupt store entry (invalid JSON: {exc}); "
                 "delete the file (or run `repro-checkpoint store gc`) "
                 "and re-run to repopulate it"
             ) from exc
-        result = self._decode_entry(path, entry, expected_key=key)
-        try:
-            os.utime(path)  # LRU clock for gc
-        except OSError:
-            pass  # concurrently evicted: the result in hand is still good
+        result = self._decode_entry(label, entry, expected_key=key)
+        if self._cache is not None:
+            self._cache.put(self._cache_root, token, CachedEntry(
+                key=key,
+                result=result,
+                payload_text=json.dumps(entry["payload"], sort_keys=True),
+                payload_sha256=entry["payload_sha256"],
+                hash=hash_,
+                origin="loose" if loose_path is not None else "segment",
+            ))
+        if loose_path is not None:
+            try:
+                os.utime(loose_path)  # LRU clock for gc
+            except OSError:
+                pass  # concurrently evicted: the result in hand is good
         return result
 
     @staticmethod
     def _decode_entry(
-        path: pathlib.Path, entry: dict, *, expected_key: dict | None
+        path, entry: dict, *, expected_key: dict | None
     ) -> DesResult:
         from .. import io as repro_io
 
@@ -478,29 +740,58 @@ class CampaignStore:
 
     # -- index / query layer -------------------------------------------
     def _object_files(self) -> Iterator[tuple[str, pathlib.Path]]:
+        """Every loose entry file — 2-hex fan-out shards first, then any
+        historical flat-layout files at the objects root."""
         objects = self._objects()
         try:
-            shards = sorted(os.listdir(objects))
+            names = sorted(os.listdir(objects))
         except FileNotFoundError:
             return
-        for shard in shards:
-            shard_dir = objects / shard
+        flat: list[str] = []
+        for name in names:
+            if _HASH_RE.match(name):
+                flat.append(name)
+                continue
+            shard_dir = objects / name
             try:
-                names = sorted(os.listdir(shard_dir))
+                entries = sorted(os.listdir(shard_dir))
             except (FileNotFoundError, NotADirectoryError):
                 continue
-            for name in names:
-                if _HASH_RE.match(name):
-                    yield name[:-5], shard_dir / name
+            for entry in entries:
+                if _HASH_RE.match(entry):
+                    yield entry[:-5], shard_dir / entry
+        for name in flat:
+            yield name[:-5], objects / name
 
     def entries(self) -> Iterator[StoreEntry]:
-        """Every stored entry, as queryable metadata (the on-disk index).
+        """Every stored entry, as queryable metadata, streamed.
 
-        The index *is* the object tree: every entry is self-describing
-        (its key travels inside the file), so the index can never drift
-        from the contents and needs no cross-process coordination.
+        Segment-resident entries come straight from the in-memory index
+        rows — **no data file is read at all** — which is what keeps
+        ``ls``/``stat``/``query`` latency flat as the store grows.
+        Loose entries are self-describing (the key travels inside the
+        file), so the loose index can never drift from the contents and
+        needs no cross-process coordination; a loose file whose hash a
+        segment already holds (a compaction-race leftover) is reported
+        once, as its segment copy.
         """
+        self._refresh_segments()
+        for sid in sorted(self._segments):
+            segment = self._segments[sid]
+            for hash_ in sorted(segment.entries):
+                if self._segment_map[hash_] != sid:
+                    continue  # duplicate across segments: first id wins
+                row = segment.entries[hash_]
+                yield StoreEntry(
+                    hash=hash_, protocol=row.protocol, M=row.M,
+                    phi=row.phi, n=row.n, seed=row.seed,
+                    trace_seed=row.trace_seed,
+                    work_target=row.work_target, size=row.length,
+                    mtime=row.mtime, origin="segment",
+                )
         for hash_, path in self._object_files():
+            if hash_ in self._segment_map:
+                continue
             try:
                 stat = path.stat()
                 entry = json.loads(path.read_text())
@@ -514,18 +805,9 @@ class CampaignStore:
                     f"{path}: store entry carries no key; the store "
                     "directory holds foreign files"
                 )
-            params = key.get("params") or {}
             yield StoreEntry(
-                hash=hash_,
-                protocol=key.get("protocol"),
-                M=float(params.get("M", float("nan"))),
-                phi=float(key.get("phi", float("nan"))),
-                n=int(params.get("n", 0)),
-                seed=key.get("seed"),
-                trace_seed=key.get("trace_seed"),
-                work_target=float(key.get("work_target", float("nan"))),
-                size=stat.st_size,
-                mtime=stat.st_mtime,
+                hash=hash_, size=stat.st_size, mtime=stat.st_mtime,
+                origin="loose", **_key_fields(key),
             )
 
     def query(
@@ -549,40 +831,108 @@ class CampaignStore:
             yield entry
 
     def stat(self) -> StoreStat:
-        """Aggregate accounting (``store stat``)."""
+        """Aggregate accounting (``store stat``), one streaming pass.
+
+        Constant memory: entries are folded into the totals as they
+        stream by, and segment-resident entries are counted from their
+        index rows without touching the data files.
+        """
         entries = 0
         total = 0
+        loose = 0
+        in_segments = 0
         protocols: dict[str, int] = {}
         oldest: float | None = None
         newest: float | None = None
         for entry in self.entries():
             entries += 1
             total += entry.size
+            if entry.origin == "segment":
+                in_segments += 1
+            else:
+                loose += 1
             protocols[entry.protocol] = protocols.get(entry.protocol, 0) + 1
             oldest = entry.mtime if oldest is None else min(oldest, entry.mtime)
             newest = entry.mtime if newest is None else max(newest, entry.mtime)
         return StoreStat(
             entries=entries, total_bytes=total, protocols=protocols,
             oldest_mtime=oldest, newest_mtime=newest,
+            loose_entries=loose, segment_entries=in_segments,
+            segments=len(self._segments or {}),
         )
 
     def verify(self) -> VerifyReport:
-        """Re-verify every entry against its stored bytes.
+        """Re-verify every entry against its stored bytes, streamed.
 
-        Checks, per entry: the file name matches the SHA-256 of the
-        stored key (content addressing), the payload decodes into a raw
-        DES run, and the decoded run re-serialises to the exact payload
-        bytes on disk.  Collects problems instead of stopping at the
-        first, so one corrupt entry does not hide the rest.
+        Checks, per entry: the address (file name, or index row hash)
+        matches the SHA-256 of the stored key (content addressing), the
+        payload decodes into a raw DES run, and the decoded run
+        re-serialises to the exact payload bytes on disk.  Segment
+        entries additionally check that the index row's queryable
+        fields agree with the stored key.  Collects problems instead of
+        stopping at the first, so one corrupt entry does not hide the
+        rest; nothing is materialised beyond the running aggregates.
         """
         checked = 0
         errors: list[str] = []
         entries = 0
         total = 0
+        loose = 0
+        in_segments = 0
         protocols: dict[str, int] = {}
         oldest: float | None = None
         newest: float | None = None
+
+        def _tally(protocol, size: int, mtime: float, *, segment: bool):
+            nonlocal entries, total, loose, in_segments, oldest, newest
+            entries += 1
+            total += size
+            if segment:
+                in_segments += 1
+            else:
+                loose += 1
+            protocols[protocol] = protocols.get(protocol, 0) + 1
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+
+        self._refresh_segments()
+        for sid in sorted(self._segments):
+            segment = self._segments[sid]
+            for hash_ in sorted(segment.entries):
+                if self._segment_map[hash_] != sid:
+                    continue
+                row = segment.entries[hash_]
+                label = f"{segment.data_path}@{row.offset}"
+                checked += 1
+                try:
+                    raw = segment.read(row)
+                    if len(raw) != row.length:
+                        raise ParameterError(
+                            "segment data is shorter than the index row"
+                        )
+                    entry = json.loads(raw)
+                    if not isinstance(entry, dict):
+                        raise ParameterError("entry is not an object")
+                    if key_hash(entry.get("key", {})) != hash_:
+                        raise ParameterError(
+                            "index hash does not match the stored key's "
+                            "hash"
+                        )
+                    self._decode_entry(label, entry, expected_key=None)
+                    fields = _key_fields(entry["key"])
+                    if fields["protocol"] != row.protocol \
+                            or fields["seed"] != row.seed:
+                        raise ParameterError(
+                            "index row disagrees with the stored key"
+                        )
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                        ParameterError) as exc:
+                    errors.append(f"{label}: {exc}")
+                    continue
+                _tally(row.protocol, row.length, row.mtime, segment=True)
         for hash_, path in self._object_files():
+            if hash_ in self._segment_map:
+                continue  # verified above, as its segment copy
             checked += 1
             try:
                 stat = path.stat()
@@ -597,29 +947,142 @@ class CampaignStore:
             except (OSError, json.JSONDecodeError, ParameterError) as exc:
                 errors.append(f"{path}: {exc}")
                 continue
-            entries += 1
-            total += stat.st_size
-            protocol = entry["key"].get("protocol")
-            protocols[protocol] = protocols.get(protocol, 0) + 1
-            oldest = stat.st_mtime if oldest is None \
-                else min(oldest, stat.st_mtime)
-            newest = stat.st_mtime if newest is None \
-                else max(newest, stat.st_mtime)
+            _tally(entry["key"].get("protocol"), stat.st_size,
+                   stat.st_mtime, segment=False)
         return VerifyReport(
             checked=checked, errors=tuple(errors),
             stat=StoreStat(
                 entries=entries, total_bytes=total, protocols=protocols,
                 oldest_mtime=oldest, newest_mtime=newest,
+                loose_entries=loose, segment_entries=in_segments,
+                segments=len(self._segments or {}),
             ),
+        )
+
+    # -- compaction ----------------------------------------------------
+    def compact(self, *, dry_run: bool = False) -> CompactReport:
+        """Pack the loose entries into one new segment (``store compact``).
+
+        Safe against every concurrent store user, by construction:
+
+        * **readers** — the segment is committed (index rename) *before*
+          any loose file is unlinked, and lookups re-scan for new
+          segments before declaring a miss, so there is no instant at
+          which a packed entry is findable nowhere;
+        * **writers** — publish only ever creates loose files, which the
+          *next* compaction folds in; a publish racing this pass at
+          worst re-creates a loose duplicate with identical bytes
+          (content-addressed keys make that harmless), removed as a
+          duplicate later;
+        * **gc** — eviction unlinks loose files or rewrites other
+          segments; a loose file that vanishes mid-pack is simply
+          dropped from the batch.  (A file gc unlinks *after* this pass
+          read it is resurrected inside the segment — rerun ``gc`` after
+          ``compact`` to re-apply a byte budget exactly.)
+
+        Each loose file is validated (parse, format, address, payload
+        digest) before packing; corrupt files are left loose and
+        reported, never baked into a segment.  Historical flat-layout
+        files are packed like any other loose entry, which migrates
+        them off the objects root for good.
+        """
+        self._refresh_segments()
+        listing: list[tuple[str, pathlib.Path]] = []
+        duplicates: list[pathlib.Path] = []
+        for hash_, path in self._object_files():
+            if hash_ in self._segment_map:
+                duplicates.append(path)
+            else:
+                listing.append((hash_, path))
+        loose_before = len(listing) + len(duplicates)
+        listing.sort()  # hash order: identical sets pack identically
+
+        corrupt: list[str] = []
+        packed: list[tuple[str, pathlib.Path]] = []
+        packed_bytes = 0
+
+        def _records() -> Iterator[tuple[SegmentEntry, bytes]]:
+            nonlocal packed_bytes
+            for hash_, path in listing:
+                try:
+                    stat = path.stat()
+                    raw = path.read_bytes()
+                except OSError:
+                    continue  # concurrently evicted by gc: drop it
+                try:
+                    entry = json.loads(raw)
+                    if not isinstance(entry, dict) \
+                            or entry.get("format") != _ENTRY_FORMAT:
+                        raise ParameterError(
+                            f"not a {_ENTRY_FORMAT} record"
+                        )
+                    if entry.get("version") != STORE_VERSION:
+                        raise ParameterError(
+                            "unsupported store-entry version "
+                            f"{entry.get('version')!r}"
+                        )
+                    if key_hash(entry.get("key", {})) != hash_:
+                        raise ParameterError(
+                            "file name does not match the stored key's "
+                            "hash"
+                        )
+                    if _payload_digest(entry["payload"]) \
+                            != entry.get("payload_sha256"):
+                        raise ParameterError(
+                            "entry payload does not match its recorded "
+                            "digest"
+                        )
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        ParameterError, KeyError) as exc:
+                    corrupt.append(f"{path}: {exc}")
+                    continue
+                fields = _key_fields(entry["key"])
+                packed.append((hash_, path))
+                packed_bytes += len(raw)
+                yield SegmentEntry(
+                    hash=hash_, offset=0, length=len(raw),
+                    mtime=stat.st_mtime, **fields,
+                ), raw
+
+        if dry_run:
+            for _ in _records():
+                pass
+            segment = None
+        else:
+            segment = write_segment(self._segments_dir(), _records())
+            # The segment is committed: now (and only now) retire the
+            # packed loose files and any pre-existing duplicates.
+            for _, path in packed:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            for path in duplicates:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self._refresh_segments()
+        return CompactReport(
+            loose_before=loose_before,
+            packed_entries=len(packed),
+            packed_bytes=packed_bytes,
+            deduplicated=len(duplicates),
+            corrupt=tuple(corrupt),
+            segment_id=None if segment is None else segment.id,
+            segments_total=len(self._segments or {}),
+            segment_entries_total=len(self._segment_map),
+            loose_remaining=len(corrupt) if not dry_run
+            else loose_before - len(duplicates),
+            dry_run=dry_run,
         )
 
     # -- coverage / eviction -------------------------------------------
     def coverage(self, spec) -> tuple[int, int]:
         """``(present, total)`` replica entries of a spec's footprint."""
+        self._refresh_segments()
         hashes = _spec_hashes(spec)
-        present = sum(
-            1 for h in hashes if self._entry_path(h).exists()
-        )
+        present = sum(1 for h in hashes if self._contains(h))
         return present, len(hashes)
 
     def gc(
@@ -636,12 +1099,22 @@ class CampaignStore:
 
         ``max_age`` evicts entries idle longer than that many seconds;
         ``max_bytes`` then evicts least-recently-used entries until the
-        store fits the budget.  Entries in the footprint of a
-        ``pin_specs`` spec or of the campaign recorded in a
-        ``pin_queues`` queue-directory manifest are never evicted — a
-        fleet mid-campaign must not lose the cells its queue still
-        references.  Abandoned temp files from crashed publishers are
-        swept unconditionally.  ``dry_run`` reports without deleting.
+        store fits the budget.  Loose and segment-resident entries are
+        judged by one rule — a loose entry's age is its file mtime, a
+        segment entry's is the access stamp recorded in its index row,
+        and both go through :func:`repro.fsclock.clamped_age` against
+        the *store filesystem's* clock, so cross-machine skew can never
+        age a fresh entry past the budget.  Evicting from a segment
+        atomically rewrites that segment without the evicted rows (or
+        removes it outright when empty).
+
+        Entries in the footprint of a ``pin_specs`` spec or of the
+        campaign recorded in a ``pin_queues`` queue-directory manifest
+        are never evicted — a fleet mid-campaign must not lose the cells
+        its queue still references — wherever they live.  Abandoned temp
+        files from crashed publishers and orphan segment data files from
+        crashed compactions are swept unconditionally.  ``dry_run``
+        reports without deleting.
         """
         if max_bytes is not None and max_bytes < 0:
             raise ParameterError(f"max_bytes must be >= 0, got {max_bytes!r}")
@@ -667,77 +1140,93 @@ class CampaignStore:
             manifest = read_queue_manifest(queue)
             pinned |= _spec_hashes(CampaignSpec.from_dict(manifest["campaign"]))
 
-        # Sweep crashed publishers' temp files (never the entries) — but
-        # only stale ones: a fresh temp may be a live publisher's
-        # in-flight write-then-rename, and unlinking it mid-publish
-        # would crash that campaign's os.replace.
+        # Sweep crashed writers' leftovers (never the entries) — but
+        # only stale ones: a fresh temp may be a live writer's in-flight
+        # write-then-rename (or a compaction's data file awaiting its
+        # index commit), and unlinking it mid-flight would crash that
+        # process's os.replace.
         if not dry_run:
-            objects = self._objects()
-            try:
-                shards = list(os.listdir(objects))
-            except FileNotFoundError:
-                shards = []
-            for shard in shards:
-                shard_dir = objects / shard
-                if not shard_dir.is_dir():
-                    continue
-                for name in os.listdir(shard_dir):
-                    if ".tmp-" not in name:
-                        continue
-                    path = shard_dir / name
-                    try:
-                        if clamped_age(now, path.stat().st_mtime) \
-                                > _TMP_SWEEP_GRACE:
-                            path.unlink()
-                    except OSError:
-                        pass
+            self._sweep_leftovers(now)
 
-        listing: list[tuple[float, int, str, pathlib.Path]] = []
+        self._refresh_segments()
+        # hash → (newest access mtime, total bytes, loose paths,
+        # segment ids); an entry duplicated across layouts is one
+        # logical entry with several physical copies, all of which an
+        # eviction must remove.
+        copies: dict[str, list] = {}
+        for sid, segment in (self._segments or {}).items():
+            for hash_, row in segment.entries.items():
+                copies.setdefault(hash_, []).append(
+                    (row.mtime, row.length, "segment", sid)
+                )
         for hash_, path in self._object_files():
             try:
                 stat = path.stat()
             except OSError:
                 continue  # concurrently removed
-            listing.append((stat.st_mtime, stat.st_size, hash_, path))
+            copies.setdefault(hash_, []).append(
+                (stat.st_mtime, stat.st_size, "loose", path)
+            )
 
+        listing = [
+            (max(c[0] for c in copy_list),
+             sum(c[1] for c in copy_list),
+             hash_, copy_list)
+            for hash_, copy_list in copies.items()
+        ]
         entries_before = len(listing)
         bytes_before = sum(size for _, size, _, _ in listing)
         pinned_present = sum(1 for _, _, h, _ in listing if h in pinned)
 
         evicted_entries = 0
         evicted_bytes = 0
+        #: segment id → hashes to drop from it (applied in one rewrite).
+        segment_drops: dict[str, set[str]] = {}
 
-        def _evict(size: int, path: pathlib.Path) -> None:
+        def _evict(size: int, hash_: str, copy_list: list) -> None:
             nonlocal evicted_entries, evicted_bytes
             if not dry_run:
-                try:
-                    path.unlink()
-                except OSError:
-                    return  # a racing gc won; count nothing
+                for _, _, kind, where in copy_list:
+                    if kind == "loose":
+                        try:
+                            where.unlink()
+                        except OSError:
+                            pass  # a racing gc won
+                    else:
+                        segment_drops.setdefault(where, set()).add(hash_)
             evicted_entries += 1
             evicted_bytes += size
 
-        survivors: list[tuple[float, int, str, pathlib.Path]] = []
-        for mtime, size, hash_, path in listing:
+        survivors: list[tuple[float, int, str, list]] = []
+        for mtime, size, hash_, copy_list in sorted(
+            listing, key=lambda item: item[:3]
+        ):
             if hash_ in pinned:
-                survivors.append((mtime, size, hash_, path))
+                survivors.append((mtime, size, hash_, copy_list))
                 continue
             if max_age is not None and clamped_age(now, mtime) > max_age:
-                _evict(size, path)
+                _evict(size, hash_, copy_list)
                 continue
-            survivors.append((mtime, size, hash_, path))
+            survivors.append((mtime, size, hash_, copy_list))
 
         if max_bytes is not None:
             total = sum(size for _, size, _, _ in survivors)
             # Oldest access first; pinned entries are immune however
             # tight the budget gets.
-            for mtime, size, hash_, path in sorted(survivors):
+            for mtime, size, hash_, copy_list in sorted(
+                survivors, key=lambda item: item[:3]
+            ):
                 if total <= max_bytes:
                     break
                 if hash_ in pinned:
                     continue
-                _evict(size, path)
+                _evict(size, hash_, copy_list)
                 total -= size
+
+        if segment_drops and not dry_run:
+            for sid, drops in segment_drops.items():
+                self._rewrite_segment(sid, drops)
+            self._refresh_segments()
 
         return GcReport(
             entries_before=entries_before,
@@ -748,6 +1237,94 @@ class CampaignStore:
             dry_run=dry_run,
         )
 
+    def _rewrite_segment(self, sid: str, drops: set[str]) -> None:
+        """Atomically replace segment ``sid`` without the ``drops`` rows.
+
+        Survivor bytes are carried over verbatim (offsets recomputed),
+        so the rewrite can never change what a lookup serves.  The
+        replacement is committed under a fresh id before the old pair is
+        unlinked — index first, so no reader ever resolves an index row
+        to missing data; a reader already holding the old index keeps
+        reading the unlinked inode through its open handle.
+        """
+        from .segments import segment_index_path
+
+        segment = (self._segments or {}).get(sid)
+        if segment is None:
+            return
+        keep = sorted(h for h in segment.entries if h not in drops)
+
+        def _survivor_records() -> Iterator[tuple[SegmentEntry, bytes]]:
+            for hash_ in keep:
+                row = segment.entries[hash_]
+                try:
+                    raw = segment.read(row)
+                except OSError:
+                    continue  # racing rewrite already retired it
+                if len(raw) == row.length:
+                    yield row, raw
+
+        if keep:
+            write_segment(self._segments_dir(), _survivor_records())
+        for path in (segment_index_path(self._segments_dir(), sid),
+                     segment.data_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _sweep_leftovers(self, now: float) -> None:
+        """Unlink stale temp files and orphan segment data files."""
+        def _stale(path: pathlib.Path) -> bool:
+            try:
+                return clamped_age(now, path.stat().st_mtime) \
+                    > _TMP_SWEEP_GRACE
+            except OSError:
+                return False
+
+        objects = self._objects()
+        try:
+            names = list(os.listdir(objects))
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            path = objects / name
+            if ".tmp-" in name:
+                if _stale(path):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                continue
+            if not path.is_dir():
+                continue
+            for entry in os.listdir(path):
+                if ".tmp-" not in entry:
+                    continue
+                if _stale(path / entry):
+                    try:
+                        (path / entry).unlink()
+                    except OSError:
+                        pass
+        segments_dir = self._segments_dir()
+        try:
+            names = list(os.listdir(segments_dir))
+        except FileNotFoundError:
+            return
+        present = set(names)
+        for name in names:
+            path = segments_dir / name
+            stale_tmp = ".tmp-" in name
+            # A .seg whose .idx never appeared is a crashed compaction's
+            # data file: committed segments always have their index.
+            orphan = name.endswith(".seg") \
+                and f"{name[:-4]}.idx" not in present
+            if (stale_tmp or orphan) and _stale(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
     # -- export --------------------------------------------------------
     def export(self, spec, out_path: str | pathlib.Path) -> ExportReport:
         """Materialise a spec's results file straight from the store.
@@ -756,9 +1333,11 @@ class CampaignStore:
         file (plus the ``.manifest`` sidecar holding the spec
         fingerprint) that a single-machine ``sink="framed"`` run of the
         spec would have produced — byte-identical, with **zero**
-        simulations.  Every cell must be resolvable from the store;
-        missing cells are reported by grid coordinates, never silently
-        skipped.
+        simulations.  Cells resolve through the same segment-first
+        lookup path as a warm run, so an export is byte-identical before
+        and after compaction.  Every cell must be resolvable from the
+        store; missing cells are reported by grid coordinates, never
+        silently skipped.
         """
         from .. import io as repro_io
 

@@ -547,6 +547,29 @@ class TestStoreCommand:
                      "--verify"]) == 1
         assert "corrupt" in capsys.readouterr().out
 
+    def test_compact_then_warm_rerun_and_stat_breakdown(self, capsys,
+                                                        tmp_path):
+        store = self._populate(capsys, tmp_path)
+        assert main(["store", "compact", "--store", str(store),
+                     "--dry-run"]) == 0
+        assert "would pack 8 of 8 loose entries" in capsys.readouterr().out
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        assert "packed 8 of 8 loose entries" in capsys.readouterr().out
+
+        assert main(["store", "stat", "--store", str(store),
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "no corruption" in out
+        assert "0 loose + 8 in 1 segment(s)" in out
+
+        # The segment-resident store still serves a warm re-run in full.
+        assert main(self.QUICK + ["--store", str(store), "--results",
+                                  str(tmp_path / "warm.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "0/4 cells run (0 resumed, 4 cached)" in out
+        assert (tmp_path / "warm.jsonl").read_bytes() \
+            == (tmp_path / "cold.jsonl").read_bytes()
+
     def test_gc_respects_budget_and_requires_one(self, capsys, tmp_path):
         store = self._populate(capsys, tmp_path)
         assert main(["store", "gc", "--store", str(store)]) == 2
