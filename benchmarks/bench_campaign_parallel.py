@@ -155,3 +155,59 @@ def config_cells_third(config: CampaignConfig) -> int:
     total = (len(config.protocols) * len(config.m_values)
              * len(config.phi_values))
     return total // 3
+
+
+def test_event_pipeline_overhead_gate(tmp_path, record):
+    """The CI gate on the refactor's cost: routing every cell through
+    the typed event bus (controller replay, sink writer, progress
+    tracker fan-out) must add <= 5% wall-clock to the serial DES path,
+    measured against a stripped direct loop — run_cell + sink.emit and
+    nothing else, the pre-refactor executor's inner loop floor.
+    Best-of-3 each, interleaved, so machine noise hits both sides."""
+    from repro.sim.backends import run_cell
+    from repro.sim.executor import execute_spec, plan_cells
+    from repro.sim.sinks import make_sink
+
+    spec = _spec()
+
+    def direct(path):
+        config = spec.config(path)
+        controller = spec.controller()
+        sink = make_sink(spec.policy.sink, path)
+        sink.begin()
+        trace_cache: dict = {}
+        for plan in plan_cells(config):
+            sink.emit(plan, run_cell(config, plan, controller,
+                                     trace_cache))
+
+    def piped(path):
+        execute_spec(spec, results_path=path)
+
+    t_direct, t_piped = [], []
+    for i in range(3):
+        t0 = time.perf_counter()
+        direct(tmp_path / f"direct-{i}.jsonl")
+        t_direct.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        piped(tmp_path / f"piped-{i}.jsonl")
+        t_piped.append(time.perf_counter() - t0)
+
+    # Same bytes first: a fast pipeline that changed the output would
+    # not count.
+    assert (tmp_path / "piped-0.jsonl").read_bytes() \
+        == (tmp_path / "direct-0.jsonl").read_bytes()
+
+    best_direct, best_piped = min(t_direct), min(t_piped)
+    overhead = best_piped / best_direct - 1.0
+    assert best_piped <= 1.05 * best_direct + 0.02, (
+        f"event pipeline adds {overhead:+.1%} to the serial DES path "
+        f"({best_piped:.3f}s vs {best_direct:.3f}s direct loop); "
+        "the gate is +5%"
+    )
+
+    record("Event-pipeline overhead gate (serial DES path)", [
+        "grid: 3 protocols x 3 M x 3 phi x 4 replicas = 108 DES runs",
+        f"direct loop (run_cell + sink.emit): {best_direct:.3f}s",
+        f"event pipeline (execute_spec):      {best_piped:.3f}s",
+        f"overhead: {overhead:+.1%} (gate: +5.0%)",
+    ])

@@ -95,7 +95,7 @@ _CAMPAIGN_DEFAULTS: dict[str, object] = {
     "adaptive_wilson": None,
     "queue": None, "worker_id": None, "lease": 60.0, "poll": 0.5,
     "worker_procs": 1, "store": None, "store_mode": None,
-    "backend": None,
+    "backend": None, "progress": False,
     "out": None, "partial": False,
 }
 
@@ -208,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--resume", action="store_true",
                    help="skip cells already completed in --results "
                         "(requires --results)")
+    c.add_argument("--progress", action="store_true",
+                   help="stream per-cell progress lines to stderr as "
+                        "cells finish (counters from the event "
+                        "pipeline's progress consumer)")
     c.add_argument("--workers", type=int, default=1,
                    help="worker processes (0 = all cores; 1 = in-process "
                         "serial, still bit-identical)")
@@ -318,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--verify", action="store_true",
                     help="(stat) re-verify every entry against its "
                          "stored bytes; exit 1 on corruption")
+    st.add_argument("--cache", action="store_true",
+                    help="(stat) also print this process's hot-cell "
+                         "cache counters (hits/misses/evictions/bytes) "
+                         "— meaningful in a live session or service "
+                         "process; a fresh CLI process reports a cold "
+                         "cache")
     st.add_argument("--max-bytes", type=int, default=None, metavar="N",
                     help="(gc) evict least-recently-used entries until "
                          "the store holds at most N bytes")
@@ -394,7 +404,7 @@ _RUN_SHAPING_FLAGS = (
     ("lease", "--lease"), ("poll", "--poll"),
     ("worker_procs", "--worker-procs"),
     ("store", "--store"), ("store_mode", "--store-mode"),
-    ("backend", "--backend"),
+    ("backend", "--backend"), ("progress", "--progress"),
 )
 #: campaign flags subsumed by a spec file — `--spec` refuses them.
 #: (--store/--store-mode are deliberately absent: they are volatile
@@ -627,11 +637,24 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         print(spec.to_json(), end="")
         return 0
 
-    campaign = Campaign(spec)
-    if args.resume:
-        execution = campaign.resume(args.results)
+    # The CLI is a plain session consumer: open the spec, stream the
+    # typed events (the same seam the campaign service subscribes to),
+    # collect the execution at the end.
+    session = Campaign(spec).session(args.results, resume=args.resume)
+    if args.progress:
+        from .sim.events import CellFinished
+
+        for event in session.events():
+            if isinstance(event, CellFinished):
+                plan = event.plan
+                print(f"  cell {plan.index}: {plan.protocol} "
+                      f"M={plan.M:g} phi={plan.phi:g} "
+                      f"({len(event.results)} replicas, {event.source}) "
+                      f"— {session.progress().describe()}",
+                      file=sys.stderr)
+        execution = session.result()
     else:
-        execution = campaign.run(args.results)
+        execution = session.run()
     print(cells_table(execution.cells))
     print(execution.report.describe())
     if args.results is not None:
@@ -639,6 +662,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     if spec.policy.store is not None and spec.policy.store_mode != "off":
         print(f"store: {spec.policy.store} "
               f"({execution.report.cells_cached} cells served from it)")
+        stats = session.cache_stats()
+        if stats is not None:
+            print(f"store cache: {stats.describe()}")
     if spec.policy.queue is not None:
         from .sim.distributed import queue_status
 
@@ -717,6 +743,12 @@ def _run_store_command(args: argparse.Namespace) -> int:
 
     if args.action == "stat":
         print(f"store: {args.store}")
+
+        def _print_cache() -> None:
+            stats = store.cache_stats()
+            print("cache: " + ("disabled" if stats is None
+                               else stats.describe()))
+
         if args.verify:
             # One scan serves both: verify() *collects* corruption
             # (where the plain stat scan would die on the first
@@ -728,8 +760,12 @@ def _run_store_command(args: argparse.Namespace) -> int:
                     print(error, file=sys.stderr)
                 return 1
             print(report.stat.describe())
+            if args.cache:
+                _print_cache()
             return 0
         print(store.stat().describe())
+        if args.cache:
+            _print_cache()
         return 0
 
     if args.action == "gc":

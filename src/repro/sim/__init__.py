@@ -29,26 +29,40 @@ touching the others:
 ``campaign``  (the grid)
     :class:`~repro.sim.campaign.CampaignConfig` and validation; the
     deprecated pre-spec ``run_campaign`` shim.
-``executor``  (orchestration)
-    :func:`~repro.sim.executor.execute_spec` plans the grid into
+``executor``  (orchestration: the event producer)
+    :class:`~repro.sim.executor.CampaignSession` plans the grid into
     deterministic cell chunks, recovers finished cells on resume
-    (manifest + per-record identity checks), then streams backend output
-    into the sink and aggregates :class:`~repro.sim.campaign.CampaignCell`
-    summaries.
-``backends``  (where cells run)
+    (manifest + per-record identity checks), then *produces* the typed
+    event stream of ``events`` — every cell (recovered, store-served or
+    freshly simulated) as a ``CellStarted``/``ReplicaBatch``/
+    ``CellFinished`` triple — and aggregates
+    :class:`~repro.sim.campaign.CampaignCell` summaries.
+    :func:`~repro.sim.executor.execute_spec` is the drain-it-all
+    wrapper.
+``events``  (the pipeline: bus + consumers)
+    Typed events on one synchronous in-process
+    :class:`~repro.sim.events.EventBus` with deterministic
+    subscription-order fan-out.  Persistence and observation are
+    independent consumers — :class:`~repro.sim.events.SinkWriter`,
+    :class:`~repro.sim.events.StorePublisher`,
+    :class:`~repro.sim.events.ControllerReplay`,
+    :class:`~repro.sim.events.ProgressTracker` — so a service or
+    metrics layer subscribes without owning (or perturbing) the
+    execution loop.
+``backends``  (where cells run: the producers' engine)
     :class:`~repro.sim.backends.CampaignBackend` implementations —
     in-process :class:`~repro.sim.backends.SerialBackend`, multi-process
     :class:`~repro.sim.backends.ProcessPoolBackend` — yield chunk results
     in *completion* order.  All seeds derive from grid coordinates, so any
-    backend produces identical results; a multi-machine work-stealing
-    backend is the designed-for extension point.
+    backend produces identical results; the multi-machine work-stealing
+    backend (``distributed``) builds on the same contract.
 ``sinks``  (how results persist)
     :class:`~repro.sim.sinks.OrderedJsonlSink` keeps the results file a
     byte-exact prefix of the serial file; the out-of-order
     :class:`~repro.sim.sinks.FramedJsonlSink` appends each cell the
     moment it completes (per-record cell/replica/sequence framing —
     no head-of-line blocking) and still resumes from arbitrary
-    truncation.
+    truncation.  Both are driven by the ``events`` sink-writer consumer.
 ``repro.store``  (what never re-runs)
     The content-addressed results warehouse: the executor consults it
     per cell before dispatching to any backend and publishes fresh
@@ -97,8 +111,20 @@ from .adaptive import (
 from .backends import CampaignBackend, ProcessPoolBackend, SerialBackend
 from .sinks import FramedJsonlSink, OrderedJsonlSink, ResultSink
 from .spec import Campaign, CampaignSpec, ExecutionPolicy
+from .events import (
+    CampaignFinished,
+    CampaignProgress,
+    CampaignStarted,
+    CellFinished,
+    CellStarted,
+    EventBus,
+    EventConsumer,
+    ProgressTracker,
+    ReplicaBatch,
+)
 from .executor import (
     CampaignExecution,
+    CampaignSession,
     ExecutionReport,
     execute_campaign,
     execute_spec,
@@ -142,8 +168,18 @@ __all__ = [
     "OrderedJsonlSink",
     "FramedJsonlSink",
     "CampaignExecution",
+    "CampaignSession",
     "ExecutionReport",
     "execute_campaign",
     "execute_spec",
     "run_campaign_parallel",
+    "EventBus",
+    "EventConsumer",
+    "CampaignStarted",
+    "CellStarted",
+    "ReplicaBatch",
+    "CellFinished",
+    "CampaignProgress",
+    "CampaignFinished",
+    "ProgressTracker",
 ]

@@ -18,6 +18,12 @@ cell needs every replica it can get.  A :class:`ReplicaController` decides
   all succeed (or all die) pins its proportion down long before its waste
   CI converges.
 
+On the event pipeline the controller appears twice: backends drive its
+incremental cursor while running cells, and the
+:class:`~repro.sim.events.ControllerReplay` consumer replays every
+finished cell's waste sequence through a fresh cursor, refusing any
+stream whose replica counts disagree with the stopping rule.
+
 Controllers are part of the campaign's identity: each serialises to a
 JSON ``fingerprint()`` stored in manifests and
 :class:`~repro.sim.spec.CampaignSpec` objects, and

@@ -1,7 +1,12 @@
 """Campaign execution backends: where grid cells actually run.
 
-:mod:`repro.sim.executor` plans a campaign as chunks of grid cells and
-delegates the raw computation to a :class:`CampaignBackend`:
+Backends are the *producers* of the result-event pipeline
+(:mod:`repro.sim.events`): they compute replica results and nothing
+else — no file writes, no store publishes, no progress bookkeeping.
+:mod:`repro.sim.executor` plans a campaign as chunks of grid cells,
+delegates the raw computation to a :class:`CampaignBackend`, and turns
+each finished cell into the typed events every consumer (sink writer,
+store publisher, progress tracker) subscribes to:
 
 * :class:`SerialBackend` — in-process, one shared-trace cache across the
   whole grid; reproduces the historical serial execution exactly.

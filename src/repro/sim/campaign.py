@@ -11,7 +11,9 @@ This module defines the campaign *grid* (:class:`CampaignConfig`,
 :class:`~repro.sim.spec.CampaignSpec` — the one serializable campaign
 description — and :class:`~repro.sim.spec.Campaign` is the public entry
 point that runs/resumes/reports it (execution mechanism:
-:mod:`repro.sim.executor`).  :func:`run_campaign` is the pre-spec legacy
+:mod:`repro.sim.executor`; live streaming/polling:
+:meth:`~repro.sim.spec.Campaign.session` over the typed event pipeline
+in :mod:`repro.sim.events`).  :func:`run_campaign` is the pre-spec legacy
 API, kept as a deprecation shim that builds a spec.
 
 Common-random-numbers support: with ``share_traces=True`` each

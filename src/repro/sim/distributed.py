@@ -7,7 +7,11 @@ accepts any cell order — so scaling a campaign across machines needs only
 (a) a shared *chunk queue* deciding who runs what, and (b) a way to merge
 per-worker outputs.  This module provides both on top of nothing but a
 shared directory (NFS, a bind-mounted volume, or plain ``/tmp`` for
-multi-process runs on one box):
+multi-process runs on one box).  To the event pipeline
+(:mod:`repro.sim.events`) a distributed worker is just another producer:
+every cell it claims — simulated or served from its store — is emitted
+as a ``backend`` cell, and the store hits it resolved inside claimed
+chunks are reconciled into the progress counters after the loop:
 
 ``queue-dir/``
     ``manifest.json``

@@ -1,0 +1,471 @@
+"""Typed result-event pipeline: producers → bus → consumers.
+
+The execution core is event-driven: whatever runs a campaign's cells —
+:class:`~repro.sim.backends.SerialBackend`,
+:class:`~repro.sim.backends.ProcessPoolBackend`, the distributed
+work-stealing backend, the vectorized engine, a results-store hit, or a
+resume recovery — is a pure *producer* of the typed events in this
+module, and everything that used to be hard-wired into the executor's
+inner loop — the JSONL sink append, the store publish, the adaptive
+controller's bookkeeping, progress counters — is an independent
+*consumer* subscribed to one in-process :class:`EventBus`.  The seam
+between them is where a long-running service, a metrics exporter or a
+streaming client plugs in without owning (or perturbing) the execution
+loop: byte-identical files fall out of the same consumer that always
+wrote them.
+
+Event grammar
+-------------
+One campaign produces exactly this stream (a regular language)::
+
+    CampaignStarted
+      ( CellStarted ReplicaBatch CellFinished CampaignProgress )*
+    CampaignFinished
+
+Every cell — recovered, store-served or freshly simulated — appears as
+one ``CellStarted``/``ReplicaBatch``/``CellFinished`` triple, so any
+consumer can replay the stream to the campaign's exact final state (the
+consistent-observer property: an observer must never see a stream that
+replays to a different state than the ground-truth files).  The
+``source`` field says where the replicas came from and drives each
+consumer's filter:
+
+========== ===================================== ============ =========
+source     meaning                               sink append  store pub
+========== ===================================== ============ =========
+backend    freshly simulated this execution      yes          yes
+store      served from the content-addressed     yes          no
+           results store (zero simulations)
+resume     recovered from the existing results   no (already  no
+           file before execution began           on disk)
+========== ===================================== ============ =========
+
+Consumer contract
+-----------------
+The bus is deliberately synchronous and unbuffered; the contract every
+consumer can rely on (and every producer must honour):
+
+**Ordering.**  Fan-out is deterministic: consumers receive each event in
+*subscription order*, and event *N* is fully delivered to every consumer
+before event *N + 1* is produced.  The built-in subscription order is
+fixed — controller replay, sink writer, store publisher, progress
+tracker, cell callback, then user consumers — which encodes the
+durability rule directly: a cell reaches the results file before the
+store can publish it, and progress counters only ever describe cells
+that are already durable.  Cell triples arrive in *emission order*:
+grid order under an ordered sink, store-hits-then-completion-order
+under a framed one — exactly the order the file is written in.
+
+**Backpressure.**  Delivery is a plain synchronous call on the
+producer's thread: a slow consumer slows the campaign down rather than
+falling behind, and no event is ever queued, coalesced or dropped.
+Consumers that cannot afford to block the inner loop must do their own
+buffering (the progress tracker is the model: O(1) counter updates
+under a lock, snapshots on demand from any thread).
+
+**Error propagation.**  A consumer exception aborts the campaign: it
+propagates out of :meth:`EventBus.publish` into the producing loop and
+from there to whoever is iterating
+:meth:`~repro.sim.executor.CampaignSession.events`.  There is no
+dead-letter path — a consumer that must survive its own failures
+catches them itself.  On any termination (clean or not) every consumer's
+:meth:`EventConsumer.close` is called exactly once, in subscription
+order, with the terminating exception (or ``None``).
+
+Built-in consumers
+------------------
+:class:`SinkWriter`
+    appends ``backend``/``store`` cells to the
+    :class:`~repro.sim.sinks.ResultSink` — the byte-identical file path.
+:class:`StorePublisher`
+    publishes ``backend`` cells to the
+    :class:`~repro.store.CampaignStore` *after* the sink append (it
+    subscribes after the writer; the warehouse must never get ahead of
+    the durable results file).
+:class:`ControllerReplay`
+    replays every finished cell's waste sequence through a fresh
+    :class:`~repro.sim.adaptive.ReplicaController` cursor and refuses a
+    stream whose replica counts disagree with the stopping rule — the
+    live-stream counterpart of the resume scan's per-cell validation.
+:class:`ProgressTracker`
+    thread-safe counters behind
+    :meth:`~repro.sim.executor.CampaignSession.progress`; the final
+    :class:`~repro.sim.executor.ExecutionReport` is assembled from this
+    consumer's totals, so the metrics path is load-bearing, not
+    decorative.
+:class:`CellCallback`
+    adapts the historical ``on_cell=`` callback surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ParameterError
+from .adaptive import ReplicaController, stop_count
+from .campaign import CampaignCell, CampaignConfig
+from .results import DesResult
+from .sinks import ResultSink
+
+if TYPE_CHECKING:  # circular at runtime: executor builds on this module
+    from .executor import CellPlan, ExecutionReport
+    from .spec import CampaignSpec
+
+__all__ = [
+    "EVENT_SOURCES",
+    "CampaignEvent",
+    "CampaignStarted",
+    "CellStarted",
+    "ReplicaBatch",
+    "CellFinished",
+    "CampaignProgress",
+    "CampaignFinished",
+    "EventConsumer",
+    "EventBus",
+    "SinkWriter",
+    "StorePublisher",
+    "ControllerReplay",
+    "ProgressTracker",
+    "CellCallback",
+]
+
+#: Where a cell's replicas came from (see the module table).
+EVENT_SOURCES = ("backend", "store", "resume")
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignEvent:
+    """Base of every event on the bus (useful for isinstance filters)."""
+
+
+@dataclass(frozen=True)
+class CampaignStarted(CampaignEvent):
+    """First event of every stream: the full plan, before any cell.
+
+    ``resumed`` holds the plan indices recovered from the results file —
+    their triples follow immediately, in grid order, tagged
+    ``source="resume"``.
+    """
+
+    spec: "CampaignSpec"
+    plans: tuple
+    resumed: tuple[int, ...] = ()
+
+    @property
+    def cells_total(self) -> int:
+        return len(self.plans)
+
+
+@dataclass(frozen=True)
+class CellStarted(CampaignEvent):
+    """A cell's triple is beginning: its results enter the pipeline."""
+
+    plan: "CellPlan"
+    source: str = "backend"
+
+
+@dataclass(frozen=True)
+class ReplicaBatch(CampaignEvent):
+    """One batch of replica results for a cell.
+
+    Today each cell delivers exactly one batch (backends hand the
+    executor whole cells); the event is separate from
+    :class:`CellFinished` so replica-streaming producers can emit
+    several batches per cell without changing the grammar.
+    """
+
+    plan: "CellPlan"
+    results: tuple[DesResult, ...]
+    source: str = "backend"
+
+
+@dataclass(frozen=True)
+class CellFinished(CampaignEvent):
+    """A cell is complete: all of its replicas, plus the summary."""
+
+    plan: "CellPlan"
+    cell: CampaignCell
+    results: tuple[DesResult, ...]
+    source: str = "backend"
+
+
+@dataclass(frozen=True)
+class CampaignProgress(CampaignEvent):
+    """A point-in-time counter snapshot (also pollable on demand).
+
+    Published after every :class:`CellFinished`; identical snapshots are
+    returned by :meth:`ProgressTracker.snapshot` /
+    :meth:`~repro.sim.executor.CampaignSession.progress` from any
+    thread.
+    """
+
+    cells_total: int
+    cells_resumed: int
+    cells_cached: int
+    cells_run: int
+    replicas_run: int
+    elapsed: float
+
+    @property
+    def cells_done(self) -> int:
+        return self.cells_resumed + self.cells_cached + self.cells_run
+
+    def describe(self) -> str:
+        return (
+            f"{self.cells_done}/{self.cells_total} cells "
+            f"({self.cells_resumed} resumed, {self.cells_cached} cached, "
+            f"{self.cells_run} run), replicas={self.replicas_run}, "
+            f"{self.elapsed:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignFinished(CampaignEvent):
+    """Last event of every clean stream: the final execution report."""
+
+    report: "ExecutionReport"
+
+
+# ----------------------------------------------------------------------
+# Bus
+# ----------------------------------------------------------------------
+class EventConsumer:
+    """A subscriber; subclasses override what they care about.
+
+    ``on_event`` runs on the producing thread under the contract in the
+    module docstring (ordered, synchronous, exceptions abort the
+    campaign).  ``close`` runs exactly once when the stream terminates.
+    """
+
+    def on_event(self, event: CampaignEvent) -> None:
+        """Receive one event (default: ignore)."""
+
+    def close(self, error: BaseException | None = None) -> None:
+        """The stream terminated; ``error`` is None on clean completion."""
+
+
+class EventBus:
+    """Synchronous, deterministic, in-process fan-out (see contract).
+
+    Subscription order is delivery order; ``publish`` returns only after
+    every consumer has returned.  Subscribing after the first publish is
+    refused — a late consumer would see a stream that replays to the
+    wrong state, the one inconsistency this design exists to prevent.
+    """
+
+    def __init__(self) -> None:
+        self._consumers: list[EventConsumer] = []
+        self._published = False
+        self._closed = False
+
+    @property
+    def consumers(self) -> tuple[EventConsumer, ...]:
+        return tuple(self._consumers)
+
+    def subscribe(self, consumer: EventConsumer) -> EventConsumer:
+        if not isinstance(consumer, EventConsumer):
+            raise ParameterError(
+                f"EventBus.subscribe takes an EventConsumer, got "
+                f"{type(consumer).__name__}"
+            )
+        if self._published:
+            raise ParameterError(
+                "cannot subscribe once events have been published: a "
+                "late consumer would replay to a different state than "
+                "the stream it missed; subscribe before iterating the "
+                "session"
+            )
+        self._consumers.append(consumer)
+        return consumer
+
+    def publish(self, event: CampaignEvent) -> CampaignEvent:
+        self._published = True
+        for consumer in self._consumers:
+            consumer.on_event(event)
+        return event
+
+    def close(self, error: BaseException | None = None) -> None:
+        """Close every consumer (once, in subscription order).
+
+        Every consumer's ``close`` runs even when an earlier one raises;
+        the first close-time exception is re-raised afterwards (unless
+        the stream already failed with ``error``, which the caller is
+        propagating — close failures must not mask it).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first: BaseException | None = None
+        for consumer in self._consumers:
+            try:
+                consumer.close(error)
+            except BaseException as exc:  # noqa: BLE001 - must close all
+                if first is None:
+                    first = exc
+        if first is not None and error is None:
+            raise first
+
+
+# ----------------------------------------------------------------------
+# Built-in consumers
+# ----------------------------------------------------------------------
+class SinkWriter(EventConsumer):
+    """Appends finished cells to the results sink.
+
+    ``resume`` cells are skipped — their bytes are already in the file
+    the sink recovered; re-appending would duplicate them.
+    """
+
+    def __init__(self, sink: ResultSink):
+        self.sink = sink
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if isinstance(event, CellFinished) and event.source != "resume":
+            self.sink.emit(event.plan, list(event.results))
+
+
+class StorePublisher(EventConsumer):
+    """Publishes freshly simulated cells to the results store.
+
+    Only ``backend`` cells publish (``store`` cells are already
+    warehoused; ``resume`` cells were published by the execution that
+    ran them, and re-publishing would be idempotent but wasted I/O).
+    Subscribes *after* :class:`SinkWriter`, so the store can never hold
+    a cell the durable results file does not.
+    """
+
+    def __init__(self, store, config: CampaignConfig, engine: str):
+        from .vectorized import plan_engine
+
+        self.store = store
+        self.config = config
+        self.engine = engine
+        self._plan_engine = plan_engine
+        #: Cells this consumer published (observability/tests).
+        self.published = 0
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if isinstance(event, CellFinished) and event.source == "backend":
+            self.store.publish_cell(
+                self.config, event.plan, list(event.results),
+                engine=self._plan_engine(
+                    self.engine, self.config, event.plan
+                ),
+            )
+            self.published += 1
+
+
+class ControllerReplay(EventConsumer):
+    """Validates every cell's replica count against the stopping rule.
+
+    Replays the cell's waste sequence through a fresh controller cursor
+    (linear, same as the resume scan) and requires the rule to stop at
+    exactly ``len(results)``.  Every legitimate producer satisfies this
+    by construction — backends drive the cursor while running, store
+    hits are served through it, recovery rejects mismatches — so a
+    violation means the stream was assembled from results the
+    configuration cannot have produced, and the campaign aborts before
+    the next cell is written.
+    """
+
+    def __init__(self, controller: ReplicaController):
+        self.controller = controller
+        #: Cells validated (observability/tests).
+        self.validated = 0
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if not isinstance(event, CellFinished):
+            return
+        wastes = [res.waste for res in event.results]
+        stop = stop_count(self.controller, wastes)
+        if stop != len(wastes):
+            rule = self.controller.fingerprint() or {"rule": "fixed"}
+            raise ParameterError(
+                f"cell {event.plan.index} ({event.plan.protocol} "
+                f"M={event.plan.M:g} phi={event.plan.phi:g}, source="
+                f"{event.source}) carries {len(wastes)} replicas but the "
+                f"replica controller {rule} stops at {stop}: the event "
+                "stream does not replay to this campaign's state"
+            )
+        self.validated += 1
+
+
+class ProgressTracker(EventConsumer):
+    """Thread-safe counters over the stream; snapshot from any thread.
+
+    The one consumer designed to be read *concurrently with* the
+    producing loop (a poller thread, the campaign service's progress
+    endpoint): updates are O(1) under a lock, and
+    :meth:`snapshot` returns a consistent :class:`CampaignProgress` at
+    any moment — before the first event (all zeros), mid-stream, or
+    after the last.  ``reconcile`` folds in facts only known after the
+    loop (a distributed worker's in-backend store hits).
+    """
+
+    def __init__(self, cells_total: int = 0):
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        self._total = cells_total
+        self._resumed = 0
+        self._cached = 0
+        self._run = 0
+        self._replicas = 0
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if isinstance(event, CampaignStarted):
+            with self._lock:
+                self._total = len(event.plans)
+        elif isinstance(event, CellFinished):
+            with self._lock:
+                if event.source == "resume":
+                    self._resumed += 1
+                elif event.source == "store":
+                    self._cached += 1
+                else:
+                    self._run += 1
+                    self._replicas += len(event.results)
+
+    def reconcile(
+        self, *, cells_from_store: int = 0, replicas_from_store: int = 0
+    ) -> None:
+        """Reclassify cells a distributed backend served from the store.
+
+        The emission loop sees a worker's claimed-chunk store hits as
+        ``backend`` cells (the worker resolves them inside the backend);
+        the backend counts what it served, and this folds those counts
+        back into ``cached``/``run``/``replicas`` after the loop.
+        """
+        with self._lock:
+            self._cached += cells_from_store
+            self._run -= cells_from_store
+            self._replicas -= replicas_from_store
+
+    def snapshot(self) -> CampaignProgress:
+        with self._lock:
+            return CampaignProgress(
+                cells_total=self._total,
+                cells_resumed=self._resumed,
+                cells_cached=self._cached,
+                cells_run=self._run,
+                replicas_run=self._replicas,
+                elapsed=time.perf_counter() - self._start,
+            )
+
+
+class CellCallback(EventConsumer):
+    """Adapts the historical ``on_cell=`` callback: one call per fresh
+    cell (``backend`` or ``store``), in emission order — recovered cells
+    were already reported by the execution that ran them."""
+
+    def __init__(self, callback: Callable[[CampaignCell], None]):
+        self.callback = callback
+
+    def on_event(self, event: CampaignEvent) -> None:
+        if isinstance(event, CellFinished) and event.source != "resume":
+            self.callback(event.cell)

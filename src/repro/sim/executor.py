@@ -1,9 +1,17 @@
-"""Campaign orchestration: plan, recover, execute, stream, summarise.
+"""Campaign orchestration: plan, recover, produce events, summarise.
 
 A campaign is *described* by one value — the
 :class:`~repro.sim.spec.CampaignSpec` (grid ⊕
 :class:`~repro.sim.spec.ExecutionPolicy`) — and this module is the
-mechanism that executes it.  :func:`execute_spec` wires four replaceable
+mechanism that executes it.  The execution core is a typed result-event
+pipeline (:mod:`repro.sim.events`): a :class:`CampaignSession` opens the
+spec, *produces* one event stream
+(``CampaignStarted (CellStarted ReplicaBatch CellFinished
+CampaignProgress)* CampaignFinished``), and everything that persists or
+observes results — the sink writer, the store publisher, controller
+replay, progress counters, the ``on_cell`` callback — is an independent
+*consumer* on one synchronous :class:`~repro.sim.events.EventBus` with
+deterministic fan-out order.  The session wires these replaceable
 layers together:
 
 * **Planning** — the grid is flattened into a deterministic, serial-order
@@ -11,22 +19,26 @@ layers together:
   split into chunks of whole cells.  Every replica seed and shared failure
   trace derives from the campaign seed and the cell's grid coordinates
   alone (:mod:`repro.sim.backends`), never from execution order.
-* **Backends** (:mod:`repro.sim.backends`, :mod:`repro.sim.distributed`)
-  — a :class:`~repro.sim.backends.CampaignBackend` runs the chunks:
+* **Backends — the producers** (:mod:`repro.sim.backends`,
+  :mod:`repro.sim.distributed`) — a
+  :class:`~repro.sim.backends.CampaignBackend` runs the chunks:
   in-process (:class:`~repro.sim.backends.SerialBackend`), across worker
   processes (:class:`~repro.sim.backends.ProcessPoolBackend`), or across
   *machines* (:class:`~repro.sim.distributed.DistributedBackend`, a
   work-stealing consumer of a shared chunk-queue directory), all
   yielding chunks in completion order.  The policy's ``workers`` /
-  ``queue`` fields pick one.
-* **Sinks** (:mod:`repro.sim.sinks`) — finished cells stream to a
-  :class:`~repro.sim.sinks.ResultSink` chosen by ``policy.sink``: the
-  in-order JSONL sink (the results file stays an exact byte prefix of
-  the serial file) or the out-of-order *framed* sink (records land the
-  moment a cell finishes; no head-of-line blocking).  Both support
-  resume: an existing file is scanned, identity-checked against the
-  grid, truncated past the last complete cell, and only the remainder
-  executes.
+  ``queue`` fields pick one.  The session turns their raw chunk output
+  (plus store hits and resume recoveries) into the typed event stream.
+* **Sinks — a consumer** (:mod:`repro.sim.sinks`) — the
+  :class:`~repro.sim.events.SinkWriter` consumer appends each finished
+  cell to the :class:`~repro.sim.sinks.ResultSink` chosen by
+  ``policy.sink``: the in-order JSONL sink (the results file stays an
+  exact byte prefix of the serial file; the session buffers
+  completion-order events into grid order) or the out-of-order *framed*
+  sink (records land the moment a cell finishes; no head-of-line
+  blocking).  Both support resume: an existing file is scanned,
+  identity-checked against the grid, truncated past the last complete
+  cell, and only the remainder executes.
 * **Replica control** (:mod:`repro.sim.adaptive`) — ``policy.controller``
   decides per cell how many replicas actually run: every one
   (:class:`~repro.sim.adaptive.FixedReplicas`, the default and the
@@ -36,11 +48,13 @@ layers together:
 * **Results store** (:mod:`repro.store`) — with ``policy.store`` (or
   ``execute_spec(..., store=...)``) set, every planned cell is looked up
   in a content-addressed warehouse *before* anything is dispatched to a
-  backend, and fresh cells are published right after their sink append.
-  Cache hits flow through the replica controller's cursor exactly like
-  live results, so adaptive decisions are identical either way, and the
-  store is volatile policy: it cannot change output bytes, only skip
-  recomputing them.
+  backend, and the :class:`~repro.sim.events.StorePublisher` consumer
+  publishes fresh cells right after their sink append (it subscribes
+  after the sink writer, so the warehouse can never get ahead of the
+  durable results file).  Cache hits flow through the replica
+  controller's cursor exactly like live results, so adaptive decisions
+  are identical either way, and the store is volatile policy: it cannot
+  change output bytes, only skip recomputing them.
 
 A sidecar manifest (``<results>.manifest``) stores the campaign's
 **spec fingerprint** (:meth:`~repro.sim.spec.CampaignSpec.fingerprint`)
@@ -52,13 +66,28 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
 
                          CampaignSpec  =  grid ⊕ ExecutionPolicy
                               │   (one JSON value: spec.to_dict())
-              Campaign(spec).run(path) / execute_spec(spec, ...)
+         Campaign(spec).run(path) / CampaignSession(spec, ...) / execute_spec
                               ▼
-    plan_cells ──► store lookup ──► chunks ──► CampaignBackend ──► ResultSink ──► file
-                   (per cell, miss ⇒ run)       Serial/ProcessPool   Ordered/Framed  results.jsonl
-                        ▲      └─────────────── │ publish ◄── after sink append
-                        │                       │                 + .manifest (spec fingerprint)
-              CampaignStore (repro.store)       ▼ engine (policy.backend)
+    plan_cells ─► store lookup ─► chunks ─► CampaignBackend ─┐ producers
+                  (per cell, miss ⇒ run)    Serial/ProcessPool│ (+ store hits,
+                       ▲                    Distributed/Vec.  │  resume recovery)
+                       │                                      ▼
+                       │             CampaignStarted (CellStarted ReplicaBatch
+                       │               CellFinished CampaignProgress)* CampaignFinished
+                       │                                      │
+                       │                EventBus (synchronous, subscription-order
+                       │                 fan-out — repro.sim.events)
+                       │          ┌──────────────┬────────────┴──┬─────────────┐
+                       │          ▼              ▼               ▼             ▼
+                       │   ControllerReplay  SinkWriter     StorePublisher  ProgressTracker
+                       │   (stream must      Ordered/Framed (backend cells, (live counters →
+                       │    replay to the    ─► results     after the sink   session.progress(),
+                       │    rule's state)       .jsonl         append)       final report)
+                       │                      + .manifest      │             … CellCallback,
+                       │                      (spec            │             service/metrics
+                       │                       fingerprint)    │             consumers
+                       └───────────────────────────────────────┘
+              CampaignStore (repro.store)       engine (policy.backend)
               hot-cell cache (in-process     "des": per-event simulation (exact)
                 LRU, digest re-check)        "vectorized": cells as numpy batches
               → segments/<id>.seg + .idx      (renewal closed forms; per-cell DES
@@ -101,12 +130,16 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
 Entry points
 ------------
 :meth:`repro.sim.spec.Campaign.run` is the public API;
-:func:`execute_spec` is the engine underneath it, returning a
-:class:`CampaignExecution` (cells + an :class:`ExecutionReport` with
-skip/run/replica counts and timings).  The pre-spec kwarg surface —
-:func:`execute_campaign`, :func:`run_campaign_parallel`,
-``repro.sim.campaign.run_campaign`` — survives as thin shims that build
-a spec and emit a :class:`DeprecationWarning`.
+:class:`CampaignSession` is the engine underneath it — open a spec
+(submit), iterate :meth:`CampaignSession.events` (stream), read
+:meth:`CampaignSession.progress` from any thread (poll) — and
+:func:`execute_spec` is the one-call wrapper that drains a session and
+returns its :class:`CampaignExecution` (cells + an
+:class:`ExecutionReport` with skip/run/replica counts and timings).
+The pre-spec kwarg surface — :func:`execute_campaign`,
+:func:`run_campaign_parallel`, ``repro.sim.campaign.run_campaign`` —
+survives as thin shims that build a spec and emit a
+:class:`DeprecationWarning`.
 
 Example
 -------
@@ -139,6 +172,21 @@ from ..errors import ParameterError
 from .adaptive import ReplicaController
 from .backends import CampaignBackend, make_backend, run_cell  # noqa: F401 - run_cell re-exported
 from .campaign import CampaignCell, CampaignConfig, validate_campaign
+from .events import (
+    CampaignFinished,
+    CampaignProgress,
+    CampaignStarted,
+    CellCallback,
+    CellFinished,
+    CellStarted,
+    ControllerReplay,
+    EventBus,
+    EventConsumer,
+    ProgressTracker,
+    ReplicaBatch,
+    SinkWriter,
+    StorePublisher,
+)
 from .results import DesResult, MonteCarloSummary
 from .sinks import OrderedJsonlSink, ResultSink, make_sink
 from .spec import SPEC_FORMAT, CampaignSpec
@@ -148,6 +196,7 @@ __all__ = [
     "CellPlan",
     "ExecutionReport",
     "CampaignExecution",
+    "CampaignSession",
     "plan_cells",
     "execute_spec",
     "execute_campaign",
@@ -404,8 +453,438 @@ def _check_manifest(spec: CampaignSpec, sink: pathlib.Path) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Execution
+# Execution: the session produces the event stream
 # ----------------------------------------------------------------------
+class CampaignSession:
+    """One campaign execution as an event stream: submit, stream, poll.
+
+    Opening a session *is* the submit step: the spec is validated, the
+    results file recovered or truncated (and its manifest written), the
+    store consulted, the backend and chunk layout fixed, and the
+    consumer set subscribed — exactly the work :func:`execute_spec`
+    always did before its first cell, so an invalid configuration fails
+    before costing anything.  After that the session exposes the three
+    service-shaped operations, all in-process:
+
+    * **stream** — :meth:`events` produces the typed stream of
+      :mod:`repro.sim.events`, *lazily*: iterating it is what executes
+      the campaign, and each event is fanned out to every subscribed
+      consumer (sink writer, store publisher, controller replay,
+      progress tracker, callbacks) before it is yielded to the caller.
+    * **poll** — :meth:`progress` returns a consistent
+      :class:`~repro.sim.events.CampaignProgress` snapshot from any
+      thread, at any moment; :meth:`cache_stats` reports the store's
+      :class:`~repro.store.cache.HotCellCache` counters the same way.
+    * **collect** — :meth:`run` drains the stream and returns the
+      :class:`CampaignExecution`; :meth:`result` re-reads it afterwards.
+
+    Extra consumers (a metrics exporter, the campaign service's
+    streaming endpoint) subscribe via ``consumers=`` or
+    :meth:`subscribe` before iteration begins; the built-in subscription
+    order (controller replay, sink writer, store publisher, progress
+    tracker, ``on_cell`` callback, then extras) is part of the
+    durability contract documented in :mod:`repro.sim.events`.
+
+    The stream may be consumed once; parameters match
+    :func:`execute_spec`.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        results_path: str | pathlib.Path | None = None,
+        resume: bool = False,
+        on_cell: Callable[[CampaignCell], None] | None = None,
+        backend: CampaignBackend | None = None,
+        store=None,
+        consumers: Sequence[EventConsumer] = (),
+    ):
+        self._start = time.perf_counter()
+        if not isinstance(spec, CampaignSpec):
+            raise ParameterError(
+                f"CampaignSession takes a CampaignSpec, got "
+                f"{type(spec).__name__} (legacy CampaignConfig callers: "
+                "use execute_campaign, or better, build a spec)"
+            )
+        self.spec = spec
+        policy = spec.policy
+        config = spec.config(results_path)
+        plans = plan_cells(config)
+
+        # Resolve the results store (volatile: cannot change output
+        # bytes).
+        store_mode = policy.store_mode
+        if store is None:
+            store = policy.store
+        if store is not None and store_mode != "off":
+            from ..store import CampaignStore
+
+            if not isinstance(store, CampaignStore):
+                # Read-only mode can never populate a store, so a
+                # missing directory there is a mistyped path, not a
+                # fresh cache — fail loudly instead of consulting a
+                # silently-empty store.
+                store = CampaignStore(
+                    store, create=store_mode == "read-write"
+                )
+        else:
+            store = None
+        store_writes = store is not None and store_mode == "read-write"
+
+        if resume and results_path is None and policy.queue is None:
+            raise ParameterError(
+                "resume=True requires a results_path (the file to "
+                "recover completed cells from)"
+            )
+        distributed = policy.queue is not None
+        if distributed:
+            from .distributed import DistributedBackend
+
+            if backend is not None:
+                raise ParameterError(
+                    "queue= and backend= are mutually exclusive: the "
+                    "queue implies the distributed work-stealing backend"
+                )
+            if resume:
+                raise ParameterError(
+                    "a queue directory is inherently resumable: rejoin "
+                    "it with queue=... instead of passing resume=True"
+                )
+            if results_path is not None:
+                raise ParameterError(
+                    "distributed workers write per-worker shards inside "
+                    "the queue directory; leave the results path unset "
+                    "and merge the shards with Campaign.merge (or "
+                    "`repro-checkpoint campaign merge`)"
+                )
+            backend = DistributedBackend(
+                policy.queue, worker_id=policy.worker_id,
+                lease_timeout=policy.lease_timeout,
+                poll_interval=policy.poll_interval,
+                processes=policy.worker_processes,
+                # A queue's chunk layout must stay a pure function of
+                # the spec, so store lookups cannot prune the plan here;
+                # the worker instead consults the store per claimed cell.
+                store=store,
+                engine=policy.backend,
+            )
+        if backend is None:
+            backend = make_backend(policy.workers, policy.backend)
+        chunk_size = policy.chunk_size
+        if chunk_size is None:
+            chunk_size = len(config.phi_values)
+        controller = spec.controller()
+        if distributed:
+            from .distributed import ensure_queue, shard_path
+            from .sinks import WorkerShardSink
+
+            sink_obj: ResultSink = WorkerShardSink(
+                shard_path(policy.queue, backend.worker_id)
+            )
+        else:
+            sink_obj = make_sink(policy.sink, config.results_path)
+        if controller.fingerprint() is not None and isinstance(
+            sink_obj, OrderedJsonlSink
+        ):
+            raise ParameterError(
+                "adaptive replica control varies the record count per "
+                "cell, which the ordered sink's positional resume cannot "
+                "represent; persist adaptive campaigns with sink='framed'"
+            )
+
+        done_results: dict[int, list[DesResult]] = {}
+        if config.results_path is not None:
+            path = pathlib.Path(config.results_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if resume and path.exists():
+                trusted = _check_manifest(spec, path)
+                done_results = sink_obj.recover(
+                    config, plans, controller, trusted
+                )
+            else:
+                sink_obj.begin()
+            _write_manifest(spec, path)
+
+        todo = [p for p in plans if p.index not in done_results]
+
+        # Consult the store before anything is dispatched to a backend:
+        # a cell whose replica prefix is already warehoused is emitted
+        # without simulating.  (Not under a queue policy — the queue's
+        # chunk layout is a pure function of the spec, so the
+        # distributed backend consults the store per claimed cell
+        # instead.)
+        cached_results: dict[int, list[DesResult]] = {}
+        if store is not None and not distributed:
+            from ..store import replica_key
+
+            # Bulk-stage the whole footprint first: segment-resident
+            # entries stream in with a few sequential reads per segment,
+            # so the per-cell loads below are cache hits instead of one
+            # pread per replica.
+            store.preload(
+                replica_key(
+                    config, plan, replica,
+                    engine=plan_engine(policy.backend, config, plan),
+                )
+                for plan in todo
+                for replica in range(controller.max_replicas)
+            )
+            for plan in todo:
+                hit = store.load_cell(
+                    config, plan, controller,
+                    engine=plan_engine(policy.backend, config, plan),
+                )
+                if hit is not None:
+                    cached_results[plan.index] = hit
+
+        run_plans = [p for p in todo if p.index not in cached_results]
+        chunks = [
+            run_plans[i:i + chunk_size]
+            for i in range(0, len(run_plans), chunk_size)
+        ]
+
+        if distributed:
+            # The chunk layout is a pure function of (spec, chunk_size),
+            # so every worker that passes the manifest check computes
+            # the identical list and any chunk ticket is executable by
+            # anyone.
+            ensure_queue(
+                pathlib.Path(policy.queue), spec.fingerprint(),
+                n_chunks=len(chunks), chunk_size=chunk_size,
+                n_cells=len(plans),
+            )
+            sink_obj.begin()  # rejoin this worker's shard (truncate torn tail)
+
+        self._policy = policy
+        self._config = config
+        self._plans = plans
+        self._todo = todo
+        self._done_results = done_results
+        self._cached_results = cached_results
+        self._chunks = chunks
+        self._chunk_size = chunk_size
+        self._backend = backend
+        self._controller = controller
+        self._sink = sink_obj
+        self._store = store
+        self._distributed = distributed
+        self._fresh: dict[int, CampaignCell] = {}
+        self._done_cells: dict[int, CampaignCell] = {}
+        self._execution: CampaignExecution | None = None
+        self._state = "open"
+
+        #: The session's bus; subscription order is the fan-out order.
+        self.bus = EventBus()
+        self._tracker = ProgressTracker(cells_total=len(plans))
+        self.bus.subscribe(ControllerReplay(controller))
+        self.bus.subscribe(SinkWriter(sink_obj))
+        if store_writes:
+            self.bus.subscribe(
+                StorePublisher(store, config, policy.backend)
+            )
+        self.bus.subscribe(self._tracker)
+        if on_cell is not None:
+            self.bus.subscribe(CellCallback(on_cell))
+        for consumer in consumers:
+            self.bus.subscribe(consumer)
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The resolved :class:`~repro.store.CampaignStore` (or None)."""
+        return self._store
+
+    def subscribe(self, consumer: EventConsumer) -> EventConsumer:
+        """Add a consumer (before iteration begins); returns it."""
+        return self.bus.subscribe(consumer)
+
+    def progress(self) -> CampaignProgress:
+        """A consistent counter snapshot; callable from any thread."""
+        return self._tracker.snapshot()
+
+    def cache_stats(self):
+        """The store's hot-cell cache counters
+        (:class:`~repro.store.cache.CacheStats`), or ``None`` when the
+        session runs without a store."""
+        if self._store is None:
+            return None
+        return self._store.cache_stats()
+
+    def result(self) -> CampaignExecution:
+        """The finished execution (raises until the stream completes)."""
+        if self._execution is None:
+            raise ParameterError(
+                "the campaign has not finished: drain session.events() "
+                "(or call session.run()) before asking for the result"
+            )
+        return self._execution
+
+    # ------------------------------------------------------------------
+    def events(self):
+        """Produce (and thereby execute) the campaign's event stream.
+
+        Lazy and single-shot: each ``next()`` advances the campaign, and
+        every yielded event has already been delivered to all subscribed
+        consumers.  On termination — clean, consumer error, or the
+        caller abandoning the iterator — every consumer is closed
+        exactly once (:meth:`~repro.sim.events.EventConsumer.close`).
+        """
+        if self._state != "open":
+            raise ParameterError(
+                "a session's event stream can be consumed once: open a "
+                "new CampaignSession to run the campaign again"
+            )
+        self._state = "running"
+        error: BaseException | None = None
+        try:
+            yield from self._produce()
+            self._state = "finished"
+        except BaseException as exc:
+            error = exc
+            self._state = "failed"
+            raise
+        finally:
+            self.bus.close(error)
+
+    def run(self) -> CampaignExecution:
+        """Drain the event stream and return the execution."""
+        for _ in self.events():
+            pass
+        return self.result()
+
+    # ------------------------------------------------------------------
+    def _cell_events(self, plan, results, source):
+        """One cell's triple (plus a progress snapshot), published then
+        yielded."""
+        emit = self.bus.publish
+        results = tuple(results)
+        yield emit(CellStarted(plan=plan, source=source))
+        yield emit(ReplicaBatch(plan=plan, results=results, source=source))
+        cell = _make_cell(plan, results)
+        if source == "resume":
+            self._done_cells[plan.index] = cell
+        else:
+            self._fresh[plan.index] = cell
+        yield emit(CellFinished(
+            plan=plan, cell=cell, results=results, source=source,
+        ))
+        yield emit(self._tracker.snapshot())
+
+    def _produce(self):
+        emit = self.bus.publish
+        yield emit(CampaignStarted(
+            spec=self.spec, plans=tuple(self._plans),
+            resumed=tuple(sorted(self._done_results)),
+        ))
+        # Recovered cells replay first, in grid order: consumers see a
+        # stream that reaches the campaign's full final state (the sink
+        # writer skips them — their bytes are already in the file).
+        for index in sorted(self._done_results):
+            yield from self._cell_events(
+                self._plans[index], self._done_results[index], "resume"
+            )
+        cached = self._cached_results
+        if self._sink.ordered:
+            # Emit strictly in grid order, interleaving store hits with
+            # completion-order backend chunks (the results file stays an
+            # exact prefix of the serial file at all times).
+            ready: dict[int, list[DesResult]] = {}
+            emit_pos = 0
+
+            def _flush_ordered():
+                nonlocal emit_pos
+                while emit_pos < len(self._todo):
+                    plan = self._todo[emit_pos]
+                    if plan.index in cached:
+                        yield from self._cell_events(
+                            plan, cached.pop(plan.index), "store"
+                        )
+                    elif plan.index in ready:
+                        yield from self._cell_events(
+                            plan, ready.pop(plan.index), "backend"
+                        )
+                    else:
+                        return
+                    emit_pos += 1
+
+            yield from _flush_ordered()
+            if self._chunks:
+                for index, chunk_results in self._backend.execute(
+                    self._config, self._chunks, self._controller
+                ):
+                    for plan, results in zip(
+                        self._chunks[index], chunk_results
+                    ):
+                        ready[plan.index] = results
+                    yield from _flush_ordered()
+        else:
+            # Out-of-order sink: store hits land first (in grid order —
+            # the deterministic choice, and what makes a fully-warm
+            # serial run byte-identical to its cold twin), fresh cells
+            # the moment their chunk completes.
+            for plan in self._todo:
+                if plan.index in cached:
+                    yield from self._cell_events(
+                        plan, cached.pop(plan.index), "store"
+                    )
+            if self._chunks:
+                for index, chunk_results in self._backend.execute(
+                    self._config, self._chunks, self._controller
+                ):
+                    for plan, results in zip(
+                        self._chunks[index], chunk_results
+                    ):
+                        yield from self._cell_events(
+                            plan, results, "backend"
+                        )
+
+        if self._distributed:
+            # The worker resolved its store hits inside claimed chunks,
+            # so the emission loop above saw them as backend cells; the
+            # backend counted what it served — reclassify.
+            self._tracker.reconcile(
+                cells_from_store=getattr(
+                    self._backend, "cells_from_store", 0
+                ),
+                replicas_from_store=getattr(
+                    self._backend, "replicas_from_store", 0
+                ),
+            )
+
+        progress = self._tracker.snapshot()
+        if self._distributed:
+            # Other workers' cells live in their shards, not here:
+            # report what this worker ran (grid order); merge_shards has
+            # the grid.
+            cells = tuple(
+                self._fresh[index] for index in sorted(self._fresh)
+            )
+        else:
+            cells = tuple(
+                (self._done_cells | self._fresh)[plan.index]
+                for plan in self._plans
+            )
+        # The final report is assembled from the progress consumer's
+        # totals — the metrics path observes exactly what was executed.
+        report = ExecutionReport(
+            cells_total=len(self._plans),
+            cells_skipped=(
+                len(self._plans)
+                - progress.cells_cached - progress.cells_run
+            ),
+            cells_run=progress.cells_run,
+            workers=getattr(self._backend, "workers", 1),
+            chunk_size=self._chunk_size,
+            elapsed=time.perf_counter() - self._start,
+            replicas_run=progress.replicas_run,
+            sink=self._policy.sink,
+            cells_cached=progress.cells_cached,
+        )
+        self._execution = CampaignExecution(cells=cells, report=report)
+        yield emit(CampaignFinished(report=report))
+
+
 def execute_spec(
     spec: CampaignSpec,
     *,
@@ -416,6 +895,11 @@ def execute_spec(
     store=None,
 ) -> CampaignExecution:
     """Run (or finish) a campaign spec; the engine behind every campaign API.
+
+    A thin wrapper over :class:`CampaignSession`: opens the session,
+    drains its event stream, returns the execution.  Callers that want
+    to observe the run — stream events, poll progress, attach consumers
+    — open the session themselves.
 
     Parameters
     ----------
@@ -452,240 +936,17 @@ def execute_spec(
         policy fields it mirrors, this argument is volatile per-execution
         state — it cannot change output bytes.
     """
-    start = time.perf_counter()
     if not isinstance(spec, CampaignSpec):
         raise ParameterError(
             f"execute_spec takes a CampaignSpec, got {type(spec).__name__} "
             "(legacy CampaignConfig callers: use execute_campaign, or "
             "better, build a spec)"
         )
-    policy = spec.policy
-    config = spec.config(results_path)
-    plans = plan_cells(config)
-
-    # Resolve the results store (volatile: cannot change output bytes).
-    store_mode = policy.store_mode
-    if store is None:
-        store = policy.store
-    if store is not None and store_mode != "off":
-        from ..store import CampaignStore
-
-        if not isinstance(store, CampaignStore):
-            # Read-only mode can never populate a store, so a missing
-            # directory there is a mistyped path, not a fresh cache —
-            # fail loudly instead of consulting a silently-empty store.
-            store = CampaignStore(store, create=store_mode == "read-write")
-    else:
-        store = None
-    store_writes = store is not None and store_mode == "read-write"
-
-    if resume and results_path is None and policy.queue is None:
-        raise ParameterError(
-            "resume=True requires a results_path (the file to recover "
-            "completed cells from)"
-        )
-    distributed = policy.queue is not None
-    if distributed:
-        from .distributed import DistributedBackend
-
-        if backend is not None:
-            raise ParameterError(
-                "queue= and backend= are mutually exclusive: the queue "
-                "implies the distributed work-stealing backend"
-            )
-        if resume:
-            raise ParameterError(
-                "a queue directory is inherently resumable: rejoin it "
-                "with queue=... instead of passing resume=True"
-            )
-        if results_path is not None:
-            raise ParameterError(
-                "distributed workers write per-worker shards inside the "
-                "queue directory; leave the results path unset and merge "
-                "the shards with Campaign.merge (or `repro-checkpoint "
-                "campaign merge`)"
-            )
-        backend = DistributedBackend(
-            policy.queue, worker_id=policy.worker_id,
-            lease_timeout=policy.lease_timeout,
-            poll_interval=policy.poll_interval,
-            processes=policy.worker_processes,
-            # A queue's chunk layout must stay a pure function of the
-            # spec, so store lookups cannot prune the plan here; the
-            # worker instead consults the store per claimed cell.
-            store=store,
-            engine=policy.backend,
-        )
-    if backend is None:
-        backend = make_backend(policy.workers, policy.backend)
-    resolved_workers = getattr(backend, "workers", 1)
-    chunk_size = policy.chunk_size
-    if chunk_size is None:
-        chunk_size = len(config.phi_values)
-    controller = spec.controller()
-    if distributed:
-        from .distributed import ensure_queue, shard_path
-        from .sinks import WorkerShardSink
-
-        sink_obj: ResultSink = WorkerShardSink(
-            shard_path(policy.queue, backend.worker_id)
-        )
-    else:
-        sink_obj = make_sink(policy.sink, config.results_path)
-    if controller.fingerprint() is not None and isinstance(
-        sink_obj, OrderedJsonlSink
-    ):
-        raise ParameterError(
-            "adaptive replica control varies the record count per cell, "
-            "which the ordered sink's positional resume cannot represent; "
-            "persist adaptive campaigns with sink='framed'"
-        )
-
-    done_results: dict[int, list[DesResult]] = {}
-    if config.results_path is not None:
-        path = pathlib.Path(config.results_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        if resume and path.exists():
-            trusted = _check_manifest(spec, path)
-            done_results = sink_obj.recover(config, plans, controller, trusted)
-        else:
-            sink_obj.begin()
-        _write_manifest(spec, path)
-
-    todo = [p for p in plans if p.index not in done_results]
-
-    # Consult the store before anything is dispatched to a backend: a
-    # cell whose replica prefix is already warehoused is emitted without
-    # simulating.  (Not under a queue policy — the queue's chunk layout
-    # is a pure function of the spec, so the distributed backend
-    # consults the store per claimed cell instead.)
-    cached_results: dict[int, list[DesResult]] = {}
-    if store is not None and not distributed:
-        for plan in todo:
-            hit = store.load_cell(
-                config, plan, controller,
-                engine=plan_engine(policy.backend, config, plan),
-            )
-            if hit is not None:
-                cached_results[plan.index] = hit
-
-    run_plans = [p for p in todo if p.index not in cached_results]
-    chunks = [
-        run_plans[i:i + chunk_size]
-        for i in range(0, len(run_plans), chunk_size)
-    ]
-
-    if distributed:
-        # The chunk layout is a pure function of (spec, chunk_size), so
-        # every worker that passes the manifest check below computes the
-        # identical list and any chunk ticket is executable by anyone.
-        ensure_queue(
-            pathlib.Path(policy.queue), spec.fingerprint(),
-            n_chunks=len(chunks), chunk_size=chunk_size, n_cells=len(plans),
-        )
-        sink_obj.begin()  # rejoin this worker's shard (truncate torn tail)
-    fresh: dict[int, CampaignCell] = {}
-    replicas_run = 0
-    cells_cached = 0
-
-    def _emit_cell(plan: CellPlan, results: list[DesResult],
-                   *, from_store: bool) -> None:
-        nonlocal replicas_run, cells_cached
-        sink_obj.emit(plan, results)
-        if store_writes and not from_store:
-            # Publish only after the sink append: the warehouse must
-            # never get ahead of the durable results file.  (Re-runs and
-            # distributed cache hits publish idempotently — determinism
-            # guarantees identical bytes under identical keys.)
-            store.publish_cell(
-                config, plan, results,
-                engine=plan_engine(policy.backend, config, plan),
-            )
-        if from_store:
-            cells_cached += 1
-        else:
-            replicas_run += len(results)
-        cell = _make_cell(plan, results)
-        fresh[plan.index] = cell
-        if on_cell is not None:
-            on_cell(cell)
-
-    if sink_obj.ordered:
-        # Emit strictly in grid order, interleaving store hits with
-        # completion-order backend chunks (the results file stays an
-        # exact prefix of the serial file at all times).
-        ready: dict[int, list[DesResult]] = {}
-        emit_pos = 0
-
-        def _flush_ordered() -> None:
-            nonlocal emit_pos
-            while emit_pos < len(todo):
-                plan = todo[emit_pos]
-                if plan.index in cached_results:
-                    _emit_cell(plan, cached_results.pop(plan.index),
-                               from_store=True)
-                elif plan.index in ready:
-                    _emit_cell(plan, ready.pop(plan.index),
-                               from_store=False)
-                else:
-                    return
-                emit_pos += 1
-
-        _flush_ordered()
-        if chunks:
-            for index, chunk_results in backend.execute(
-                config, chunks, controller
-            ):
-                for plan, results in zip(chunks[index], chunk_results):
-                    ready[plan.index] = results
-                _flush_ordered()
-    else:
-        # Out-of-order sink: store hits land first (in grid order — the
-        # deterministic choice, and what makes a fully-warm serial run
-        # byte-identical to its cold twin), fresh cells the moment their
-        # chunk completes.
-        for plan in todo:
-            if plan.index in cached_results:
-                _emit_cell(plan, cached_results.pop(plan.index),
-                           from_store=True)
-        if chunks:
-            for index, chunk_results in backend.execute(
-                config, chunks, controller
-            ):
-                for plan, results in zip(chunks[index], chunk_results):
-                    _emit_cell(plan, results, from_store=False)
-
-    if distributed:
-        # The worker resolved its store hits inside claimed chunks, so
-        # the emission loop above saw them as fresh; reconcile counters.
-        cells_cached += getattr(backend, "cells_from_store", 0)
-        replicas_run -= getattr(backend, "replicas_from_store", 0)
-
-    done_cells = {
-        index: _make_cell(plans[index], results)
-        for index, results in done_results.items()
-    }
-    if distributed:
-        # Other workers' cells live in their shards, not here: report
-        # what this worker ran (grid order); merge_shards has the grid.
-        cells = tuple(fresh[index] for index in sorted(fresh))
-    else:
-        cells = tuple(
-            (done_cells | fresh)[plan.index] for plan in plans
-        )
-    report = ExecutionReport(
-        cells_total=len(plans),
-        cells_skipped=len(plans) - len(fresh) if distributed
-        else len(done_cells),
-        cells_run=len(fresh) - cells_cached,
-        workers=resolved_workers,
-        chunk_size=chunk_size,
-        elapsed=time.perf_counter() - start,
-        replicas_run=replicas_run,
-        sink=policy.sink,
-        cells_cached=cells_cached,
+    session = CampaignSession(
+        spec, results_path=results_path, resume=resume, on_cell=on_cell,
+        backend=backend, store=store,
     )
-    return CampaignExecution(cells=cells, report=report)
+    return session.run()
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,11 @@
 """Campaign result sinks: how raw runs land on disk, and how they resume.
 
-The executor streams every finished grid cell into a :class:`ResultSink`:
+A sink is the durability consumer of the result-event pipeline: the
+:class:`~repro.sim.events.SinkWriter` consumer feeds every finished
+``backend``/``store`` cell from the event bus into a
+:class:`ResultSink` (``resume`` cells are skipped — their bytes are
+already in the recovered file), and the sink decides the on-disk
+format:
 
 * :class:`OrderedJsonlSink` — plain result envelopes in strict grid
   order.  The results file is an exact byte prefix of the serial file at

@@ -562,7 +562,13 @@ class CampaignSpec:
 
 
 class Campaign:
-    """The façade: one object that runs, resumes, reports and merges.
+    """The façade: runs, resumes, reports, merges — and opens sessions.
+
+    :meth:`run`/:meth:`resume` execute to completion; :meth:`session`
+    opens the same execution as a
+    :class:`~repro.sim.executor.CampaignSession` event stream (iterate,
+    poll progress, subscribe consumers) for callers that want to watch
+    the campaign instead of waiting for it.
 
     Construct from a :class:`CampaignSpec` or a preset name
     (``Campaign("smoke")`` resolves through
@@ -617,13 +623,35 @@ class Campaign:
         return self._execute(results_path, resume=True, on_cell=on_cell,
                              store=store)
 
-    def _execute(self, results_path, *, resume, on_cell, store=None):
-        from .executor import execute_spec
+    def session(
+        self,
+        results_path: str | pathlib.Path | None = None,
+        *,
+        resume: bool = False,
+        on_cell: Callable[[CampaignCell], None] | None = None,
+        store=None,
+        consumers=(),
+    ):
+        """Open a :class:`~repro.sim.executor.CampaignSession`.
 
-        execution = execute_spec(
+        The event-stream view of this campaign: iterate
+        ``session.events()`` to execute it cell by cell, poll
+        ``session.progress()`` from any thread, attach extra
+        :class:`~repro.sim.events.EventConsumer` subscribers via
+        ``consumers=``.  :meth:`run`/:meth:`resume` are this, drained.
+        """
+        from .executor import CampaignSession
+
+        return CampaignSession(
             self.spec, results_path=results_path, resume=resume,
-            on_cell=on_cell, store=store,
+            on_cell=on_cell, store=store, consumers=consumers,
         )
+
+    def _execute(self, results_path, *, resume, on_cell, store=None):
+        session = self.session(
+            results_path, resume=resume, on_cell=on_cell, store=store,
+        )
+        execution = session.run()
         self.execution = execution
         # Track the *last* execution's persistence — including clearing
         # it, so report() after a later unpersisted run renders that

@@ -191,6 +191,15 @@ class HotCellCache:
             self._hits += 1
             return entry
 
+    def peek(self, root: str, token) -> CachedEntry | None:
+        """Like :meth:`get` but invisible: no LRU refresh, no counters.
+
+        For bulk preloaders deciding what still needs reading — a peek
+        is bookkeeping, not a served read, so it must not inflate the
+        hit rate the live counters report."""
+        with self._lock:
+            return self._entries.get((root, token))
+
     def put(self, root: str, token, entry: CachedEntry) -> None:
         if entry.size > self.max_bytes:
             return  # would evict everything and still not fit

@@ -443,6 +443,20 @@ class CampaignStore:
                 f"{self.root}: no results store here (missing store.json)"
             )
 
+    def cache_stats(self):
+        """This store's hot-cell cache counters
+        (:class:`~repro.store.cache.CacheStats`), or ``None`` when the
+        store reads straight from disk (``cache=None``).
+
+        The counters belong to the cache *instance* — usually the
+        process-wide default shared by every store in the process — so
+        they describe what a live process (a campaign session, the
+        planned service) has actually served, not this store alone.
+        """
+        if self._cache is None:
+            return None
+        return self._cache.stats()
+
     # -- paths ---------------------------------------------------------
     def _objects(self) -> pathlib.Path:
         return self.root / "objects"
@@ -645,6 +659,75 @@ class CampaignStore:
             except OSError:
                 pass  # concurrently evicted: the result in hand is good
         return result
+
+    def preload(self, keys) -> int:
+        """Prime the hot-cell cache for ``keys`` with bulk segment reads.
+
+        The sequential-read fast path behind spec-footprint resolution
+        (``store export``, ``report --from-spec``, the executor's
+        pre-dispatch store consult): instead of one index probe plus one
+        ``pread`` per replica entry, the footprint's segment-resident
+        entries are grouped per segment, coalesced into contiguous
+        spans, and streamed with a few sequential reads
+        (:meth:`~repro.store.segments.Segment.read_many`) — a spec
+        whose footprint resolves to few segments reads each of them
+        once, front to back.  Every admitted entry passes the same full
+        verification a cold :meth:`lookup` performs; the per-key lookup
+        that follows is then a memory hit.
+
+        Purely an I/O-pattern optimisation, never a semantic one: loose
+        entries, absent keys and torn bulk reads (a concurrent gc
+        rewrite) are simply left for the per-entry lookup path, and with
+        the cache disabled there is nowhere to stage decoded entries, so
+        this is a no-op.  Returns the number of entries admitted.
+        """
+        if self._cache is None:
+            return 0
+        if self._segments is None:
+            self._refresh_segments()
+        wanted: dict[str, list[tuple[dict, tuple, str]]] = {}
+        for key in keys:
+            token = cache_key(key)
+            if self._cache.peek(self._cache_root, token) is not None:
+                continue
+            hash_ = key_hash(key)
+            sid = self._segment_map.get(hash_)
+            if sid is not None:
+                wanted.setdefault(sid, []).append((key, token, hash_))
+        loaded = 0
+        for sid, items in wanted.items():
+            segment = self._segments[sid]
+            data = segment.read_many(
+                [segment.entries[hash_] for _, _, hash_ in items]
+            )
+            for key, token, hash_ in items:
+                raw = data.get(hash_)
+                if raw is None:
+                    continue  # torn read: lookup's re-scan recovers
+                label = (f"{segment.data_path}"
+                         f"@{segment.entries[hash_].offset}")
+                try:
+                    entry = json.loads(raw)
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise ParameterError(
+                        f"{label}: corrupt store entry (invalid JSON: "
+                        f"{exc}); delete the segment pair (or run "
+                        "`repro-checkpoint store gc`) and re-run to "
+                        "repopulate it"
+                    ) from exc
+                result = self._decode_entry(label, entry, expected_key=key)
+                self._cache.put(self._cache_root, token, CachedEntry(
+                    key=key,
+                    result=result,
+                    payload_text=json.dumps(
+                        entry["payload"], sort_keys=True
+                    ),
+                    payload_sha256=entry["payload_sha256"],
+                    hash=hash_,
+                    origin="segment",
+                ))
+                loaded += 1
+        return loaded
 
     @staticmethod
     def _decode_entry(
@@ -1394,6 +1477,17 @@ def _resolve_spec(store: CampaignStore, spec) -> list[tuple]:
     config = spec.config()
     controller = spec.controller()
     plans = plan_cells(config)
+    # Bulk-stage the footprint's segment-resident entries with
+    # sequential per-segment reads; the per-cell loads below then hit
+    # the cache instead of issuing one pread per replica.  (The
+    # footprint over-approximates under adaptive control — the
+    # controller may stop before max_replicas — which only means a few
+    # absent hashes are skipped.)
+    store.preload(
+        replica_key(config, plan, replica)
+        for plan in plans
+        for replica in range(controller.max_replicas)
+    )
     resolved: list[tuple] = []
     missing: list = []
     for plan in plans:

@@ -1,0 +1,65 @@
+"""Regenerate the campaign golden files (run from the repo root).
+
+The goldens freeze the *pre-event-pipeline* executor's output bytes
+(the PR 7 tree, commit 4d0e591): ``ordered_fixed.jsonl`` (ordered sink,
+fixed replicas — the historical byte-prefix format), ``framed_fixed``
+and ``framed_adaptive`` (framed sink, fixed / AdaptiveCI control), plus
+the spec JSON that produced each.  ``tests/test_events.py`` re-runs the
+specs through the event-driven engine and compares bytes — the
+refactor's hard constraint is that these files never change.
+
+Deterministic by construction: every replica is a pure function of the
+spec (seed schedule ⊕ grid coordinates), so regeneration on any machine
+reproduces identical bytes; if this script ever produces a diff, the
+engine's output changed and the goldens must NOT be refreshed to paper
+over it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.experiments.scenarios import get_campaign_preset  # noqa: E402
+from repro.sim.adaptive import AdaptiveCI  # noqa: E402
+from repro.sim.spec import Campaign, CampaignSpec, ExecutionPolicy  # noqa: E402
+
+HERE = pathlib.Path(__file__).parent
+
+#: The grids: the smoke preset (2 protocols x 2 MTBFs x 1 phi, 12
+#: nodes), replicas raised to 6 for the adaptive case so the stopping
+#: rule has room to cut cells short.
+GOLDENS: dict[str, CampaignSpec] = {
+    "ordered_fixed": get_campaign_preset("smoke").spec(
+        replicas=4, policy=ExecutionPolicy()
+    ),
+    "framed_fixed": get_campaign_preset("smoke").spec(
+        replicas=4, policy=ExecutionPolicy(sink="framed")
+    ),
+    "framed_adaptive": get_campaign_preset("smoke").spec(
+        replicas=6,
+        policy=ExecutionPolicy(
+            sink="framed",
+            controller=AdaptiveCI(max_replicas=6, tolerance=0.2),
+        ),
+    ),
+}
+
+
+def main() -> None:
+    for name, spec in GOLDENS.items():
+        spec.save(HERE / f"{name}.spec.json")
+        out = HERE / f"{name}.jsonl"
+        execution = Campaign(spec).run(out)
+        (HERE / f"{name}.manifest").write_bytes(
+            out.with_name(out.name + ".manifest").read_bytes()
+        )
+        out.with_name(out.name + ".manifest").unlink()
+        print(f"{name}: {execution.report.describe()}")
+        print(f"  -> {out} ({out.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()
