@@ -1,0 +1,161 @@
+"""Campaign-service load: warm HTTP report queries vs. the in-process path.
+
+Not a paper artefact — this measures the tentpole claim of the campaign
+service (:mod:`repro.service`): a live daemon answers warm report
+queries from the compacted store at interactive latency and real
+concurrency, so a fleet of clients can mine a finished campaign without
+ever paying for a simulation.
+
+The measurement: warehouse the ``high-churn`` preset once, then
+
+* time the **in-process** warm path (``store_report`` over the hot-cell
+  cache) as the floor;
+* hammer the daemon with ``THREADS`` clients × ``QUERIES_PER_THREAD``
+  warm ``GET /reports`` each, over persistent HTTP/1.1 connections, and
+  take the latency distribution.
+
+Gates: every query is warm (**zero** simulations, asserted via a
+counting backend factory that must never be invoked), the store
+observed genuinely concurrent readers, and the HTTP p50 stays within a
+fixed multiple of the in-process p50 — the daemon may add transport
+cost, not a second execution path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+import time
+import urllib.parse
+
+from repro.experiments.report import store_report
+from repro.experiments.scenarios import get_campaign_preset
+from repro.service import CampaignService
+from repro.sim.executor import execute_spec
+from repro.sim.spec import CampaignSpec
+from repro.store import CampaignStore
+
+PRESET = "high-churn"
+REPLICAS = 4
+THREADS = 8
+QUERIES_PER_THREAD = 40
+WARMUP_QUERIES = 5
+#: The daemon's warm p50 must stay within this multiple of the
+#: in-process warm p50 (floored at 25 ms so a very fast floor does not
+#: turn transport jitter into a failure).
+P50_MULTIPLE = 50.0
+P50_FLOOR = 0.025
+
+
+def _spec() -> CampaignSpec:
+    return get_campaign_preset(PRESET).spec(replicas=REPLICAS)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return statistics.quantiles(samples, n=100)[int(q) - 1]
+
+
+def test_service_warm_query_load(tmp_path, record):
+    spec = _spec()
+    store_dir = tmp_path / "store"
+
+    # Warehouse the grid once, then compact to the served layout.
+    store = CampaignStore(store_dir, create=True)
+    execute_spec(spec, store=store)
+    store.compact()
+
+    # ---- floor: the in-process warm path ---------------------------
+    store_report(store, spec)  # prime the hot-cell cache
+    inproc = []
+    for _ in range(50):
+        start = time.perf_counter()
+        store_report(store, spec)
+        inproc.append(time.perf_counter() - start)
+    inproc_p50 = statistics.median(inproc)
+
+    # ---- the daemon under load -------------------------------------
+    built = []
+
+    def factory(s):
+        built.append(s)
+        return None
+
+    spec_param = urllib.parse.urlencode(
+        {"spec": json.dumps(spec.to_dict())})
+    path = "/reports?" + spec_param
+
+    with CampaignService(
+        store=store_dir, data_dir=tmp_path / "svc",
+        backend_factory=factory,
+    ) as service:
+        latencies: list[list[float]] = [[] for _ in range(THREADS)]
+        errors: list[str] = []
+        barrier = threading.Barrier(THREADS)
+
+        def client(i: int) -> None:
+            conn = http.client.HTTPConnection(
+                service.host, service.port, timeout=60.0)
+            try:
+                for q in range(WARMUP_QUERIES + QUERIES_PER_THREAD):
+                    if q == WARMUP_QUERIES:
+                        barrier.wait(timeout=60.0)
+                    start = time.perf_counter()
+                    conn.request("GET", path)
+                    resp = conn.getresponse()
+                    payload = json.loads(resp.read())
+                    elapsed = time.perf_counter() - start
+                    if resp.status != 200:
+                        errors.append(f"status {resp.status}")
+                        return
+                    if payload["simulated_cells"] != 0:
+                        errors.append("a warm query simulated")
+                        return
+                    if q >= WARMUP_QUERIES:
+                        latencies[i].append(elapsed)
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                errors.append(repr(exc))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(THREADS)]
+        wall_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        wall = time.perf_counter() - wall_start
+        reads = service.store.read_stats()
+
+    assert not errors, errors
+    samples = [s for per_thread in latencies for s in per_thread]
+    assert len(samples) == THREADS * QUERIES_PER_THREAD
+    # Zero simulations is a counting fact: no fill backend was built.
+    assert built == []
+    # The daemon really served readers concurrently.
+    assert reads.peak_concurrent >= 2, reads.describe()
+
+    http_p50 = statistics.median(samples)
+    http_p99 = _percentile(samples, 99)
+    throughput = len(samples) / wall
+    budget = max(P50_MULTIPLE * inproc_p50, P50_FLOOR)
+    assert http_p50 <= budget, (
+        f"warm HTTP p50 {http_p50 * 1e3:.2f} ms exceeds "
+        f"{P50_MULTIPLE:.0f}x the in-process warm p50 "
+        f"({inproc_p50 * 1e3:.2f} ms)"
+    )
+
+    record("Campaign service warm-query load", [
+        f"grid: {PRESET} x{REPLICAS} replicas, "
+        f"{THREADS} clients x {QUERIES_PER_THREAD} queries",
+        f"in-process warm p50: {inproc_p50 * 1e3:8.2f} ms",
+        f"HTTP warm p50:       {http_p50 * 1e3:8.2f} ms "
+        f"(budget {budget * 1e3:.2f} ms)",
+        f"HTTP warm p99:       {http_p99 * 1e3:8.2f} ms",
+        f"throughput:          {throughput:8.1f} queries/s "
+        f"over {wall:.2f} s",
+        f"store reads:         {reads.describe()}",
+        "simulations during load: 0 (counting-backend proof)",
+    ])

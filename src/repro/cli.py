@@ -58,6 +58,14 @@ Commands
     zero re-simulation.  ``--from-spec FILE --store DIR`` renders the
     same report for a spec straight from the results store — no results
     file, no simulation.
+``serve``
+    Run the always-on campaign service (:mod:`repro.service`): an HTTP
+    daemon answering report queries straight from a results store
+    (zero simulation on warm cells), accepting campaign submissions
+    onto a background worker pool, and streaming per-cell results as
+    NDJSON.  ``serve --store DIR --port 8642``; SIGINT/SIGTERM drains
+    in-flight sessions before exiting (``--no-drain`` cancels them at
+    the next cell boundary instead).
 """
 
 from __future__ import annotations
@@ -355,6 +363,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="(export) destination results file (framed, "
                          "grid-ordered, byte-identical to a run; a "
                          ".manifest sidecar is written next to it)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the always-on campaign service (HTTP query/submit "
+             "daemon over a results store)",
+    )
+    sv.add_argument("--store", type=pathlib.Path, required=True,
+                    metavar="DIR",
+                    help="the results store the service answers from "
+                         "and publishes into (created if missing)")
+    sv.add_argument("--data", type=pathlib.Path, default=None,
+                    metavar="DIR",
+                    help="where submitted campaigns' results files live "
+                         "(default: <store>/service)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="TCP port; 0 binds an ephemeral port and "
+                         "prints it (default 8642)")
+    sv.add_argument("--service-workers", type=int, default=2,
+                    metavar="N",
+                    help="background campaign sessions run at once "
+                         "(default 2)")
+    sv.add_argument("--no-drain", action="store_true",
+                    help="on SIGINT/SIGTERM cancel running campaigns at "
+                         "the next cell boundary instead of letting "
+                         "them finish (their results files stay valid "
+                         "resumable prefixes either way)")
 
     r = sub.add_parser(
         "report",
@@ -702,6 +738,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import CampaignService
+
+    try:
+        service = CampaignService(
+            store=args.store,
+            data_dir=args.data if args.data is not None
+            else args.store / "service",
+            host=args.host, port=args.port,
+            workers=args.service_workers,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    # Serve on a daemon thread and park the main thread on an event:
+    # signal handlers only set the flag, so shutdown never runs inside
+    # the serve loop it has to join.
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    service.start()
+    # Port 0 binds an ephemeral port; print the resolved address so
+    # callers (and the lifecycle tests) can find the daemon.
+    print(f"campaign service listening on {service.url()} "
+          f"(store: {service.store.root})", flush=True)
+    try:
+        # ``POST /shutdown`` completes the drain on its own thread; the
+        # closed flag ends this loop so the process exits either way.
+        while not stop.wait(0.2):
+            if service.wait_closed(0.0):
+                break
+    except KeyboardInterrupt:
+        pass
+    drain = not args.no_drain
+    print("campaign service: "
+          + ("draining in-flight campaigns..." if drain
+             else "cancelling in-flight campaigns..."),
+          flush=True)
+    service.shutdown(drain=drain)
+    print("campaign service: stopped", flush=True)
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     try:
         return _run_store_command(args)
@@ -917,6 +999,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "report":
         return _cmd_report(args)
     return _cmd_experiment(args.command, args)

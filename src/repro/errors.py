@@ -61,3 +61,14 @@ class FatalFailureError(SimulationError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment definition is inconsistent or its inputs are missing."""
+
+
+class CampaignCancelled(ReproError, RuntimeError):
+    """A campaign execution was cancelled before completion.
+
+    Raised out of :meth:`~repro.sim.executor.CampaignSession.events`
+    after :meth:`~repro.sim.executor.CampaignSession.cancel` is called
+    from another thread.  Cancellation is cooperative and cell-aligned:
+    the producing loop stops *between* cells, so the results file is
+    left a valid resumable prefix, never torn mid-cell.
+    """

@@ -1,0 +1,132 @@
+"""Single-flight request coalescing for identical expensive queries.
+
+A cold report query against the campaign service costs a campaign
+execution; N identical queries arriving together must cost **one**, not
+N (the classic cache-stampede problem).  :class:`Coalescer` is the
+standard single-flight fix: the first caller of a key becomes the
+*leader* and computes; concurrent callers of the same key become
+*followers* and wait for the leader's result.  Two properties are
+load-bearing for the service:
+
+* **The leader's work is never cancelled.**  A follower that gives up
+  (``timeout=``) raises :class:`CoalesceTimeout` and walks away; the
+  leader keeps computing and, for the service's report path, the
+  results still land in the store — the next identical query is warm.
+  Coalescing deduplicates work; it must never *destroy* it.
+* **Errors propagate to everyone.**  A leader failure is re-raised to
+  every follower of that flight (the exception object is shared), and
+  the flight is cleared — a later call starts a fresh computation
+  rather than caching the failure.
+
+Keys are opaque hashables; the service keys report fills on the spec's
+identity fingerprint (the same canonical JSON that names manifests), so
+"identical query" means *spec identity*, not request-byte equality.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["CoalesceTimeout", "CoalesceStats", "Coalescer"]
+
+
+class CoalesceTimeout(ReproError, TimeoutError):
+    """A coalesced follower gave up waiting for the flight's leader.
+
+    The leader's computation continues unaffected — timing out observes
+    slowness, it does not cancel work.
+    """
+
+
+@dataclass(frozen=True)
+class CoalesceStats:
+    """Counters of one :class:`Coalescer` (``led`` flights computed,
+    ``joined`` calls served by someone else's flight)."""
+
+    led: int
+    joined: int
+    timeouts: int
+    in_flight: int
+
+    def describe(self) -> str:
+        return (f"{self.led} led, {self.joined} joined, "
+                f"{self.timeouts} timeouts, {self.in_flight} in flight")
+
+
+class _Flight:
+    """One in-progress computation: its completion event and outcome."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class Coalescer:
+    """Single-flight deduplication of concurrent identical computations.
+
+    Thread-safe; one instance serves every key.  ``run`` either computes
+    (leader) or waits (follower); by the time it returns, the flight for
+    that key is finished — sequential calls with the same key each
+    compute, only *concurrent* ones coalesce.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict = {}
+        self._led = 0
+        self._joined = 0
+        self._timeouts = 0
+
+    def run(self, key, compute, *, timeout: float | None = None):
+        """The result of ``compute()``, computed once per concurrent key.
+
+        The first caller for ``key`` runs ``compute`` on its own thread;
+        callers arriving while that flight is open wait for its outcome
+        (result or exception) instead of recomputing.  ``timeout``
+        bounds only a *follower's* wait: expiry raises
+        :class:`CoalesceTimeout` while the leader carries on.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+                self._led += 1
+            else:
+                self._joined += 1
+        if leader:
+            try:
+                flight.value = compute()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.done.set()
+            return flight.value
+        if not flight.done.wait(timeout):
+            with self._lock:
+                self._timeouts += 1
+            raise CoalesceTimeout(
+                f"gave up waiting {timeout:g}s for the in-flight "
+                f"computation of {key!r}; the computation itself "
+                "continues and its result will be available to later "
+                "callers"
+            )
+        if flight.error is not None:
+            raise flight.error
+        return flight.value
+
+    def stats(self) -> CoalesceStats:
+        with self._lock:
+            return CoalesceStats(
+                led=self._led, joined=self._joined,
+                timeouts=self._timeouts, in_flight=len(self._flights),
+            )

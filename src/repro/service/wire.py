@@ -1,0 +1,111 @@
+"""HTTP request/response plumbing for the campaign service.
+
+One rule: every value that crosses the HTTP boundary goes through an
+existing validated gate.  Specs enter through
+:meth:`~repro.sim.spec.CampaignSpec.from_dict` (whether they arrive as
+a POST body or a URL-encoded ``spec=`` query parameter), events leave
+through :func:`repro.sim.events.event_to_dict` — the service defines no
+schema of its own, so a curl client, the NDJSON stream and an offline
+replay consumer all speak formats that are property-tested elsewhere.
+
+JSON bodies and responses are strict (``allow_nan=False``): anything
+non-finite must already be inside a typed :mod:`repro.io` envelope, and
+a raw ``NaN`` token reaching the wire is a bug caught at serialisation
+time, not a parse error inflicted on some other client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+
+from ..errors import ParameterError
+from ..sim.events import event_from_dict, event_to_dict  # noqa: F401 - one schema, re-exported
+from ..sim.spec import CampaignSpec
+
+__all__ = [
+    "NDJSON_CONTENT_TYPE",
+    "event_from_dict",
+    "event_to_dict",
+    "dump_json",
+    "ndjson_line",
+    "parse_query",
+    "read_json_body",
+    "spec_from_wire",
+]
+
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+#: Submitted request bodies larger than this are refused outright — a
+#: spec is a small description, never bulk data.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def dump_json(payload) -> bytes:
+    """A response body: compact, sorted, strictly finite JSON."""
+    return (json.dumps(
+        payload, sort_keys=True, allow_nan=False,
+        separators=(",", ":"),
+    ) + "\n").encode("utf-8")
+
+
+def ndjson_line(payload: dict) -> bytes:
+    """One NDJSON stream record (strict JSON + newline)."""
+    return (json.dumps(
+        payload, sort_keys=True, allow_nan=False,
+        separators=(",", ":"),
+    ) + "\n").encode("utf-8")
+
+
+def parse_query(raw_query: str) -> dict:
+    """Query parameters as single values (repeats refused by name)."""
+    params: dict[str, str] = {}
+    for name, value in urllib.parse.parse_qsl(
+        raw_query, keep_blank_values=True
+    ):
+        if name in params:
+            raise ParameterError(
+                f"query parameter {name!r} given more than once"
+            )
+        params[name] = value
+    return params
+
+
+def read_json_body(handler) -> dict:
+    """The request's JSON object body (refused loudly when malformed)."""
+    length = handler.headers.get("Content-Length")
+    try:
+        length = int(length)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            "request needs a Content-Length header with a JSON body"
+        ) from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ParameterError(
+            f"request body of {length} bytes refused (limit "
+            f"{MAX_BODY_BYTES}); a campaign spec is small"
+        )
+    raw = handler.rfile.read(length)
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ParameterError(f"request body is not valid JSON ({exc})") \
+            from exc
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"request body must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def spec_from_wire(data) -> CampaignSpec:
+    """A spec from its wire dict, through the one validated gate."""
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"spec parameter is not valid JSON ({exc})"
+            ) from exc
+    return CampaignSpec.from_dict(data)

@@ -95,6 +95,26 @@ Built-in consumers
     decorative.
 :class:`CellCallback`
     adapts the historical ``on_cell=`` callback surface.
+
+Wire format
+-----------
+Every event serialises to a versioned JSON-safe dict
+(:func:`event_to_dict`) and back (:func:`event_from_dict`) under the
+same discipline as the :mod:`repro.io` envelopes and the campaign spec:
+a ``format``/``version`` header, refused-by-name validation of unknown
+kinds and fields, and an exact round trip:
+``event_to_dict(event_from_dict(d)) == d`` holds for every emitted wire
+dict, and decoding reproduces the original event field-for-field (equal
+up to IEEE NaN, which compares unequal to itself — results carrying
+``fatal_time=nan`` round-trip to canonically identical bytes via
+:func:`repro.io.dump_result`).  Replica results ride in
+:func:`repro.io.to_envelope` envelopes (typed float sentinels, exact
+NaN round trip); a :class:`CellFinished` event's aggregated cell is
+*not* transmitted — it is a pure function of ``(plan, results)`` and is
+recomputed on read via :func:`make_cell`, so the wire carries no
+derivable state that could drift from its inputs.  This one schema is
+shared by the campaign service's NDJSON stream
+(``GET /campaigns/<id>/events``) and any future replay consumer.
 """
 
 from __future__ import annotations
@@ -107,7 +127,7 @@ from typing import TYPE_CHECKING, Callable
 from ..errors import ParameterError
 from .adaptive import ReplicaController, stop_count
 from .campaign import CampaignCell, CampaignConfig
-from .results import DesResult
+from .results import DesResult, MonteCarloSummary
 from .sinks import ResultSink
 
 if TYPE_CHECKING:  # circular at runtime: executor builds on this module
@@ -116,6 +136,8 @@ if TYPE_CHECKING:  # circular at runtime: executor builds on this module
 
 __all__ = [
     "EVENT_SOURCES",
+    "EVENT_WIRE_FORMAT",
+    "EVENT_WIRE_VERSION",
     "CampaignEvent",
     "CampaignStarted",
     "CellStarted",
@@ -130,10 +152,20 @@ __all__ = [
     "ControllerReplay",
     "ProgressTracker",
     "CellCallback",
+    "make_cell",
+    "event_to_dict",
+    "event_from_dict",
 ]
 
 #: Where a cell's replicas came from (see the module table).
 EVENT_SOURCES = ("backend", "store", "resume")
+
+EVENT_WIRE_FORMAT = "repro-campaign-event"
+#: Written wire version.  Readers gate on each object's declared
+#: version, so a future shape change bumps this and keeps reading older
+#: spellings.
+EVENT_WIRE_VERSION = 1
+_WIRE_READ_VERSIONS = frozenset({1})
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +262,240 @@ class CampaignFinished(CampaignEvent):
     """Last event of every clean stream: the final execution report."""
 
     report: "ExecutionReport"
+
+
+def make_cell(plan: "CellPlan", results) -> CampaignCell:
+    """Aggregate one cell from its plan and replica results.
+
+    The deterministic function behind every :class:`CellFinished.cell`
+    — live emission, store resolution and wire decoding all build the
+    cell through here, so an aggregated cell can never disagree with
+    the replicas it summarises.
+    """
+    results = tuple(results)
+    summary = MonteCarloSummary.from_samples(
+        [res.waste for res in results],
+        successes=sum(res.succeeded for res in results),
+        meta={"protocol": plan.protocol, "M": plan.M, "phi": plan.phi},
+    )
+    return CampaignCell(
+        protocol=plan.protocol, M=plan.M, phi=plan.phi,
+        summary=summary, results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+_PLAN_FIELDS = ("index", "protocol", "m_index", "M", "phi", "effective_phi")
+_PROGRESS_FIELDS = ("cells_total", "cells_resumed", "cells_cached",
+                    "cells_run", "replicas_run", "elapsed")
+_REPORT_FIELDS = ("cells_total", "cells_skipped", "cells_run", "workers",
+                  "chunk_size", "elapsed", "replicas_run", "sink",
+                  "cells_cached")
+
+
+def _plan_to_dict(plan: "CellPlan") -> dict:
+    return {name: getattr(plan, name) for name in _PLAN_FIELDS}
+
+
+def _plan_from_dict(data) -> "CellPlan":
+    from .executor import CellPlan
+
+    _check_fields("cell plan", data, _PLAN_FIELDS, required=_PLAN_FIELDS)
+    return CellPlan(
+        index=int(data["index"]), protocol=str(data["protocol"]),
+        m_index=int(data["m_index"]), M=float(data["M"]),
+        phi=float(data["phi"]), effective_phi=float(data["effective_phi"]),
+    )
+
+
+def _check_fields(what, data, known, *, required=()):
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"a {what} must be an object, got {type(data).__name__}"
+        )
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ParameterError(
+            f"unknown {what} field(s): {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    missing = set(required) - set(data)
+    if missing:
+        raise ParameterError(
+            f"{what} is missing field(s): {sorted(missing)}"
+        )
+
+
+def _check_source(source) -> str:
+    if source not in EVENT_SOURCES:
+        raise ParameterError(
+            f"unknown event source {source!r}; known: {list(EVENT_SOURCES)}"
+        )
+    return source
+
+
+def _results_to_wire(results) -> list:
+    from .. import io as repro_io
+
+    return [repro_io.to_envelope(res) for res in results]
+
+
+def _results_from_wire(data) -> tuple[DesResult, ...]:
+    from .. import io as repro_io
+
+    if not isinstance(data, list):
+        raise ParameterError(
+            f"event results must be a list of result envelopes, "
+            f"got {type(data).__name__}"
+        )
+    results = []
+    for envelope in data:
+        result = repro_io.from_envelope(envelope)
+        if not isinstance(result, DesResult):
+            raise ParameterError(
+                f"event results must decode to DesResult, "
+                f"got {type(result).__name__}"
+            )
+        results.append(result)
+    return tuple(results)
+
+
+def event_to_dict(event: CampaignEvent) -> dict:
+    """One event as a versioned, JSON-safe wire dict.
+
+    The exact inverse of :func:`event_from_dict`; replica results are
+    carried as :func:`repro.io.to_envelope` envelopes, so non-finite
+    floats survive strict JSON round trips.
+    """
+    head = {"format": EVENT_WIRE_FORMAT, "version": EVENT_WIRE_VERSION,
+            "kind": type(event).__name__}
+    if isinstance(event, CampaignStarted):
+        return {**head,
+                "spec": event.spec.to_dict(),
+                "plans": [_plan_to_dict(p) for p in event.plans],
+                "resumed": [int(i) for i in event.resumed]}
+    if isinstance(event, CellStarted):
+        return {**head, "plan": _plan_to_dict(event.plan),
+                "source": event.source}
+    if isinstance(event, (ReplicaBatch, CellFinished)):
+        # CellFinished's aggregated cell is derivable state — recomputed
+        # on read by make_cell, never transmitted.
+        return {**head, "plan": _plan_to_dict(event.plan),
+                "source": event.source,
+                "results": _results_to_wire(event.results)}
+    if isinstance(event, CampaignProgress):
+        return {**head, **{
+            name: getattr(event, name) for name in _PROGRESS_FIELDS
+        }}
+    if isinstance(event, CampaignFinished):
+        return {**head, "report": {
+            name: getattr(event.report, name) for name in _REPORT_FIELDS
+        }}
+    raise ParameterError(
+        f"cannot serialise {type(event).__name__}: not a campaign event "
+        "kind the wire format knows"
+    )
+
+
+def _started_from_dict(data) -> CampaignStarted:
+    from .spec import CampaignSpec
+
+    _check_fields("CampaignStarted event", data,
+                  ("format", "version", "kind", "spec", "plans", "resumed"),
+                  required=("spec", "plans"))
+    if not isinstance(data["plans"], list):
+        raise ParameterError(
+            f"CampaignStarted plans must be a list, "
+            f"got {type(data['plans']).__name__}"
+        )
+    return CampaignStarted(
+        spec=CampaignSpec.from_dict(data["spec"]),
+        plans=tuple(_plan_from_dict(p) for p in data["plans"]),
+        resumed=tuple(int(i) for i in data.get("resumed", ())),
+    )
+
+
+def _progress_from_dict(data) -> CampaignProgress:
+    _check_fields("CampaignProgress event", data,
+                  ("format", "version", "kind") + _PROGRESS_FIELDS,
+                  required=_PROGRESS_FIELDS)
+    fields = {name: data[name] for name in _PROGRESS_FIELDS}
+    fields["elapsed"] = float(fields["elapsed"])
+    return CampaignProgress(**{
+        name: value if name == "elapsed" else int(value)
+        for name, value in fields.items()
+    })
+
+
+def _finished_from_dict(data) -> CampaignFinished:
+    from .executor import ExecutionReport
+
+    _check_fields("CampaignFinished event", data,
+                  ("format", "version", "kind", "report"),
+                  required=("report",))
+    report = data["report"]
+    _check_fields("execution report", report, _REPORT_FIELDS,
+                  required=_REPORT_FIELDS)
+    return CampaignFinished(report=ExecutionReport(**report))
+
+
+def event_from_dict(data: dict) -> CampaignEvent:
+    """Inverse of :func:`event_to_dict`, refused-by-name validated.
+
+    Mirrors :meth:`~repro.sim.spec.CampaignSpec.from_dict`: the format
+    is checked, the version gated by number, unknown kinds and fields
+    refused with actionable messages — a stream written by a newer
+    library fails loudly instead of silently mis-loading.
+    """
+    if not isinstance(data, dict) or data.get("format") != EVENT_WIRE_FORMAT:
+        raise ParameterError(
+            f"not a {EVENT_WIRE_FORMAT} object (format="
+            f"{data.get('format')!r})" if isinstance(data, dict)
+            else f"a campaign event must be an object, "
+                 f"got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version not in _WIRE_READ_VERSIONS:
+        raise ParameterError(
+            f"unsupported campaign-event version {version!r} (this "
+            f"library reads versions {sorted(_WIRE_READ_VERSIONS)})"
+        )
+    kind = data.get("kind")
+    if kind == "CampaignStarted":
+        return _started_from_dict(data)
+    if kind == "CellStarted":
+        _check_fields("CellStarted event", data,
+                      ("format", "version", "kind", "plan", "source"),
+                      required=("plan",))
+        return CellStarted(
+            plan=_plan_from_dict(data["plan"]),
+            source=_check_source(data.get("source", "backend")),
+        )
+    if kind in ("ReplicaBatch", "CellFinished"):
+        _check_fields(f"{kind} event", data,
+                      ("format", "version", "kind", "plan", "source",
+                       "results"),
+                      required=("plan", "results"))
+        plan = _plan_from_dict(data["plan"])
+        source = _check_source(data.get("source", "backend"))
+        results = _results_from_wire(data["results"])
+        if kind == "ReplicaBatch":
+            return ReplicaBatch(plan=plan, results=results, source=source)
+        return CellFinished(
+            plan=plan, cell=make_cell(plan, results), results=results,
+            source=source,
+        )
+    if kind == "CampaignProgress":
+        return _progress_from_dict(data)
+    if kind == "CampaignFinished":
+        return _finished_from_dict(data)
+    raise ParameterError(
+        f"unknown campaign-event kind {kind!r}; known: CampaignStarted, "
+        "CellStarted, ReplicaBatch, CellFinished, CampaignProgress, "
+        "CampaignFinished"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,16 @@ Pre-spec (version-1) manifests are still read and checked.
 
 Layer diagram (single machine, and the distributed shard-merge flow)::
 
+      HTTP daemon (repro.service — `repro-checkpoint serve`)
+      ┌─────────────────────────────────────────────────────────────────┐
+      │ POST /campaigns ─► CampaignRegistry ─► worker pool, one         │
+      │   (idempotent        CampaignSession per spec identity          │
+      │    per identity)                                                │
+      │ GET /campaigns/<id>/events ─► NDJSON (event_to_dict per event)  │
+      │ GET /reports?spec=… ─► store.coverage ─► warm: store_report     │
+      │   (zero simulation)        miss: single-flight coalesced fill   │
+      └──────────────────────────────┬──────────────────────────────────┘
+                              ▼
                          CampaignSpec  =  grid ⊕ ExecutionPolicy
                               │   (one JSON value: spec.to_dict())
          Campaign(spec).run(path) / CampaignSession(spec, ...) / execute_spec
@@ -161,6 +171,7 @@ Example
 from __future__ import annotations
 
 import pathlib
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -168,7 +179,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import ParameterError
+from ..errors import CampaignCancelled, ParameterError
 from .adaptive import ReplicaController
 from .backends import CampaignBackend, make_backend, run_cell  # noqa: F401 - run_cell re-exported
 from .campaign import CampaignCell, CampaignConfig, validate_campaign
@@ -186,8 +197,9 @@ from .events import (
     ReplicaBatch,
     SinkWriter,
     StorePublisher,
+    make_cell,
 )
-from .results import DesResult, MonteCarloSummary
+from .results import DesResult
 from .sinks import OrderedJsonlSink, ResultSink, make_sink
 from .spec import SPEC_FORMAT, CampaignSpec
 from .vectorized import plan_engine
@@ -304,16 +316,10 @@ def plan_cells(config: CampaignConfig) -> list[CellPlan]:
     return plans
 
 
-def _make_cell(plan: CellPlan, results: Sequence[DesResult]) -> CampaignCell:
-    summary = MonteCarloSummary.from_samples(
-        [res.waste for res in results],
-        successes=sum(res.succeeded for res in results),
-        meta={"protocol": plan.protocol, "M": plan.M, "phi": plan.phi},
-    )
-    return CampaignCell(
-        protocol=plan.protocol, M=plan.M, phi=plan.phi,
-        summary=summary, results=tuple(results),
-    )
+# The aggregation itself lives in repro.sim.events (make_cell) so the
+# wire decoder can rebuild cells without importing the executor; this
+# alias keeps the historical internal name for existing callers.
+_make_cell = make_cell
 
 
 # ----------------------------------------------------------------------
@@ -673,6 +679,7 @@ class CampaignSession:
         self._done_cells: dict[int, CampaignCell] = {}
         self._execution: CampaignExecution | None = None
         self._state = "open"
+        self._cancel = threading.Event()
 
         #: The session's bus; subscription order is the fan-out order.
         self.bus = EventBus()
@@ -702,6 +709,34 @@ class CampaignSession:
     def progress(self) -> CampaignProgress:
         """A consistent counter snapshot; callable from any thread."""
         return self._tracker.snapshot()
+
+    @property
+    def state(self) -> str:
+        """Lifecycle phase: ``"open"`` → ``"running"`` → ``"finished"`` /
+        ``"failed"`` / ``"cancelled"``.  Readable from any thread."""
+        return self._state
+
+    def cancel(self) -> None:
+        """Request cancellation; callable from any thread, idempotent.
+
+        Cooperative and cell-aligned: the producing loop checks the flag
+        between cells and raises
+        :class:`~repro.errors.CampaignCancelled` out of :meth:`events`,
+        which closes every consumer through the normal error path — the
+        results file is left a valid resumable prefix (whole cells
+        only), the manifest intact, and a later session can
+        ``resume=True`` the remainder.  A session that already finished
+        is unaffected.
+        """
+        self._cancel.set()
+
+    def _check_cancel(self) -> None:
+        if self._cancel.is_set():
+            raise CampaignCancelled(
+                "campaign cancelled: the event stream stopped at a cell "
+                "boundary; resume the results file to finish the "
+                "remaining cells"
+            )
 
     def cache_stats(self):
         """The store's hot-cell cache counters
@@ -742,7 +777,10 @@ class CampaignSession:
             self._state = "finished"
         except BaseException as exc:
             error = exc
-            self._state = "failed"
+            self._state = (
+                "cancelled" if isinstance(exc, CampaignCancelled)
+                else "failed"
+            )
             raise
         finally:
             self.bus.close(error)
@@ -757,11 +795,12 @@ class CampaignSession:
     def _cell_events(self, plan, results, source):
         """One cell's triple (plus a progress snapshot), published then
         yielded."""
+        self._check_cancel()
         emit = self.bus.publish
         results = tuple(results)
         yield emit(CellStarted(plan=plan, source=source))
         yield emit(ReplicaBatch(plan=plan, results=results, source=source))
-        cell = _make_cell(plan, results)
+        cell = make_cell(plan, results)
         if source == "resume":
             self._done_cells[plan.index] = cell
         else:
@@ -813,6 +852,7 @@ class CampaignSession:
                 for index, chunk_results in self._backend.execute(
                     self._config, self._chunks, self._controller
                 ):
+                    self._check_cancel()
                     for plan, results in zip(
                         self._chunks[index], chunk_results
                     ):

@@ -68,6 +68,7 @@ from .store import (
     CompactReport,
     ExportReport,
     GcReport,
+    ReadStats,
     StoreEntry,
     StoreStat,
     VerifyReport,
@@ -82,6 +83,7 @@ __all__ = [
     "STORE_MODES",
     "STORE_VERSION",
     "CampaignStore",
+    "ReadStats",
     "StoreEntry",
     "StoreStat",
     "GcReport",

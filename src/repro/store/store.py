@@ -38,6 +38,7 @@ import json
 import os
 import pathlib
 import re
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -64,6 +65,7 @@ __all__ = [
     "cell_keys",
     "key_hash",
     "CampaignStore",
+    "ReadStats",
     "StoreEntry",
     "StoreStat",
     "GcReport",
@@ -354,6 +356,29 @@ class CompactReport:
         return head + tail
 
 
+@dataclass(frozen=True)
+class ReadStats:
+    """Concurrent-read counters of one :class:`CampaignStore` instance.
+
+    ``lookups`` counts every :meth:`CampaignStore.lookup` call (hit or
+    miss), ``active`` the lookups in flight at the instant of the
+    snapshot, and ``peak_concurrent`` the high-water mark of
+    simultaneous readers — the number that proves (or disproves) that a
+    shared store instance really was read concurrently, which is what
+    the campaign service's load tests assert.  Per *instance*, unlike
+    the hot-cell cache counters, which belong to the (usually shared)
+    cache object.
+    """
+
+    lookups: int
+    active: int
+    peak_concurrent: int
+
+    def describe(self) -> str:
+        return (f"{self.lookups} lookups, {self.active} active, "
+                f"peak {self.peak_concurrent} concurrent")
+
+
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
@@ -406,6 +431,11 @@ class CampaignStore:
         self._cached_verification = cached_verification
         self._cache = default_cache() if cache is _DEFAULT_CACHE else cache
         self._cache_root = str(self.root.resolve())
+        #: Concurrent-read accounting (see :meth:`read_stats`).
+        self._read_lock = threading.Lock()
+        self._reads_total = 0
+        self._readers_active = 0
+        self._readers_peak = 0
         #: Lazily-loaded committed segments (id → Segment) and the
         #: merged hash → segment-id probe map (first id wins, so every
         #: process resolves duplicate hashes to the same copy).
@@ -583,6 +613,16 @@ class CampaignStore:
         _atomic_write(path, json.dumps(entry, sort_keys=True) + "\n")
         return True
 
+    def read_stats(self) -> ReadStats:
+        """This instance's concurrent-read counters (see
+        :class:`ReadStats`); callable from any thread."""
+        with self._read_lock:
+            return ReadStats(
+                lookups=self._reads_total,
+                active=self._readers_active,
+                peak_concurrent=self._readers_peak,
+            )
+
     def lookup(self, key: dict) -> DesResult | None:
         """The stored result of ``key``, or ``None`` on a miss.
 
@@ -600,7 +640,23 @@ class CampaignStore:
         concurrent compaction invisible: an entry whose loose file was
         just packed away is found in the segment the compaction
         committed first.
+
+        Safe to call from many threads at once against one instance
+        (the campaign service does); :meth:`read_stats` reports how
+        concurrent the reads actually were.
         """
+        with self._read_lock:
+            self._reads_total += 1
+            self._readers_active += 1
+            if self._readers_active > self._readers_peak:
+                self._readers_peak = self._readers_active
+        try:
+            return self._lookup(key)
+        finally:
+            with self._read_lock:
+                self._readers_active -= 1
+
+    def _lookup(self, key: dict) -> DesResult | None:
         token = None
         if self._cache is not None:
             # Probed by cheap surrogate, resolved by full-key equality:
