@@ -211,3 +211,53 @@ def test_event_pipeline_overhead_gate(tmp_path, record):
         f"event pipeline (execute_spec):      {best_piped:.3f}s",
         f"overhead: {overhead:+.1%} (gate: +5.0%)",
     ])
+
+
+def test_observability_overhead_gate(tmp_path, record):
+    """The gate that keeps telemetry on by default: a campaign with the
+    metrics consumer subscribed (the shipping configuration) must add
+    <= 3% wall-clock over the identical campaign with observability
+    disabled (``repro.obs.set_enabled(False)``, what ``REPRO_OBS=off``
+    selects at import).  Best-of-3 each, interleaved, same bytes."""
+    from repro.obs import set_enabled
+    from repro.sim.executor import execute_spec
+
+    spec = _spec()
+
+    def run(path, instrumented: bool):
+        set_enabled(instrumented)
+        try:
+            return execute_spec(spec, results_path=path)
+        finally:
+            set_enabled(True)
+
+    t_off, t_on = [], []
+    for i in range(3):
+        t0 = time.perf_counter()
+        run(tmp_path / f"off-{i}.jsonl", instrumented=False)
+        t_off.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        execution = run(tmp_path / f"on-{i}.jsonl", instrumented=True)
+        t_on.append(time.perf_counter() - t0)
+
+    # Telemetry must be a pure observer: identical output bytes, and
+    # the instrumented run actually carried its metrics snapshot.
+    assert (tmp_path / "on-0.jsonl").read_bytes() \
+        == (tmp_path / "off-0.jsonl").read_bytes()
+    assert execution.report.metrics is not None
+
+    best_off, best_on = min(t_off), min(t_on)
+    overhead = best_on / best_off - 1.0
+    assert best_on <= 1.03 * best_off + 0.02, (
+        f"observability adds {overhead:+.1%} to the serial DES path "
+        f"({best_on:.3f}s vs {best_off:.3f}s with REPRO_OBS=off); "
+        "the gate is +3% — instrumentation must stay cheap enough "
+        "to stay on by default"
+    )
+
+    record("Observability overhead gate (metrics consumer on vs off)", [
+        "grid: 3 protocols x 3 M x 3 phi x 4 replicas = 108 DES runs",
+        f"REPRO_OBS=off:          {best_off:.3f}s",
+        f"instrumented (default): {best_on:.3f}s",
+        f"overhead: {overhead:+.1%} (gate: +3.0%)",
+    ])

@@ -44,6 +44,10 @@ Commands
     performs zero simulations yet writes a byte-identical results file),
     fresh cells are published for the next run; ``--store-mode read``
     consults without publishing.
+    Observability: ``--trace FILE`` writes a Chrome trace-event JSON of
+    the run (campaign → cell → replica-batch spans plus store and queue
+    internals; see :mod:`repro.obs`), and every run's
+    ``ExecutionReport.metrics`` carries the campaign's metric series.
 ``store``
     Inspect and manage a results store: ``store ls`` (filterable entry
     listing), ``store stat`` (totals, ``--verify`` re-checks every entry
@@ -65,7 +69,10 @@ Commands
     onto a background worker pool, and streaming per-cell results as
     NDJSON.  ``serve --store DIR --port 8642``; SIGINT/SIGTERM drains
     in-flight sessions before exiting (``--no-drain`` cancels them at
-    the next cell boundary instead).
+    the next cell boundary instead).  ``GET /metrics`` serves the
+    process's Prometheus exposition (``--metrics`` prints the scrape
+    URL on startup); ``store stat --metrics`` prints the same text for
+    a one-shot CLI process.
 """
 
 from __future__ import annotations
@@ -103,7 +110,7 @@ _CAMPAIGN_DEFAULTS: dict[str, object] = {
     "adaptive_wilson": None,
     "queue": None, "worker_id": None, "lease": 60.0, "poll": 0.5,
     "worker_procs": 1, "store": None, "store_mode": None,
-    "backend": None, "progress": False,
+    "backend": None, "progress": False, "trace": None,
     "out": None, "partial": False,
 }
 
@@ -289,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(~10-100x faster, statistically equivalent but "
                         "not byte-identical; cells needing shared "
                         "failure traces fall back to the DES per cell)")
+    c.add_argument("--trace", type=pathlib.Path, default=None,
+                   metavar="FILE",
+                   help="write a Chrome trace-event JSON of the run "
+                        "(campaign/cell/replica-batch spans plus store "
+                        "and queue internals; load in chrome://tracing "
+                        "or Perfetto); volatile like --store, so it "
+                        "combines with --spec")
     c.add_argument("--out", type=pathlib.Path, default=None,
                    metavar="FILE",
                    help="(merge) destination for the merged campaign "
@@ -336,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "— meaningful in a live session or service "
                          "process; a fresh CLI process reports a cold "
                          "cache")
+    st.add_argument("--metrics", action="store_true",
+                    help="(stat) also print this process's metrics "
+                         "registry in Prometheus text exposition format "
+                         "(the same body GET /metrics serves)")
     st.add_argument("--max-bytes", type=int, default=None, metavar="N",
                     help="(gc) evict least-recently-used entries until "
                          "the store holds at most N bytes")
@@ -386,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="background campaign sessions run at once "
                          "(default 2)")
+    sv.add_argument("--metrics", action="store_true",
+                    help="print the Prometheus scrape URL on startup "
+                         "(GET /metrics is always served; this just "
+                         "surfaces the address for scrape configs)")
     sv.add_argument("--no-drain", action="store_true",
                     help="on SIGINT/SIGTERM cancel running campaigns at "
                          "the next cell boundary instead of letting "
@@ -441,6 +463,7 @@ _RUN_SHAPING_FLAGS = (
     ("worker_procs", "--worker-procs"),
     ("store", "--store"), ("store_mode", "--store-mode"),
     ("backend", "--backend"), ("progress", "--progress"),
+    ("trace", "--trace"),
 )
 #: campaign flags subsumed by a spec file — `--spec` refuses them.
 #: (--store/--store-mode are deliberately absent: they are volatile
@@ -676,21 +699,36 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     # The CLI is a plain session consumer: open the spec, stream the
     # typed events (the same seam the campaign service subscribes to),
     # collect the execution at the end.
-    session = Campaign(spec).session(args.results, resume=args.resume)
-    if args.progress:
-        from .sim.events import CellFinished
+    tracer = None
+    if args.trace is not None:
+        from .obs import Tracer, install_tracer
 
-        for event in session.events():
-            if isinstance(event, CellFinished):
-                plan = event.plan
-                print(f"  cell {plan.index}: {plan.protocol} "
-                      f"M={plan.M:g} phi={plan.phi:g} "
-                      f"({len(event.results)} replicas, {event.source}) "
-                      f"— {session.progress().describe()}",
-                      file=sys.stderr)
-        execution = session.result()
-    else:
-        execution = session.run()
+        tracer = install_tracer(Tracer())
+    try:
+        session = Campaign(spec).session(args.results, resume=args.resume)
+        if args.progress:
+            from .sim.events import CellFinished
+
+            for event in session.events():
+                if isinstance(event, CellFinished):
+                    plan = event.plan
+                    print(f"  cell {plan.index}: {plan.protocol} "
+                          f"M={plan.M:g} phi={plan.phi:g} "
+                          f"({len(event.results)} replicas, "
+                          f"{event.source}) "
+                          f"— {session.progress().describe()}",
+                          file=sys.stderr)
+            execution = session.result()
+        else:
+            execution = session.run()
+    finally:
+        if tracer is not None:
+            from .obs import uninstall_tracer
+
+            uninstall_tracer()
+    if tracer is not None:
+        spans = tracer.write_chrome(args.trace)
+        print(f"trace: {args.trace} ({spans} spans)", file=sys.stderr)
     print(cells_table(execution.cells))
     print(execution.report.describe())
     if args.results is not None:
@@ -766,6 +804,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # callers (and the lifecycle tests) can find the daemon.
     print(f"campaign service listening on {service.url()} "
           f"(store: {service.store.root})", flush=True)
+    if args.metrics:
+        print(f"metrics: {service.url('/metrics')} "
+              "(Prometheus text exposition)", flush=True)
     try:
         # ``POST /shutdown`` completes the drain on its own thread; the
         # closed flag ends this loop so the process exits either way.
@@ -831,6 +872,11 @@ def _run_store_command(args: argparse.Namespace) -> int:
             print("cache: " + ("disabled" if stats is None
                                else stats.describe()))
 
+        def _print_metrics() -> None:
+            from .obs import default_registry
+
+            print(default_registry().render_prometheus(), end="")
+
         if args.verify:
             # One scan serves both: verify() *collects* corruption
             # (where the plain stat scan would die on the first
@@ -844,10 +890,14 @@ def _run_store_command(args: argparse.Namespace) -> int:
             print(report.stat.describe())
             if args.cache:
                 _print_cache()
+            if args.metrics:
+                _print_metrics()
             return 0
         print(store.stat().describe())
         if args.cache:
             _print_cache()
+        if args.metrics:
+            _print_metrics()
         return 0
 
     if args.action == "gc":

@@ -50,6 +50,8 @@ from .errors import ParameterError
 from .sim.results import DesResult, MonteCarloSummary
 
 __all__ = [
+    "encode_floats",
+    "decode_floats",
     "dump_result",
     "load_result",
     "save_results",
@@ -145,6 +147,23 @@ def _decode_payload(obj: Any, legacy: bool) -> Any:
     if isinstance(obj, list):
         return [_decode_payload(v, legacy) for v in obj]
     return _decode_float(obj) if legacy else obj
+
+
+def encode_floats(obj: Any) -> Any:
+    """Make an arbitrary JSON-ish tree safe for strict JSON.
+
+    Non-finite floats become the version-2 typed sentinels
+    (``{"__float__": "nan"}``); user dicts that happen to look like a
+    sentinel are escaped.  This is the same encoding results envelopes
+    use, exposed for other wire formats (metrics snapshots, trace spans)
+    that must survive ``json.dumps(..., allow_nan=False)``.
+    """
+    return _encode_payload(obj)
+
+
+def decode_floats(obj: Any) -> Any:
+    """Inverse of :func:`encode_floats` (version-2 rules only)."""
+    return _decode_payload(obj, legacy=False)
 
 
 def to_envelope(result: DesResult | MonteCarloSummary) -> dict:

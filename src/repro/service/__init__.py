@@ -38,6 +38,12 @@ hot-cell cache takes a lock only around its map, and the event logs use
 one condition variable each.  :meth:`CampaignStore.read_stats`
 (``peak_concurrent``) exists to *prove* the concurrency under load
 rather than assume it.
+
+Observability: every request is metered into the process-wide
+:func:`repro.obs.default_registry` (per-route latency histograms and
+status-code counters, plus whatever the store/executor/coalescer
+recorded) and served back as Prometheus text exposition at
+``GET /metrics``; with a tracer installed each request is a span.
 """
 
 from .app import CampaignService

@@ -7,6 +7,9 @@ coalescer to a threaded stdlib HTTP server (one thread per connection,
 =========================================  ===============================
 ``GET  /healthz``                          liveness + store/cache/read
                                            counters
+``GET  /metrics``                          Prometheus text exposition of
+                                           the process-wide registry
+                                           (``repro.obs``)
 ``POST /campaigns``                        submit a spec (the body is the
                                            ``repro-campaign-spec`` JSON);
                                            idempotent per spec identity
@@ -37,12 +40,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import replace
 from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
 from ..errors import ParameterError, ReproError
+from ..obs import DEFAULT_TIME_BUCKETS, current_tracer, default_registry
 from ..store import CampaignStore
 from .coalesce import Coalescer, CoalesceTimeout
 from .registry import CampaignRegistry
@@ -55,10 +60,38 @@ from .wire import (
     spec_from_wire,
 )
 
-__all__ = ["CampaignService"]
+__all__ = ["CampaignService", "PROMETHEUS_CONTENT_TYPE"]
 
 #: How a report query treats cells the store does not cover.
 ON_MISS_MODES = ("run", "fail")
+
+#: Content type of the ``GET /metrics`` exposition body.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``/campaigns/<id>/<action>`` suffixes that get their own route label.
+_CAMPAIGN_ACTIONS = ("events", "cancel")
+
+
+def _route_template(parts: list[str]) -> str:
+    """The bounded-cardinality route label for metrics: campaign ids
+    collapse to ``{id}`` and anything unroutable collapses to a single
+    ``(unmatched)`` bucket, so a misbehaving client cannot mint series.
+    """
+    if not parts:
+        return "/"
+    head = parts[0]
+    if head == "campaigns":
+        if len(parts) == 1:
+            return "/campaigns"
+        if len(parts) == 2:
+            return "/campaigns/{id}"
+        if len(parts) == 3 and parts[2] in _CAMPAIGN_ACTIONS:
+            return "/campaigns/{id}/" + parts[2]
+        return "(unmatched)"
+    if len(parts) == 1 and head in ("healthz", "shutdown", "reports",
+                                    "metrics"):
+        return "/" + head
+    return "(unmatched)"
 
 
 class _MissingCells(ReproError):
@@ -96,7 +129,8 @@ class CampaignService:
             store, data_dir, workers=workers,
             backend_factory=backend_factory,
         )
-        self.coalescer = Coalescer()
+        self.metrics = default_registry()
+        self.coalescer = Coalescer(registry=self.metrics)
         self._backend_factory = backend_factory
         self._report_timeout = report_timeout
         self._accepting = True
@@ -198,6 +232,25 @@ class CampaignService:
             "coalescer": self.coalescer.stats().describe(),
         }
 
+    def _observe_request(self, route: str, method: str,
+                         code: int | None, elapsed: float) -> None:
+        """Record one handled request into the per-route series
+        (``repro_http_request_seconds{route,method}`` and
+        ``repro_http_requests_total{route,code}``)."""
+        if not self.metrics.enabled:
+            return
+        self.metrics.histogram(
+            "repro_http_request_seconds", DEFAULT_TIME_BUCKETS,
+            help="HTTP request handling wall-clock, by route and method "
+                 "(streams count until the last byte).",
+            unit="seconds", labels={"route": route, "method": method},
+        ).observe(elapsed)
+        self.metrics.counter(
+            "repro_http_requests_total",
+            help="HTTP requests handled, by route and status code.",
+            labels={"route": route, "code": str(code or 0)},
+        ).inc()
+
     def report_query(self, spec, *, on_miss: str = "run") -> dict:
         """A spec's waste-surface report, warm cells costing zero sims.
 
@@ -283,6 +336,13 @@ def _build_handler(service: CampaignService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # request logging is the caller's business, not stderr's
 
+        def send_response(self, code, message=None) -> None:
+            # Every response funnels through here (JSON, errors and the
+            # NDJSON stream alike), so it is the one status-capture
+            # point the request metrics need.
+            self._obs_status = int(code)
+            super().send_response(code, message)
+
         def _send_json(self, status: int, payload: dict) -> None:
             body = dump_json(payload)
             self.send_response(status)
@@ -297,8 +357,28 @@ def _build_handler(service: CampaignService):
         def _route(self, method: str) -> None:
             parsed = urlparse(self.path)
             parts = [p for p in parsed.path.split("/") if p]
+            route = _route_template(parts)
+            self._obs_status = None
+            started = time.perf_counter()
+            tracer = current_tracer()
             try:
-                query = parse_query(parsed.query)
+                if tracer is None:
+                    self._handle(method, parts, parsed.query)
+                else:
+                    with tracer.span("http.request", "http",
+                                     method=method, route=route) as span:
+                        self._handle(method, parts, parsed.query)
+                        span.args["code"] = self._obs_status
+            finally:
+                service._observe_request(
+                    route, method, self._obs_status,
+                    time.perf_counter() - started,
+                )
+
+        def _handle(self, method: str, parts: list[str],
+                    raw_query: str) -> None:
+            try:
+                query = parse_query(raw_query)
                 self._dispatch(method, parts, query)
             except _MissingCells as exc:
                 self._error(HTTPStatus.CONFLICT, str(exc))
@@ -322,6 +402,9 @@ def _build_handler(service: CampaignService):
                       query: dict) -> None:
             if parts == ["healthz"] and method == "GET":
                 self._send_json(HTTPStatus.OK, service.status())
+                return
+            if parts == ["metrics"] and method == "GET":
+                self._send_metrics()
                 return
             if parts == ["shutdown"] and method == "POST":
                 self._shutdown()
@@ -366,6 +449,14 @@ def _build_handler(service: CampaignService):
                     f"no such endpoint: {method} /campaigns/<id>"
                     f"/{'/'.join(action)}",
                 )
+
+        def _send_metrics(self) -> None:
+            body = service.metrics.render_prometheus().encode("utf-8")
+            self.send_response(HTTPStatus.OK)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
 
         def _submit(self) -> None:
             if not service._accepting:

@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import ReproError
+from ..obs import Counter, default_registry
 
 __all__ = ["CoalesceTimeout", "CoalesceStats", "Coalescer"]
 
@@ -76,12 +77,24 @@ class Coalescer:
     compute, only *concurrent* ones coalesce.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, registry=None) -> None:
         self._lock = threading.Lock()
         self._flights: dict = {}
-        self._led = 0
-        self._joined = 0
-        self._timeouts = 0
+        # Counters are registry instruments (repro_coalescer_*); pass
+        # registry=repro.obs.default_registry() (the service does) to
+        # export them process-wide.  stats() stays a thin per-instance
+        # view either way.
+        self._led = Counter("repro_coalescer_led_total",
+                            help="Flights computed as leader.")
+        self._joined = Counter("repro_coalescer_joined_total",
+                               help="Calls served by someone else's "
+                                    "flight.")
+        self._timeouts = Counter("repro_coalescer_timeouts_total",
+                                 help="Followers that gave up waiting.")
+        if registry is None:
+            registry = default_registry()
+        for instrument in (self._led, self._joined, self._timeouts):
+            registry.register(instrument)
 
     def run(self, key, compute, *, timeout: float | None = None):
         """The result of ``compute()``, computed once per concurrent key.
@@ -97,9 +110,9 @@ class Coalescer:
             leader = flight is None
             if leader:
                 flight = self._flights[key] = _Flight()
-                self._led += 1
+                self._led.inc()
             else:
-                self._joined += 1
+                self._joined.inc()
         if leader:
             try:
                 flight.value = compute()
@@ -112,8 +125,7 @@ class Coalescer:
                 flight.done.set()
             return flight.value
         if not flight.done.wait(timeout):
-            with self._lock:
-                self._timeouts += 1
+            self._timeouts.inc()
             raise CoalesceTimeout(
                 f"gave up waiting {timeout:g}s for the in-flight "
                 f"computation of {key!r}; the computation itself "
@@ -125,8 +137,12 @@ class Coalescer:
         return flight.value
 
     def stats(self) -> CoalesceStats:
+        """Per-instance counters (a thin view over the registry
+        instruments; see ``repro_coalescer_*`` in ``GET /metrics`` for
+        the process-wide series)."""
         with self._lock:
             return CoalesceStats(
-                led=self._led, joined=self._joined,
-                timeouts=self._timeouts, in_flight=len(self._flights),
+                led=int(self._led.value), joined=int(self._joined.value),
+                timeouts=int(self._timeouts.value),
+                in_flight=len(self._flights),
             )

@@ -162,7 +162,9 @@ class CampaignHandle:
                     else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     break
-                self._cond.wait(remaining if remaining is not None else 0.5)
+                # Every state change notifies, so an untimed wait is
+                # honest — no poll loop, wakeup is immediate.
+                self._cond.wait(remaining)
             return self.state
 
     def events(self, *, follow: bool = True):
@@ -180,7 +182,10 @@ class CampaignHandle:
             with self._cond:
                 while follow and position >= len(self._log) \
                         and not self._log_done:
-                    self._cond.wait(0.5)
+                    # _append/_set_state notify on every change, so
+                    # followers wake the moment an event lands rather
+                    # than on a poll interval.
+                    self._cond.wait()
                 chunk = self._log[position:]
                 position += len(chunk)
                 finished = self._log_done and position >= len(self._log)

@@ -85,6 +85,8 @@ from typing import Iterator, Sequence
 
 from ..errors import ParameterError
 from ..fsclock import clamped_age, filesystem_now
+from ..obs import Counter, default_registry
+from ..obs.trace import current_tracer
 from .adaptive import ReplicaController, stop_count
 from .backends import (
     CampaignBackend,
@@ -444,6 +446,30 @@ class DistributedBackend(CampaignBackend):
         #: (the executor folds these into its report counters).
         self.cells_from_store = 0
         self.replicas_from_store = 0
+        #: Per-worker queue-protocol counters (repro_queue_*): claims
+        #: won, leases stolen from presumed-dead workers, lease-clock
+        #: refreshes, chunks certified done, and straggler chunks —
+        #: work this worker completed that another worker had already
+        #: certified (a steal race's duplicated effort, the queue's
+        #: analogue of the paper's wasted re-execution time).
+        registry = default_registry()
+        labels = {"worker": self.worker_id}
+        self._m_claims = registry.register(Counter(
+            "repro_queue_claims_total",
+            help="Pending tickets claimed.", labels=labels))
+        self._m_steals = registry.register(Counter(
+            "repro_queue_steals_total",
+            help="Expired leases stolen.", labels=labels))
+        self._m_lease_refreshes = registry.register(Counter(
+            "repro_queue_lease_refreshes_total",
+            help="Lease-clock refreshes.", labels=labels))
+        self._m_chunks_done = registry.register(Counter(
+            "repro_queue_chunks_done_total",
+            help="Chunks certified done.", labels=labels))
+        self._m_stragglers = registry.register(Counter(
+            "repro_queue_straggler_chunks_total",
+            help="Chunks finished after another worker already "
+                 "certified them (duplicated work).", labels=labels))
 
     # -- claim protocol ------------------------------------------------
     def _claim_path(self, chunk: int, generation: int) -> pathlib.Path:
@@ -453,6 +479,17 @@ class DistributedBackend(CampaignBackend):
 
     def _try_claim_pending(self) -> tuple[int, pathlib.Path] | None:
         """Atomically move one pending ticket under this worker's name."""
+        tracer = current_tracer()
+        if tracer is None:
+            return self._claim_pending()
+        with tracer.span("queue.claim", "queue",
+                         worker=self.worker_id) as span:
+            claimed = self._claim_pending()
+            if claimed is not None:
+                span.args["chunk"] = claimed[0]
+            return claimed
+
+    def _claim_pending(self) -> tuple[int, pathlib.Path] | None:
         tickets = [
             (int(m.group(1)), name)
             for name in _list_dir(_pending(self.queue))
@@ -487,11 +524,23 @@ class DistributedBackend(CampaignBackend):
             except OSError:
                 continue  # someone else won this ticket
             self._refresh_lease(claim)
+            self._m_claims.inc()
             return chunk, claim
         return None
 
     def _try_steal_expired(self) -> tuple[int, pathlib.Path] | None:
         """Re-claim one chunk whose current lease has expired."""
+        tracer = current_tracer()
+        if tracer is None:
+            return self._steal_expired()
+        with tracer.span("queue.steal", "queue",
+                         worker=self.worker_id) as span:
+            stolen = self._steal_expired()
+            if stolen is not None:
+                span.args["chunk"] = stolen[0]
+            return stolen
+
+    def _steal_expired(self) -> tuple[int, pathlib.Path] | None:
         current: dict[int, tuple[int, str]] = {}
         for name in _list_dir(_claims(self.queue)):
             m = _CLAIM_RE.match(name)
@@ -522,18 +571,33 @@ class DistributedBackend(CampaignBackend):
             except OSError:
                 continue  # lost the steal race
             self._refresh_lease(fresh)
+            self._m_steals.inc()
             return chunk, fresh
         return None
 
-    @staticmethod
-    def _refresh_lease(claim: pathlib.Path) -> None:
+    def _refresh_lease(self, claim: pathlib.Path) -> None:
         """Restart the lease clock (rename preserves the old mtime)."""
+        self._m_lease_refreshes.inc()
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span("queue.lease-refresh", "queue",
+                             worker=self.worker_id):
+                try:
+                    os.utime(claim)
+                except OSError:
+                    pass  # claim stolen from under us; run stays harmless
+            return
         try:
             os.utime(claim)
         except OSError:
             pass  # claim stolen from under us; the run stays harmless
 
     def _mark_done(self, chunk: int, claim: pathlib.Path, frames: int) -> None:
+        if _done_path(self.queue, chunk).exists():
+            # Another worker stole the lease and certified this chunk
+            # while we were running it: our copy was wasted work.
+            self._m_stragglers.inc()
+        self._m_chunks_done.inc()
         _atomic_write(_done_path(self.queue, chunk), json.dumps({
             "format": _QUEUE_FORMAT, "chunk": chunk,
             "worker": self.worker_id, "frames": frames,

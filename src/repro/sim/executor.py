@@ -93,10 +93,12 @@ Layer diagram (single machine, and the distributed shard-merge flow)::
                        │   (stream must      Ordered/Framed (backend cells, (live counters →
                        │    replay to the    ─► results     after the sink   session.progress(),
                        │    rule's state)       .jsonl         append)       final report)
-                       │                      + .manifest      │             … CellCallback,
-                       │                      (spec            │             service/metrics
-                       │                       fingerprint)    │             consumers
-                       └───────────────────────────────────────┘
+                       │                      + .manifest      │             … MetricsConsumer
+                       │                      (spec            │             (repro.obs: cell/replica
+                       │                       fingerprint)    │              series ─► report.metrics,
+                       └───────────────────────────────────────┘              GET /metrics),
+                                                                             CellCallback, service
+                                                                             consumers
               CampaignStore (repro.store)       engine (policy.backend)
               hot-cell cache (in-process     "des": per-event simulation (exact)
                 LRU, digest re-check)        "vectorized": cells as numpy batches
@@ -174,12 +176,16 @@ import pathlib
 import threading
 import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import CampaignCancelled, ParameterError
+from ..obs import MetricsConsumer
+from ..obs import enabled as obs_enabled
+from ..obs.trace import current_tracer
 from .adaptive import ReplicaController
 from .backends import CampaignBackend, make_backend, run_cell  # noqa: F401 - run_cell re-exported
 from .campaign import CampaignCell, CampaignConfig, validate_campaign
@@ -254,6 +260,13 @@ class ExecutionReport:
     sink: str = "ordered"
     #: Cells served from the results store instead of simulated.
     cells_cached: int = 0
+    #: This run's telemetry — a ``repro-metrics`` snapshot from the
+    #: session's :class:`~repro.obs.MetricsConsumer` (cell duration
+    #: histogram, cell/replica counters by source), or ``None`` when
+    #: observability is off.  Excluded from equality and from the event
+    #: wire format (``_REPORT_FIELDS``): two runs of the same campaign
+    #: are the same execution even if their timings differ.
+    metrics: dict | None = field(default=None, repr=False, compare=False)
 
     def describe(self) -> str:
         recovered = f"{self.cells_skipped} resumed"
@@ -691,6 +704,12 @@ class CampaignSession:
                 StorePublisher(store, config, policy.backend)
             )
         self.bus.subscribe(self._tracker)
+        # Telemetry rides the same stream as everything else; a pure
+        # observer, so REPRO_OBS=off changes no behaviour, only whether
+        # ExecutionReport.metrics and the process registry get fed.
+        self._metrics = MetricsConsumer() if obs_enabled() else None
+        if self._metrics is not None:
+            self.bus.subscribe(self._metrics)
         if on_cell is not None:
             self.bus.subscribe(CellCallback(on_cell))
         for consumer in consumers:
@@ -796,10 +815,30 @@ class CampaignSession:
         """One cell's triple (plus a progress snapshot), published then
         yielded."""
         self._check_cancel()
+        tracer = current_tracer()
+        cell_span = nullcontext() if tracer is None else tracer.span(
+            "cell", "executor", index=plan.index, protocol=plan.protocol,
+            M=plan.M, phi=plan.phi, source=source,
+        )
+        with cell_span:
+            yield from self._emit_cell(plan, results, source, tracer)
+
+    def _emit_cell(self, plan, results, source, tracer):
         emit = self.bus.publish
         results = tuple(results)
         yield emit(CellStarted(plan=plan, source=source))
-        yield emit(ReplicaBatch(plan=plan, results=results, source=source))
+        if tracer is None:
+            event = emit(
+                ReplicaBatch(plan=plan, results=results, source=source))
+        else:
+            # The batch span covers the synchronous consumer fan-out
+            # (sink append, store publish) — closed before the yield so
+            # it never absorbs the caller's time between events.
+            with tracer.span("replica-batch", "executor",
+                             replicas=len(results)):
+                event = emit(ReplicaBatch(
+                    plan=plan, results=results, source=source))
+        yield event
         cell = make_cell(plan, results)
         if source == "resume":
             self._done_cells[plan.index] = cell
@@ -811,6 +850,15 @@ class CampaignSession:
         yield emit(self._tracker.snapshot())
 
     def _produce(self):
+        tracer = current_tracer()
+        campaign_span = nullcontext() if tracer is None else tracer.span(
+            "campaign", "executor", cells=len(self._plans),
+            sink=self._policy.sink, backend=self._policy.backend,
+        )
+        with campaign_span:
+            yield from self._produce_events()
+
+    def _produce_events(self):
         emit = self.bus.publish
         yield emit(CampaignStarted(
             spec=self.spec, plans=tuple(self._plans),
@@ -907,6 +955,10 @@ class CampaignSession:
             )
         # The final report is assembled from the progress consumer's
         # totals — the metrics path observes exactly what was executed.
+        elapsed = time.perf_counter() - self._start
+        if self._metrics is not None:
+            self._metrics.finalize(
+                elapsed=elapsed, replicas_run=progress.replicas_run)
         report = ExecutionReport(
             cells_total=len(self._plans),
             cells_skipped=(
@@ -916,10 +968,12 @@ class CampaignSession:
             cells_run=progress.cells_run,
             workers=getattr(self._backend, "workers", 1),
             chunk_size=self._chunk_size,
-            elapsed=time.perf_counter() - self._start,
+            elapsed=elapsed,
             replicas_run=progress.replicas_run,
             sink=self._policy.sink,
             cells_cached=progress.cells_cached,
+            metrics=(None if self._metrics is None
+                     else self._metrics.snapshot()),
         )
         self._execution = CampaignExecution(cells=cells, report=report)
         yield emit(CampaignFinished(report=report))

@@ -59,6 +59,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import ParameterError
+from ..obs import Counter, Gauge, default_registry
 
 __all__ = [
     "CACHED_VERIFICATION_LEVELS",
@@ -165,15 +166,39 @@ class HotCellCache:
     every ``put`` is dropped) so callers never need a ``None`` branch.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES,
+                 *, registry=None):
         self.max_bytes = int(max_bytes)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[str, str], CachedEntry] = \
             OrderedDict()
+        # The counters are registry instruments (repro_store_cache_*):
+        # per-instance state exactly as before, additionally exported
+        # process-wide when a registry is passed (the shared default
+        # cache registers into repro.obs.default_registry()).
+        self._hits = Counter("repro_store_cache_hits_total",
+                             help="Cached re-reads served without disk "
+                                  "I/O.")
+        self._misses = Counter("repro_store_cache_misses_total",
+                               help="Cache probes that fell through to "
+                                    "disk.")
+        self._evictions = Counter("repro_store_cache_evictions_total",
+                                  help="Entries evicted by the byte "
+                                       "budget.")
+        self._gauge_entries = Gauge("repro_store_cache_entries",
+                                    help="Entries resident right now.")
+        self._gauge_bytes = Gauge("repro_store_cache_bytes",
+                                  help="Payload bytes resident right "
+                                       "now.")
+        self._gauge_max = Gauge("repro_store_cache_max_bytes",
+                                help="Configured byte budget.")
+        self._gauge_max.set(self.max_bytes)
         self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        if registry is not None:
+            for instrument in (self._hits, self._misses,
+                               self._evictions, self._gauge_entries,
+                               self._gauge_bytes, self._gauge_max):
+                registry.register(instrument)
 
     def get(self, root: str, token) -> CachedEntry | None:
         """The entry under ``(root, token)``, LRU-refreshed, or None.
@@ -185,10 +210,10 @@ class HotCellCache:
         with self._lock:
             entry = self._entries.get((root, token))
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end((root, token))
-            self._hits += 1
+            self._hits.inc()
             return entry
 
     def peek(self, root: str, token) -> CachedEntry | None:
@@ -212,7 +237,9 @@ class HotCellCache:
             while self._bytes > self.max_bytes:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes -= evicted.size
-                self._evictions += 1
+                self._evictions.inc()
+            self._gauge_entries.set(len(self._entries))
+            self._gauge_bytes.set(self._bytes)
 
     def invalidate(self, root: str, token) -> None:
         """Drop one entry (a lookup found its copy corrupt)."""
@@ -220,22 +247,36 @@ class HotCellCache:
             old = self._entries.pop((root, token), None)
             if old is not None:
                 self._bytes -= old.size
+                self._gauge_entries.set(len(self._entries))
+                self._gauge_bytes.set(self._bytes)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self._gauge_entries.set(0)
+            self._gauge_bytes.set(0)
 
     def stats(self) -> CacheStats:
+        """This cache's counters as a :class:`CacheStats`.
+
+        .. deprecated:: the ad-hoc snapshot shape — now a thin view
+           over the cache's registry instruments
+           (``repro_store_cache_*``); kept exact per instance for
+           existing callers and ``/healthz``.  Prefer the process-wide
+           :func:`repro.obs.default_registry` snapshot for anything
+           new.
+        """
         with self._lock:
             return CacheStats(
                 entries=len(self._entries), bytes=self._bytes,
-                max_bytes=self.max_bytes, hits=self._hits,
-                misses=self._misses, evictions=self._evictions,
+                max_bytes=self.max_bytes, hits=int(self._hits.value),
+                misses=int(self._misses.value),
+                evictions=int(self._evictions.value),
             )
 
 
-_default_cache = HotCellCache()
+_default_cache = HotCellCache(registry=default_registry())
 _default_lock = threading.Lock()
 
 
@@ -258,5 +299,6 @@ def configure_cache(max_bytes: int) -> HotCellCache:
             f"cache max_bytes must be >= 0, got {max_bytes!r}"
         )
     with _default_lock:
-        _default_cache = HotCellCache(max_bytes)
+        _default_cache = HotCellCache(max_bytes,
+                                      registry=default_registry())
         return _default_cache

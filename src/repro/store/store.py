@@ -39,11 +39,15 @@ import os
 import pathlib
 import re
 import threading
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import ParameterError
 from ..fsclock import clamped_age, filesystem_now
+from ..obs import Counter, Gauge, Histogram, default_registry
+from ..obs.metrics import DEFAULT_TIME_BUCKETS
+from ..obs.trace import current_tracer
 from ..sim.backends import replica_seed, trace_seed
 from ..sim.campaign import CampaignConfig
 from ..sim.distributed import _atomic_write
@@ -431,11 +435,50 @@ class CampaignStore:
         self._cached_verification = cached_verification
         self._cache = default_cache() if cache is _DEFAULT_CACHE else cache
         self._cache_root = str(self.root.resolve())
-        #: Concurrent-read accounting (see :meth:`read_stats`).
+        #: Concurrent-read accounting (see :meth:`read_stats`).  The
+        #: counters are registry instruments — per-instance, so
+        #: ``read_stats()`` stays exact for tests that construct private
+        #: stores, while the process-wide registry sums live instances
+        #: for ``GET /metrics``.  ``_read_lock`` still serialises the
+        #: active/peak pair (the high-water mark must see a consistent
+        #: active count).
+        registry = default_registry()
         self._read_lock = threading.Lock()
-        self._reads_total = 0
-        self._readers_active = 0
-        self._readers_peak = 0
+        self._m_lookups = registry.register(Counter(
+            "repro_store_lookups_total",
+            help="Store lookups (hit or miss)."))
+        self._m_active = registry.register(Gauge(
+            "repro_store_readers_active",
+            help="Lookups in flight right now."))
+        self._m_peak = registry.register(Gauge(
+            "repro_store_readers_peak_concurrent", aggregate="max",
+            help="High-water mark of simultaneous readers."))
+        self._m_results = {
+            outcome: registry.register(Counter(
+                "repro_store_lookup_results_total",
+                help="Lookup outcomes.", labels={"result": outcome}))
+            for outcome in ("hit", "miss")
+        }
+        self._m_lookup_seconds = {
+            outcome: registry.register(Histogram(
+                "repro_store_lookup_seconds", DEFAULT_TIME_BUCKETS,
+                help="Full lookup latency by outcome.", unit="seconds",
+                labels={"result": outcome}))
+            for outcome in ("hit", "miss")
+        }
+        self._m_verify_seconds = registry.register(Histogram(
+            "repro_store_verify_seconds", DEFAULT_TIME_BUCKETS,
+            help="Entry decode+verify latency (disk reads only; cached "
+                 "hits re-verify inside the cache).", unit="seconds"))
+        self._m_publish = {
+            outcome: registry.register(Counter(
+                "repro_store_publish_total",
+                help="Publish outcomes.", labels={"result": outcome}))
+            for outcome in ("stored", "duplicate")
+        }
+        self._m_preload = registry.register(Counter(
+            "repro_store_preload_entries_total",
+            help="Entries admitted to the hot-cell cache by preload."))
         #: Lazily-loaded committed segments (id → Segment) and the
         #: merged hash → segment-id probe map (first id wins, so every
         #: process resolves duplicate hashes to the same copy).
@@ -594,8 +637,16 @@ class CampaignStore:
         """
         from .. import io as repro_io
 
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span("store.publish", "store"):
+                return self._publish(key, result, repro_io)
+        return self._publish(key, result, repro_io)
+
+    def _publish(self, key: dict, result: DesResult, repro_io) -> bool:
         hash_ = key_hash(key)
         if self._contains(hash_):
+            self._m_publish["duplicate"].inc()
             return False
         payload = repro_io.to_envelope(result)
         entry = {
@@ -611,16 +662,26 @@ class CampaignStore:
         path = self._entry_path(hash_)
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write(path, json.dumps(entry, sort_keys=True) + "\n")
+        self._m_publish["stored"].inc()
         return True
 
     def read_stats(self) -> ReadStats:
         """This instance's concurrent-read counters (see
-        :class:`ReadStats`); callable from any thread."""
+        :class:`ReadStats`); callable from any thread.
+
+        .. deprecated:: the ad-hoc snapshot shape — this is now a thin
+           view over the instance's registry instruments
+           (``repro_store_lookups_total`` /
+           ``repro_store_readers_active`` /
+           ``repro_store_readers_peak_concurrent``); prefer the
+           process-wide :func:`repro.obs.default_registry` snapshot for
+           anything new.  Kept exact per instance for existing callers.
+        """
         with self._read_lock:
             return ReadStats(
-                lookups=self._reads_total,
-                active=self._readers_active,
-                peak_concurrent=self._readers_peak,
+                lookups=int(self._m_lookups.value),
+                active=int(self._m_active.value),
+                peak_concurrent=int(self._m_peak.value),
             )
 
     def lookup(self, key: dict) -> DesResult | None:
@@ -646,15 +707,29 @@ class CampaignStore:
         concurrent the reads actually were.
         """
         with self._read_lock:
-            self._reads_total += 1
-            self._readers_active += 1
-            if self._readers_active > self._readers_peak:
-                self._readers_peak = self._readers_active
+            self._m_lookups.inc()
+            self._m_active.inc()
+            active = self._m_active.value
+            if active > self._m_peak.value:
+                self._m_peak.set(active)
+        started = time.perf_counter()
+        tracer = current_tracer()
         try:
-            return self._lookup(key)
+            if tracer is None:
+                result = self._lookup(key)
+            else:
+                with tracer.span("store.lookup", "store") as span:
+                    result = self._lookup(key)
+                    span.args["result"] = \
+                        "hit" if result is not None else "miss"
+            outcome = "hit" if result is not None else "miss"
+            self._m_results[outcome].inc()
+            self._m_lookup_seconds[outcome].observe(
+                time.perf_counter() - started)
+            return result
         finally:
             with self._read_lock:
-                self._readers_active -= 1
+                self._m_active.dec()
 
     def _lookup(self, key: dict) -> DesResult | None:
         token = None
@@ -699,7 +774,10 @@ class CampaignStore:
                 "delete the file (or run `repro-checkpoint store gc`) "
                 "and re-run to repopulate it"
             ) from exc
+        verify_started = time.perf_counter()
         result = self._decode_entry(label, entry, expected_key=key)
+        self._m_verify_seconds.observe(
+            time.perf_counter() - verify_started)
         if self._cache is not None:
             self._cache.put(self._cache_root, token, CachedEntry(
                 key=key,
@@ -739,6 +817,15 @@ class CampaignStore:
         """
         if self._cache is None:
             return 0
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span("store.preload", "store") as span:
+                loaded = self._preload(keys)
+                span.args["entries"] = loaded
+                return loaded
+        return self._preload(keys)
+
+    def _preload(self, keys) -> int:
         if self._segments is None:
             self._refresh_segments()
         wanted: dict[str, list[tuple[dict, tuple, str]]] = {}
@@ -771,7 +858,10 @@ class CampaignStore:
                         "`repro-checkpoint store gc`) and re-run to "
                         "repopulate it"
                     ) from exc
+                verify_started = time.perf_counter()
                 result = self._decode_entry(label, entry, expected_key=key)
+                self._m_verify_seconds.observe(
+                    time.perf_counter() - verify_started)
                 self._cache.put(self._cache_root, token, CachedEntry(
                     key=key,
                     result=result,
@@ -783,6 +873,7 @@ class CampaignStore:
                     origin="segment",
                 ))
                 loaded += 1
+        self._m_preload.inc(loaded)
         return loaded
 
     @staticmethod
